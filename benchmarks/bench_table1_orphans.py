@@ -1,0 +1,23 @@
+"""Table I — orphan variables and uncertain samples.
+
+Paper reference (22.4M-VUC corpus): orphan variables (1-2 VUCs) are
+~35% of all variables; uncertain samples are >97% of orphans.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_orphans_and_uncertain_samples(benchmark, gcc_context):
+    result = benchmark.pedantic(
+        table1.run, args=(gcc_context.corpus,), rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+
+    # Shape assertions vs the paper.
+    for stats in (result.train, result.test):
+        assert 0.15 < stats.orphan_fraction < 0.55          # paper: ~35%
+        assert stats.uncertain_fraction_of_orphans > 0.75   # paper: >97%
+        assert stats.n_vucs > stats.n_variables             # multiple VUCs/var
+    # Fig. 1: genuinely colliding same-instruction/different-type pairs exist.
+    assert len(result.examples) >= 1

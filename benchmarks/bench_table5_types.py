@@ -1,0 +1,42 @@
+"""Table V + Fig. 2 — per-type stage recalls, accuracy, support and the
+same-type clustering statistics.
+
+Paper reference: overall same-type clustering >53%; double/int perform
+well (ACC 0.91/0.93) with high c-rates; struct* dominant support; rare
+types (short, long long) score near zero.
+"""
+
+from repro.core.types import TypeName
+from repro.experiments import table5
+
+
+def test_table5_per_type_and_clustering(benchmark, gcc_context, gcc_predictions):
+    result = benchmark.pedantic(table5.run, args=(gcc_context,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    rows = {row.type_name: row for row in result.rows}
+
+    # Fig. 2 / §II-B: the clustering phenomenon holds corpus-wide.
+    assert result.overall_c_rate > 0.40, (
+        f"overall clustering {result.overall_c_rate:.2%} (paper: >53%)"
+    )
+
+    # Dominant supports: int and struct* are the two largest (Table V).
+    supports = sorted(rows.values(), key=lambda r: -r.support)
+    top_two = {supports[0].type_name, supports[1].type_name}
+    assert TypeName.INT in top_two or TypeName.STRUCT_POINTER in top_two
+
+    # Strong types: int and double do well end to end.
+    assert rows[TypeName.INT].acc > 0.6
+    if TypeName.DOUBLE in rows:
+        assert rows[TypeName.DOUBLE].acc > 0.5
+
+    # Rare exotic int types perform poorly (paper: 0.00-0.13).
+    for rare in (TypeName.LONG_LONG_INT, TypeName.LONG_LONG_UNSIGNED_INT):
+        if rare in rows:
+            assert rows[rare].acc < 0.5
+
+    # Stage-1 recall is high for nearly every type (paper column S1-R).
+    strong_s1 = [r for r in rows.values() if r.support >= 30]
+    assert sum(r.s1_recall > 0.6 for r in strong_s1) >= len(strong_s1) * 0.7

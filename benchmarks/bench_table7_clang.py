@@ -1,0 +1,22 @@
+"""Table VII / §VIII — Clang transferability.
+
+Paper reference: retraining on Clang-built binaries gives strong
+per-stage results (Stage 1 F1 0.95, Stage 2-1 0.86, Stage 2-2 0.94,
+Stage 3-1 0.88, Stage 3-2 0.99, Stage 3-3 0.86) and 82.14% total
+variable accuracy — the prototype's design transfers across compilers.
+"""
+
+from repro.experiments import table7
+
+
+def test_table7_clang_transfer(benchmark, clang_context):
+    result = benchmark.pedantic(table7.run, args=(clang_context,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # The design transfers: Clang accuracy in the same band as GCC's.
+    assert result.total_accuracy > 0.55
+    # Same per-stage ordering as the main experiment.
+    f1 = {stage: values[2] for stage, values in result.stage_metrics.items()}
+    assert f1["Stage1"] > 0.75
+    assert f1["Stage1"] > f1["Stage2-1"]

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Reverse-engineering scenario: annotate a stripped binary's listing.
+
+Produces Fig. 2-style output — the raw disassembly with each located
+variable instruction annotated with CATI's inferred type — the artifact
+a reverse engineer would load into their disassembler's comment stream.
+"""
+
+from repro.codegen import GccCompiler, strip
+from repro.core import Cati, CatiConfig
+from repro.datasets import build_small_corpus
+from repro.experiments.speed import extents_from_debug
+from repro.vuc import group_targets, locate_targets
+
+
+def main() -> None:
+    print("training CATI on a small corpus...")
+    corpus = build_small_corpus()
+    cati = Cati(CatiConfig(epochs=8)).train(corpus.train)
+
+    binary = GccCompiler().compile_fresh(seed=4242, name="target", opt_level=0)
+    extents = extents_from_debug(binary)
+    stripped = strip(binary)
+    predictions = {p.variable_id: p for p in cati.infer_binary(stripped, extents)}
+
+    func_index = 0
+    func = stripped.functions[func_index]
+    targets = locate_targets(func)
+    groups = group_targets(targets, extents[func_index], f"{stripped.name}/{func_index}")
+    annotation: dict[int, str] = {}
+    for group in groups:
+        prediction = predictions.get(group.variable_id)
+        if prediction is None:
+            continue
+        for target in group.targets:
+            annotation[target.index] = str(prediction.predicted)
+
+    print(f"\n{func.name} (stripped) with inferred types:")
+    for index, ins in enumerate(func.instructions):
+        note = annotation.get(index, "")
+        print(f"  {ins.address:6x}:  {str(ins):42s} {note}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Baseline-comparison scenario: CATI vs DEBIN/TypeMiner/rules.
+
+Reproduces the spirit of §VII-B's comparison at small scale: every
+system is trained (where applicable) on the same corpus and evaluated on
+the same unseen applications, projected onto the 17-type DEBIN label
+set.
+"""
+
+from repro.baselines import DebinModel, TypeMinerModel, rules_predict
+from repro.core import Cati, CatiConfig, DEBIN_TYPES, to_debin_label
+from repro.datasets import build_small_corpus
+from repro.eval import accuracy, render_table
+
+
+def main() -> None:
+    corpus = build_small_corpus()
+    print(corpus.summary())
+
+    train_groups = corpus.train.by_variable()
+    test_groups = corpus.test.by_variable()
+    train_labels = {vid: to_debin_label(v[0].label) for vid, v in train_groups.items()}
+    test_labels = {vid: to_debin_label(v[0].label) for vid, v in test_groups.items()}
+
+    print("\ntraining CATI...")
+    cati = Cati(CatiConfig(epochs=8)).train(corpus.train)
+    predictions = cati.predict_variables(
+        [s.tokens for s in corpus.test.samples],
+        [s.variable_id for s in corpus.test.samples],
+    )
+    cati_acc = accuracy(
+        [test_labels[p.variable_id] for p in predictions],
+        [to_debin_label(p.predicted) for p in predictions],
+    )
+
+    print("training DEBIN stand-in (dependency graph + ICM)...")
+    debin = DebinModel(DEBIN_TYPES).train(train_groups, train_labels)
+    debin_out = debin.predict(test_groups)
+    debin_acc = accuracy(
+        [test_labels[vid] for vid in debin_out],
+        [debin_out[vid] for vid in debin_out],
+    )
+
+    print("training TypeMiner stand-in (n-grams)...")
+    typeminer = TypeMinerModel(DEBIN_TYPES).train(train_groups, train_labels)
+    tm_out = typeminer.predict(test_groups)
+    tm_acc = accuracy(
+        [test_labels[vid] for vid in tm_out],
+        [tm_out[vid] for vid in tm_out],
+    )
+
+    rule_out = rules_predict(test_groups)
+    rules_acc = accuracy(
+        [test_labels[vid] for vid in rule_out],
+        [to_debin_label(rule_out[vid]) for vid in rule_out],
+    )
+
+    print()
+    print(render_table(
+        ["System", "17-type accuracy"],
+        [
+            ("CATI (instruction context + voting)", f"{cati_acc:.3f}"),
+            ("DEBIN stand-in (no context)", f"{debin_acc:.3f}"),
+            ("TypeMiner stand-in (no context)", f"{tm_acc:.3f}"),
+            ("Rule ladder (expert knowledge)", f"{rules_acc:.3f}"),
+        ],
+        title="Variable-type accuracy on unseen applications",
+    ))
+    print("\npaper's corresponding result: CATI 0.84 vs DEBIN 0.73")
+    print("note: at this demo's tiny training scale the CNN is data-starved;")
+    print("see EXPERIMENTS.md for the full-corpus comparison and analysis.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md from live experiment results.
+
+Runs every table/figure reproduction against the cached trained contexts
+and writes the paper-vs-measured record.  Usage:
+
+    python scripts/generate_experiments_md.py [--skip-clang] [--skip-ablations]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--skip-clang", action="store_true")
+    parser.add_argument("--skip-ablations", action="store_true")
+    parser.add_argument("--output", default=str(REPO_ROOT / "EXPERIMENTS.md"))
+    args = parser.parse_args()
+
+    from repro.experiments import (
+        compiler_id,
+        debin_compare,
+        fig6,
+        speed,
+        table1,
+        table3,
+        table4,
+        table5,
+        table6,
+        table7,
+    )
+    from repro.experiments.ablations import run_opt_level_breakdown, run_threshold_ablation
+    from repro.experiments.common import get_context, predictions_for
+
+    sections: list[str] = []
+
+    def add(title: str, paper_ref: str, body: str) -> None:
+        sections.append(f"## {title}\n\n**Paper reference.** {paper_ref}\n\n```\n{body}\n```\n")
+        print(f"[done] {title}")
+
+    print("loading gcc context (trains on first run)...")
+    gcc = get_context("gcc")
+
+    result1 = table1.run(gcc.corpus)
+    add(
+        "Table I — orphan variables and uncertain samples",
+        "3.95M/167k variables train/test; orphans (1-2 VUCs) ≈ 35% of variables; "
+        "uncertain samples > 97% of orphans.",
+        result1.render(),
+    )
+
+    result3 = table3.run(gcc)
+    add(
+        "Table III — VUC-level P/R/F1 per application and stage",
+        "Stage 1 F1 0.86-0.93; Stage 2-1 weakest (0.68-0.89); Stage 3-2 degenerate "
+        "where apps lack float-family variables (gzip/nano/sed rows are '-').",
+        result3.render(),
+    )
+
+    result4 = table4.run(gcc)
+    add(
+        "Table IV — variable-level P/R/F1 after voting",
+        "Voting improves Stage 1/2-2/3-1/3-3 over Table III; Stage 2-1 may drop "
+        "(diverse pointer behaviour confuses the vote).",
+        result4.render(),
+    )
+
+    result5 = table5.run(gcc)
+    add(
+        "Table V — per-type stage recalls, accuracy, clustering",
+        "Overall same-type clustering > 53%; int ACC 0.93, double 0.91, struct* 0.88; "
+        "rare types (short int 0.13, long long 0.00) fail; c-rates 15-70%.",
+        result5.render(),
+    )
+
+    result6 = table6.run(gcc)
+    add(
+        "Table VI — headline accuracy (VUC vs variable granularity)",
+        "Weighted totals 0.68 (VUC) and 0.71 (variable); voting gain ≈ +0.03; "
+        "best app sed 0.78, worst wget 0.66.",
+        result6.render() + f"\nvoting gain: {result6.voting_gain:+.3f}",
+    )
+
+    result_debin = debin_compare.run(gcc)
+    add(
+        "§VII-B — comparison with DEBIN",
+        "CATI 0.84 vs DEBIN 0.73 on the 17-type task (11-point gap from context + "
+        "voting). DEVIATION: this gap does not reproduce here. Our stand-in is "
+        "deliberately strong — a discriminative n-gram bag over the variable's "
+        "complete trace, strictly richer than real DEBIN's CRF unary feature "
+        "templates — and at 30k-training-VUC scale (vs the paper's 22.4M) the "
+        "full-batch linear model slightly outperforms the CNN. The like-for-like "
+        "mechanism test (same CNN, window 10 vs window 0) in the ablation section "
+        "shows the paper's actual claim — context adds real information — holds.",
+        result_debin.render(),
+    )
+
+    result_fig6 = fig6.run(gcc, n_distribution_vucs=120)
+    add(
+        "Fig. 6 — occlusion importance (eq. 5)",
+        "Central/target instruction has the smallest ε (35.46% of central rows in the "
+        "(0.9,1) bucket vs ~7-9% for neighbours); importance decays with distance.",
+        result_fig6.render(),
+    )
+
+    result_speed = speed.run(gcc)
+    add(
+        "§VII — training and inference speed",
+        "~6 s per typical binary (extraction + prediction) on i7-6700K + GTX 1070; "
+        "2 h CNN training + 3 h Word2Vec at 22M-VUC scale.",
+        result_speed.render(),
+    )
+
+    if not args.skip_clang:
+        clang = get_context("clang")
+        result7 = table7.run(clang)
+        add(
+            "Table VII / §VIII — Clang transferability",
+            "Per-stage F1 0.86-0.99 after retraining on Clang-built binaries; total "
+            "variable accuracy 82.14%.",
+            result7.render(),
+        )
+        result_cid = compiler_id.run(gcc, clang)
+        add(
+            "§VIII — compiler identification",
+            "100% accuracy GCC-vs-Clang from register-usage differences.",
+            result_cid.render(),
+        )
+
+    if not args.skip_ablations:
+        from repro.datasets.corpus import build_corpus
+        from repro.datasets.projects import TEST_PROJECTS, TRAINING_PROJECTS
+        from repro.experiments.ablations import run_window_ablation
+
+        def mid_corpus(window: int):
+            corpus = build_corpus(
+                opt_levels=(0, 2),
+                train_profiles=TRAINING_PROJECTS[:4],
+                test_profiles=TEST_PROJECTS[:4],
+                window=window,
+            )
+            corpus.train = corpus.train.subsample(9_000, seed=3)
+            return corpus
+
+        # Two endpoints keep the generator fast; the bench sweeps 4 sizes.
+        result_window = run_window_ablation(mid_corpus, windows=(0, 10), epochs=8)
+        add(
+            "Ablation — context window size",
+            "The paper's central design: w=10 instructions of context on each side; "
+            "w=0 reduces CATI to the bare target instruction. FINDING: the paper "
+            "never runs a target-instruction-only classifier (its baselines are "
+            "trace-based graphical models), and at our corpus scale that baseline "
+            "is competitive with the windowed CNN — the generalized target "
+            "instruction already encodes width/FP-class/addressing shape. The "
+            "occlusion analysis (Fig. 6) confirms the windowed model does exploit "
+            "context; its *marginal* value at 30k training VUCs is small. "
+            "Establishing the paper's implied margin likely needs its 22.4M-VUC "
+            "scale, where a 21x96 CNN can be trained to capacity.",
+            result_window.render(),
+        )
+
+        cache = predictions_for(gcc)
+        result_thresh = run_threshold_ablation(cache)
+        add(
+            "Ablation — voting threshold (eq. 3)",
+            "The paper chose 0.9 'after several empirical experiments'; the sweep shows "
+            "the mechanism is a refinement, not the main driver.",
+            result_thresh.render(),
+        )
+        result_opt = run_opt_level_breakdown(gcc)
+        add(
+            "Extension — accuracy by optimization level (§VIII future work)",
+            "The paper defers compiler-option sensitivity to future work; we report it: "
+            "optimized code carries more type-blind word copies and is harder.",
+            result_opt.render(),
+        )
+
+    header = f"""# EXPERIMENTS — paper vs measured
+
+Every table and figure of the paper's evaluation, regenerated by this
+repository's benchmark harness (`pytest benchmarks/ --benchmark-only`),
+recorded here with the paper's reference values.
+
+**Scale note.** The paper trains on 22.4M VUCs from 2141 real binaries
+with a GPU; this reproduction trains on {len(gcc.corpus.train):,} VUCs from
+{len(gcc.corpus.train_binaries)} synthetic binaries on one CPU core
+(substitutions documented in DESIGN.md §2). Absolute numbers therefore
+differ; what reproduces is the *shape*: which stages are easy/hard, what
+voting buys, who beats whom, where the failure cases are.
+
+Regenerate this file with `python scripts/generate_experiments_md.py`.
+
+"""
+    Path(args.output).write_text(header + "\n".join(sections))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""repro — a full reproduction of CATI: Context-Assisted Type Inference
+from Stripped Binaries (Chen, He, Mao — DSN 2020).
+
+Public API tour:
+
+* :class:`repro.core.Cati` — the trained system: ``train`` on a
+  :class:`repro.vuc.VucDataset`, ``infer_binary`` on stripped binaries.
+* :mod:`repro.codegen` — the synthetic compiler substrate (GCC/Clang
+  conventions, -O0..-O3, DWARF-like debug info, stripping).
+* :mod:`repro.vuc` — variable location, VUC extraction, generalization.
+* :mod:`repro.embedding` / :mod:`repro.nn` — from-scratch Word2Vec and
+  the CNN library.
+* :mod:`repro.baselines` — DEBIN/TypeMiner/rule-ladder comparators.
+* :mod:`repro.datasets` / :mod:`repro.experiments` — corpora and the
+  per-table/figure reproduction harness.
+* :mod:`repro.frontend` — optional real-binary path via gcc/objdump/readelf.
+"""
+
+__version__ = "1.0.0"
+
+_LAZY = {
+    "Cati": ("repro.core.pipeline", "Cati"),
+    "CatiConfig": ("repro.core.config", "CatiConfig"),
+    "TypeName": ("repro.core.types", "TypeName"),
+    "VucDataset": ("repro.vuc.dataset", "VucDataset"),
+    "extract_labeled_vucs": ("repro.vuc.dataset", "extract_labeled_vucs"),
+    "GccCompiler": ("repro.codegen.compilers", "GccCompiler"),
+    "ClangCompiler": ("repro.codegen.compilers", "ClangCompiler"),
+    "strip": ("repro.codegen.strip", "strip"),
+    "build_corpus": ("repro.datasets.corpus", "build_corpus"),
+    "build_small_corpus": ("repro.datasets.corpus", "build_small_corpus"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value
+    return value
+
+
+__all__ = list(_LAZY)

@@ -1,0 +1,43 @@
+"""x86-64 assembly IR: registers, operands, instructions and parsing.
+
+This subpackage is the common substrate every other component builds on:
+the synthetic compiler emits :class:`~repro.asm.instruction.Instruction`
+objects, the objdump frontend parses real disassembly into the same IR,
+and the VUC extractor/generalizer consume it.
+"""
+
+from repro.asm.instruction import FunctionListing, Instruction, make
+from repro.asm.operands import Imm, Label, Mem, Operand, Reg
+from repro.asm.parser import AsmParseError, parse_instruction, parse_listing, parse_objdump_line, parse_operand
+from repro.asm.registers import (
+    GP_ARG_REGISTERS,
+    SSE_ARG_REGISTERS,
+    gp_name,
+    is_register,
+    register_family,
+    register_info,
+    register_width,
+)
+
+__all__ = [
+    "FunctionListing",
+    "Instruction",
+    "make",
+    "Imm",
+    "Label",
+    "Mem",
+    "Operand",
+    "Reg",
+    "AsmParseError",
+    "parse_instruction",
+    "parse_listing",
+    "parse_objdump_line",
+    "parse_operand",
+    "GP_ARG_REGISTERS",
+    "SSE_ARG_REGISTERS",
+    "gp_name",
+    "is_register",
+    "register_family",
+    "register_info",
+    "register_width",
+]

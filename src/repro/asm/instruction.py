@@ -1,0 +1,134 @@
+"""The :class:`Instruction` IR shared by the synthetic compiler, the
+objdump frontend, the VUC extractor and the generalizer.
+
+An instruction is a mnemonic plus up to two operands (the paper's VUC
+format is exactly ``mnemonic op1 op2``; longer forms are not produced by
+the subset of codegen we model).  ``address`` mirrors the objdump listing
+address so VUCs can be tied back to their source location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.mnemonics import access_width, is_call, is_control_flow, is_jump, is_sse, is_x87
+from repro.asm.operands import Imm, Label, Mem, Operand, Reg
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One disassembled x86-64 instruction in AT&T operand order."""
+
+    mnemonic: str
+    operands: tuple[Operand, ...] = ()
+    address: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.operands) > 3:
+            raise ValueError(f"too many operands: {self.operands!r}")
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return self.mnemonic
+        return f"{self.mnemonic} " + ",".join(str(op) for op in self.operands)
+
+    # -- structural accessors -------------------------------------------------
+
+    @property
+    def source(self) -> Operand | None:
+        """AT&T source operand (first), if present."""
+        return self.operands[0] if self.operands else None
+
+    @property
+    def dest(self) -> Operand | None:
+        """AT&T destination operand (last), if at least two are present."""
+        return self.operands[-1] if len(self.operands) >= 2 else None
+
+    # -- semantic predicates ---------------------------------------------------
+
+    @property
+    def is_jump(self) -> bool:
+        return is_jump(self.mnemonic)
+
+    @property
+    def is_call(self) -> bool:
+        return is_call(self.mnemonic)
+
+    @property
+    def is_control_flow(self) -> bool:
+        return is_control_flow(self.mnemonic)
+
+    @property
+    def is_float(self) -> bool:
+        """True for SSE or x87 floating-point traffic."""
+        return is_sse(self.mnemonic) or is_x87(self.mnemonic)
+
+    @property
+    def width(self) -> int | None:
+        """Memory access width in bytes implied by the mnemonic, if any."""
+        return access_width(self.mnemonic)
+
+    def memory_operands(self) -> tuple[Mem, ...]:
+        """All :class:`Mem` operands of this instruction."""
+        return tuple(op for op in self.operands if isinstance(op, Mem))
+
+    def stack_slots(self) -> tuple[Mem, ...]:
+        """Memory operands that look like local-variable stack slots."""
+        return tuple(op for op in self.memory_operands() if op.is_stack_slot)
+
+    def register_families(self) -> frozenset[str]:
+        """Families of all registers the instruction names (operands only)."""
+        families: set[str] = set()
+        for op in self.operands:
+            if isinstance(op, Reg):
+                families.add(op.family)
+            elif isinstance(op, Mem):
+                for reg in (op.base, op.index):
+                    if reg is not None and reg not in ("rip",):
+                        from repro.asm.registers import register_family
+
+                        families.add(register_family(reg))
+        return frozenset(families)
+
+    def accesses_memory(self) -> bool:
+        """True when any operand is a memory effective address.
+
+        ``lea`` is included on purpose: the paper's target instructions
+        include address-taking instructions (Fig. 2's central instruction
+        is a ``lea``).
+        """
+        return bool(self.memory_operands())
+
+
+@dataclass(slots=True)
+class FunctionListing:
+    """A disassembled function: a name, start address and instruction list."""
+
+    name: str
+    address: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def render(self) -> str:
+        """Pretty objdump-like text for the whole function."""
+        lines = [f"{self.address:016x} <{self.name}>:"]
+        lines.extend(f"  {ins.address:x}:\t{ins}" for ins in self.instructions)
+        return "\n".join(lines)
+
+
+def make(mnemonic: str, *operands: Operand, address: int = 0) -> Instruction:
+    """Convenience constructor used heavily by codegen and tests."""
+    return Instruction(mnemonic=mnemonic, operands=tuple(operands), address=address)
+
+
+__all__ = [
+    "Instruction",
+    "FunctionListing",
+    "make",
+    "Imm",
+    "Reg",
+    "Mem",
+    "Label",
+]

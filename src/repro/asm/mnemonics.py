@@ -1,0 +1,161 @@
+"""Mnemonic metadata for the x86-64 subset our pipeline understands.
+
+CATI never interprets instructions operationally; it only needs coarse
+semantic categories:
+
+* does the instruction *access memory through an operand* (so a stack-slot
+  operand marks a variable access),
+* is it a control-flow transfer (jumps/calls get ``ADDR``/``FUNC``
+  generalization, Table II of the paper),
+* what access width does the mnemonic suffix imply (``movb`` = 1 byte),
+* is it SSE floating-point traffic (strong float/double signal).
+
+The tables below cover every mnemonic our code generator emits plus the
+common extras found in real GCC output so the objdump frontend parses
+cleanly.
+"""
+
+from __future__ import annotations
+
+#: AT&T width suffixes → byte widths.
+WIDTH_SUFFIXES: dict[str, int] = {"b": 1, "w": 2, "l": 4, "q": 8}
+
+#: Data-movement mnemonics (including suffixed forms added below).
+_MOVE_BASES = {
+    "mov", "movabs", "lea", "push", "pop", "cmov", "xchg",
+}
+
+#: Sign/zero extension moves: movslq, movzbl, movsbl, movzwl, movswl ...
+_EXTEND_PREFIXES = ("movs", "movz")
+
+#: Integer ALU bases.
+_ALU_BASES = {
+    "add", "sub", "imul", "mul", "idiv", "div", "and", "or", "xor",
+    "not", "neg", "inc", "dec", "shl", "shr", "sar", "sal", "cmp",
+    "test", "lea", "adc", "sbb", "rol", "ror",
+}
+
+#: SSE scalar floating-point mnemonics (float = ss, double = sd).
+SSE_MNEMONICS = frozenset({
+    "movss", "movsd", "addss", "addsd", "subss", "subsd",
+    "mulss", "mulsd", "divss", "divsd", "ucomiss", "ucomisd",
+    "comiss", "comisd", "cvtsi2ss", "cvtsi2sd", "cvtss2sd", "cvtsd2ss",
+    "cvttss2si", "cvttsd2si", "cvtsi2ssl", "cvtsi2sdl", "cvtsi2ssq",
+    "cvtsi2sdq", "cvttss2sil", "cvttsd2sil", "cvttss2siq", "cvttsd2siq",
+    "pxor", "xorps", "xorpd", "movaps", "movapd",
+    "sqrtss", "sqrtsd", "maxss", "maxsd", "minss", "minsd",
+})
+
+#: x87 mnemonics (long double traffic).
+X87_MNEMONICS = frozenset({
+    "fld", "fldt", "flds", "fldl", "fld1", "fldz", "fst", "fstp",
+    "fstpt", "fstps", "fstpl", "fadd", "faddp", "fsub", "fsubp",
+    "fsubrp", "fmul", "fmulp", "fdiv", "fdivp", "fdivrp", "fxch",
+    "fucomi", "fucomip", "fcomi", "fcomip", "fild", "fildl", "fildq",
+    "fistp", "fistpl", "fistpq", "fchs", "fabs",
+})
+
+#: Unconditional and conditional jump mnemonics.
+JUMP_MNEMONICS = frozenset({
+    "jmp", "je", "jne", "jz", "jnz", "jg", "jge", "jl", "jle",
+    "ja", "jae", "jb", "jbe", "js", "jns", "jo", "jno", "jp", "jnp",
+})
+
+#: Call/return mnemonics.
+CALL_MNEMONICS = frozenset({"call", "callq"})
+RET_MNEMONICS = frozenset({"ret", "retq", "leave", "leaveq", "hlt", "ud2"})
+
+#: setcc family — writes a bool-like byte.
+SETCC_MNEMONICS = frozenset({
+    "sete", "setne", "setz", "setnz", "setg", "setge", "setl", "setle",
+    "seta", "setae", "setb", "setbe", "sets", "setns",
+})
+
+#: cmovcc family.
+CMOV_MNEMONICS = frozenset({
+    "cmove", "cmovne", "cmovg", "cmovge", "cmovl", "cmovle",
+    "cmova", "cmovae", "cmovb", "cmovbe", "cmovs", "cmovns",
+})
+
+#: Miscellaneous zero-operand / housekeeping mnemonics seen in real output.
+MISC_MNEMONICS = frozenset({
+    "nop", "nopw", "nopl", "cltq", "cltd", "cqto", "cwtl", "cdqe",
+    "endbr64", "cpuid", "rdtsc", "syscall",
+})
+
+
+def _expand_widths(bases: set[str]) -> frozenset[str]:
+    """Generate the suffixed variants of base mnemonics: mov → movb/w/l/q."""
+    out: set[str] = set()
+    for base in bases:
+        out.add(base)
+        for suffix in WIDTH_SUFFIXES:
+            out.add(base + suffix)
+    return frozenset(out)
+
+
+MOVE_MNEMONICS = _expand_widths(set(_MOVE_BASES))
+ALU_MNEMONICS = _expand_widths(set(_ALU_BASES))
+
+#: Sign/zero extension forms GCC actually emits.
+EXTEND_MNEMONICS = frozenset({
+    "movslq", "movsbl", "movsbq", "movsbw", "movswl", "movswq",
+    "movzbl", "movzbq", "movzbw", "movzwl", "movzwq",
+    "cbtw",
+})
+
+#: The complete known-mnemonic universe.
+ALL_MNEMONICS = frozenset().union(
+    MOVE_MNEMONICS, ALU_MNEMONICS, SSE_MNEMONICS, X87_MNEMONICS,
+    JUMP_MNEMONICS, CALL_MNEMONICS, RET_MNEMONICS, SETCC_MNEMONICS,
+    CMOV_MNEMONICS, MISC_MNEMONICS, EXTEND_MNEMONICS,
+)
+
+
+def is_jump(mnemonic: str) -> bool:
+    """True for conditional and unconditional jumps."""
+    return mnemonic in JUMP_MNEMONICS
+
+
+def is_call(mnemonic: str) -> bool:
+    """True for call instructions."""
+    return mnemonic in CALL_MNEMONICS
+
+
+def is_control_flow(mnemonic: str) -> bool:
+    """True for any instruction whose operand is a code address."""
+    return mnemonic in JUMP_MNEMONICS or mnemonic in CALL_MNEMONICS
+
+
+def is_sse(mnemonic: str) -> bool:
+    """True for SSE scalar floating-point mnemonics."""
+    return mnemonic in SSE_MNEMONICS
+
+
+def is_x87(mnemonic: str) -> bool:
+    """True for x87 floating-point mnemonics."""
+    return mnemonic in X87_MNEMONICS
+
+
+def access_width(mnemonic: str) -> int | None:
+    """Byte width implied by the mnemonic, or None when not width-suffixed.
+
+    >>> access_width("movl")
+    4
+    >>> access_width("movsd")
+    8
+    >>> access_width("mov") is None
+    True
+    """
+    if mnemonic in ("movss", "cvtsi2ss", "addss", "subss", "mulss", "divss"):
+        return 4
+    if mnemonic in ("movsd", "cvtsi2sd", "addsd", "subsd", "mulsd", "divsd"):
+        return 8
+    if mnemonic in EXTEND_MNEMONICS and len(mnemonic) >= 6:
+        # movzbl: source width b (1); we report the *memory* access width.
+        return WIDTH_SUFFIXES.get(mnemonic[4], None)
+    if mnemonic in SETCC_MNEMONICS:
+        return 1
+    if len(mnemonic) > 1 and mnemonic[:-1] in _MOVE_BASES | _ALU_BASES:
+        return WIDTH_SUFFIXES.get(mnemonic[-1])
+    return None

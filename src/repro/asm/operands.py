@@ -1,0 +1,122 @@
+"""Operand AST for x86-64 AT&T-syntax assembly.
+
+Four operand shapes cover everything GCC/Clang emit for the instruction
+subset CATI inspects:
+
+* :class:`Imm` — an immediate constant (``$0x100``),
+* :class:`Reg` — a register (``%rax``),
+* :class:`Mem` — a memory effective address
+  (``-0x300(%rbp,%r9,4)`` = disp(base, index, scale)),
+* :class:`Label` — a code target for jumps/calls, optionally with a
+  symbol name (``4044d0 <memchr@plt>``).
+
+Every operand renders back to canonical AT&T text via ``str()`` so the
+parser and the code generator share one textual form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.registers import register_family, register_width
+
+
+def _hex(value: int) -> str:
+    """Render an integer the way objdump does: ``0x`` hex, sign in front."""
+    if value < 0:
+        return f"-0x{-value:x}"
+    return f"0x{value:x}"
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """Immediate operand, e.g. ``$0x100``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"${_hex(self.value)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """Register operand, e.g. ``%rax``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+    @property
+    def family(self) -> str:
+        """64-bit family name (``eax`` → ``rax``)."""
+        return register_family(self.name)
+
+    @property
+    def width(self) -> int:
+        """Byte width of this register view."""
+        return register_width(self.name)
+
+
+@dataclass(frozen=True, slots=True)
+class Mem:
+    """Memory effective-address operand: ``disp(base, index, scale)``.
+
+    Any of ``base``/``index`` may be ``None``; ``scale`` defaults to 1 and
+    is only rendered when an index register is present.
+    """
+
+    disp: int = 0
+    base: str | None = None
+    index: str | None = None
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.index is None and self.scale != 1:
+            # Scale is meaningless without an index register; normalize so
+            # rendering and parsing agree.
+            object.__setattr__(self, "scale", 1)
+
+    def __str__(self) -> str:
+        parts = ""
+        if self.base is not None or self.index is not None:
+            inner = f"%{self.base}" if self.base is not None else ""
+            if self.index is not None:
+                inner += f",%{self.index},{self.scale}"
+            parts = f"({inner})"
+        disp = _hex(self.disp) if self.disp != 0 or not parts else ""
+        return f"{disp}{parts}"
+
+    @property
+    def is_stack_slot(self) -> bool:
+        """True when the address is a plain frame-pointer/stack offset.
+
+        These are the accesses IDA (and our locator) treats as local
+        variables: ``disp(%rbp)`` or ``disp(%rsp)`` with no index register.
+        """
+        return self.base in ("rbp", "rsp") and self.index is None
+
+    @property
+    def is_rip_relative(self) -> bool:
+        """True for ``disp(%rip)`` global-data references."""
+        return self.base == "rip"
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """Code-address operand of a jump or call.
+
+    ``symbol`` carries the ``<name>`` annotation objdump prints when it can
+    resolve the target; stripped binaries lose most of these.
+    """
+
+    address: int
+    symbol: str | None = None
+
+    def __str__(self) -> str:
+        if self.symbol is not None:
+            return f"{self.address:x} <{self.symbol}>"
+        return f"{self.address:x}"
+
+
+Operand = Imm | Reg | Mem | Label

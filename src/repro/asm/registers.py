@@ -1,0 +1,131 @@
+"""x86-64 register model.
+
+The register file is organized into *families*: ``%rax``, ``%eax``, ``%ax``
+and ``%al`` are four views of the same physical register with widths 8, 4,
+2 and 1 bytes.  Type inference cares about the family (data flow: a value
+written through ``%eax`` is visible through ``%rax``) and the width (the
+access width is one of the strongest type signals the paper exploits:
+``movb`` into a 1-byte slot suggests ``char``/``bool``, ``movsd`` through
+an SSE register suggests ``double``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: General-purpose register families with their per-width names,
+#: ordered widest to narrowest: (8, 4, 2, 1) bytes.
+_GP_FAMILIES: dict[str, tuple[str, str, str, str]] = {
+    "rax": ("rax", "eax", "ax", "al"),
+    "rbx": ("rbx", "ebx", "bx", "bl"),
+    "rcx": ("rcx", "ecx", "cx", "cl"),
+    "rdx": ("rdx", "edx", "dx", "dl"),
+    "rsi": ("rsi", "esi", "si", "sil"),
+    "rdi": ("rdi", "edi", "di", "dil"),
+    "rbp": ("rbp", "ebp", "bp", "bpl"),
+    "rsp": ("rsp", "esp", "sp", "spl"),
+    "r8": ("r8", "r8d", "r8w", "r8b"),
+    "r9": ("r9", "r9d", "r9w", "r9b"),
+    "r10": ("r10", "r10d", "r10w", "r10b"),
+    "r11": ("r11", "r11d", "r11w", "r11b"),
+    "r12": ("r12", "r12d", "r12w", "r12b"),
+    "r13": ("r13", "r13d", "r13w", "r13b"),
+    "r14": ("r14", "r14d", "r14w", "r14b"),
+    "r15": ("r15", "r15d", "r15w", "r15b"),
+}
+
+#: Widths matching the tuple positions in ``_GP_FAMILIES``.
+_GP_WIDTHS = (8, 4, 2, 1)
+
+#: SSE registers used for float/double traffic.
+_SSE_NAMES = tuple(f"xmm{i}" for i in range(16))
+
+#: x87 registers (long double traffic on the System V ABI).
+_X87_NAMES = tuple(f"st({i})" for i in range(8)) + ("st",)
+
+#: Instruction-pointer register (rip-relative addressing).
+_RIP = "rip"
+
+#: Legacy 8-bit high registers (rarely emitted by modern compilers but
+#: accepted by the parser for completeness).
+_HIGH_BYTE = {"ah": "rax", "bh": "rbx", "ch": "rcx", "dh": "rdx"}
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterInfo:
+    """Static description of one architectural register name."""
+
+    name: str
+    family: str
+    width: int
+    kind: str  # "gp", "sse", "x87", "rip"
+
+
+def _build_table() -> dict[str, RegisterInfo]:
+    table: dict[str, RegisterInfo] = {}
+    for family, names in _GP_FAMILIES.items():
+        for name, width in zip(names, _GP_WIDTHS):
+            table[name] = RegisterInfo(name=name, family=family, width=width, kind="gp")
+    for name, family in _HIGH_BYTE.items():
+        table[name] = RegisterInfo(name=name, family=family, width=1, kind="gp")
+    for name in _SSE_NAMES:
+        table[name] = RegisterInfo(name=name, family=name, width=16, kind="sse")
+    for name in _X87_NAMES:
+        table[name] = RegisterInfo(name=name, family="st", width=10, kind="x87")
+    table[_RIP] = RegisterInfo(name=_RIP, family=_RIP, width=8, kind="rip")
+    return table
+
+
+_REGISTERS: dict[str, RegisterInfo] = _build_table()
+
+#: Registers used to pass the first six integer/pointer arguments (SysV ABI).
+GP_ARG_REGISTERS = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+
+#: Registers used to pass floating-point arguments (SysV ABI).
+SSE_ARG_REGISTERS = tuple(f"xmm{i}" for i in range(8))
+
+#: Callee-saved general-purpose registers (SysV ABI).
+CALLEE_SAVED = ("rbx", "rbp", "r12", "r13", "r14", "r15")
+
+#: Caller-saved scratch registers typically used for temporaries.
+SCRATCH = ("rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r11")
+
+
+def is_register(name: str) -> bool:
+    """Return True if ``name`` (without the ``%`` sigil) is a register."""
+    return name in _REGISTERS
+
+
+def register_info(name: str) -> RegisterInfo:
+    """Look up the :class:`RegisterInfo` for a register name.
+
+    Raises ``KeyError`` for unknown names.
+    """
+    return _REGISTERS[name]
+
+
+def register_family(name: str) -> str:
+    """Map any register view to its 64-bit family name (``eax`` → ``rax``)."""
+    return _REGISTERS[name].family
+
+
+def register_width(name: str) -> int:
+    """Byte width of the named register view."""
+    return _REGISTERS[name].width
+
+
+def gp_name(family: str, width: int) -> str:
+    """Return the register name for a GP family at a given byte width.
+
+    >>> gp_name("rax", 4)
+    'eax'
+    >>> gp_name("r9", 1)
+    'r9b'
+    """
+    names = _GP_FAMILIES[family]
+    return names[_GP_WIDTHS.index(width)]
+
+
+def all_register_names() -> frozenset[str]:
+    """The full set of recognised register names."""
+    return frozenset(_REGISTERS)

@@ -1,0 +1,24 @@
+"""Baseline comparators, all restricted to variable-local information
+(no instruction context — CATI's differentiator): a DEBIN-style
+dependency-graph model, a TypeMiner-style n-gram classifier and an
+IDA-style rule ladder.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.baselines.debin import DebinConfig, DebinModel
+from repro.baselines.features import variable_feature_vector, variable_features
+from repro.baselines.linear import SoftmaxRegression
+from repro.baselines.rules import classify_variable
+from repro.baselines.rules import predict as rules_predict
+from repro.baselines.typeminer import TypeMinerConfig, TypeMinerModel
+
+__all__ = [
+    "DebinConfig",
+    "DebinModel",
+    "variable_feature_vector",
+    "variable_features",
+    "SoftmaxRegression",
+    "classify_variable",
+    "rules_predict",
+    "TypeMinerConfig",
+    "TypeMinerModel",
+]

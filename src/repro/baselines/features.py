@@ -1,0 +1,48 @@
+"""Variable-local feature extraction shared by the baselines.
+
+The defining property of every comparator (DEBIN, TypeMiner, rule
+engines) relative to CATI is that their features come from the
+variable's *own* instructions (its def-use chain), not from the
+surrounding instruction context.  This module builds exactly that: a
+hashed bag-of-n-grams over the generalized target instructions of one
+variable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.vuc.dataset import LabeledVuc, target_signature
+
+
+def _bucket(token: str, dim: int) -> int:
+    digest = hashlib.blake2s(token.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "little") % dim
+
+
+def variable_feature_vector(vucs: list[LabeledVuc], dim: int = 512) -> np.ndarray:
+    """Hashed bag of unigrams+bigrams over the variable's target instructions."""
+    vec = np.zeros(dim, dtype=np.float32)
+    for vuc in vucs:
+        tokens = list(vuc.target_tokens)
+        text = target_signature(vuc)
+        for token in tokens:
+            vec[_bucket("u:" + token, dim)] += 1.0
+        for a, b in zip(tokens, tokens[1:]):
+            vec[_bucket(f"b:{a}|{b}", dim)] += 1.0
+        vec[_bucket("i:" + text, dim)] += 1.0
+    norm = np.linalg.norm(vec)
+    return vec / norm if norm > 0 else vec
+
+
+def variable_features(
+    groups: dict[str, list[LabeledVuc]],
+    dim: int = 512,
+) -> tuple[list[str], np.ndarray]:
+    """Feature matrix over a variable grouping; returns (ids, [N, dim])."""
+    ids = list(groups)
+    matrix = np.stack([variable_feature_vector(groups[vid], dim) for vid in ids]) \
+        if ids else np.zeros((0, dim), dtype=np.float32)
+    return ids, matrix

@@ -1,0 +1,47 @@
+"""Multinomial logistic regression (softmax regression) in numpy.
+
+The workhorse classifier of the baseline stand-ins; trained full-batch
+with Adam, L2-regularized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import cross_entropy, softmax
+
+
+class SoftmaxRegression:
+    """Linear classifier with softmax output."""
+
+    def __init__(self, n_features: int, n_classes: int, l2: float = 1e-4, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.weight = (rng.normal(size=(n_features, n_classes)) * 0.01).astype(np.float32)
+        self.bias = np.zeros(n_classes, dtype=np.float32)
+        self.l2 = l2
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 200,
+            learning_rate: float = 0.05, batch_size: int = 256, seed: int = 0) -> None:
+        from repro.nn.optimizers import Adam
+
+        optimizer = Adam(learning_rate)
+        rng = np.random.default_rng(seed)
+        d_weight = np.zeros_like(self.weight)
+        d_bias = np.zeros_like(self.bias)
+        n = len(x)
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                idx = order[start:start + batch_size]
+                xb, yb = x[idx], y[idx]
+                logits = xb @ self.weight + self.bias
+                _loss, grad = cross_entropy(logits, yb)
+                d_weight[...] = xb.T @ grad + self.l2 * self.weight
+                d_bias[...] = grad.sum(axis=0)
+                optimizer.step([("w", self.weight, d_weight), ("b", self.bias, d_bias)])
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return softmax(x @ self.weight + self.bias)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)

@@ -1,0 +1,112 @@
+"""Rule-based type inference — the IDA-style expert-knowledge reference.
+
+A hand-written decision procedure over a variable's target instructions,
+encoding the classic reverse-engineering heuristics (TIE/REWARDS/IDA
+lore): SSE traffic widths for float/double, x87 for long double, setcc +
+byte slots for bool, sign/zero extensions for char signedness, 8-byte
+slots that get dereferenced for pointers, access-width ladders for the
+int family.  No learning involved — this is the "endless rules" approach
+the paper's introduction argues against, included as a reference point.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.types import TypeName
+from repro.vuc.dataset import LabeledVuc
+
+
+def classify_variable(vucs: list[LabeledVuc]) -> TypeName:
+    """Apply the rule ladder to one variable's target instructions."""
+    mnemonics = [v.target_tokens[0] for v in vucs]
+    operand_text = " ".join(" ".join(v.target_tokens[1:]) for v in vucs)
+    counts = Counter(mnemonics)
+
+    # Floating point first: unambiguous mnemonics.
+    if any(m in ("fldt", "fstpt") for m in mnemonics):
+        return TypeName.LONG_DOUBLE
+    sse_double = sum(counts[m] for m in ("movsd", "addsd", "subsd", "mulsd", "divsd", "ucomisd"))
+    sse_float = sum(counts[m] for m in ("movss", "addss", "subss", "mulss", "divss", "ucomiss"))
+    if sse_double or sse_float:
+        return TypeName.DOUBLE if sse_double >= sse_float else TypeName.FLOAT
+
+    # Width census over suffixed mnemonics.
+    widths = Counter()
+    for m in mnemonics:
+        # Extension moves carry both width and signedness; match them
+        # before the generic suffix ladder would misread their last letter.
+        if m in ("movsbl", "movsbq", "movsbw"):
+            widths["schar"] += 1
+        elif m in ("movzbl", "movzbq", "movzbw"):
+            widths["uchar"] += 1
+        elif m in ("movswl", "movswq"):
+            widths["sshort"] += 1
+        elif m in ("movzwl", "movzwq"):
+            widths["ushort"] += 1
+        elif m == "lea":
+            widths["lea"] += 1
+        elif m == "mov":
+            widths[8] += 1  # unsuffixed 64-bit move
+        elif m.endswith("b") and m not in ("sub",):
+            widths[1] += 1
+        elif m.endswith("w") and m != "cltw":
+            widths[2] += 1
+        elif m.endswith("l") and m not in ("call", "cmovl", "jl", "setl"):
+            widths[4] += 1
+        elif m.endswith("q") and m not in ("jmpq",):
+            widths[8] += 1
+
+    # Pointer evidence: 8-byte traffic plus dereference/advance/null-check.
+    deref_like = any("(%r" in " ".join(v.target_tokens[1:])
+                     and "(%rbp" not in " ".join(v.target_tokens[1:])
+                     and "(%rsp" not in " ".join(v.target_tokens[1:])
+                     for v in vucs)
+    eight_byte = widths[8] > 0
+    if eight_byte and (deref_like or counts["addq"] > 0):
+        # Pointer kind: struct* when derefs hit interior offsets.
+        if "IMM(%r" in operand_text:
+            return TypeName.STRUCT_POINTER
+        return TypeName.ARITH_POINTER
+    if eight_byte and counts["cmpq"] > 0 and widths[1] == 0 and widths[4] == 0:
+        return TypeName.VOID_POINTER
+
+    # Bool: byte slot fed from setcc or compared against 0 with cmpb.
+    if widths[1] and any(m.startswith("set") for m in mnemonics):
+        return TypeName.BOOL
+    if counts["cmpb"] and not widths["schar"] and not widths["uchar"]:
+        return TypeName.BOOL
+
+    # Char family via extension moves.
+    if widths["schar"]:
+        return TypeName.CHAR
+    if widths["uchar"]:
+        return TypeName.UNSIGNED_CHAR
+    if widths[1]:
+        return TypeName.CHAR
+    if widths["sshort"]:
+        return TypeName.SHORT_INT
+    if widths["ushort"]:
+        return TypeName.SHORT_UNSIGNED_INT
+    if widths[2]:
+        return TypeName.SHORT_INT
+
+    # lea of the slot (address taken / aggregate): call it struct.
+    if widths["lea"] and not widths[4] and not widths[8]:
+        return TypeName.STRUCT
+
+    # Int family by width and signedness cues.
+    unsigned_cues = sum(counts[m] for m in ("shrl", "shrq", "andl", "orl", "xorl"))
+    unsigned_jcc = 0  # branch direction is in the context, invisible here
+    if widths[8] > widths[4]:
+        if unsigned_cues:
+            return TypeName.LONG_UNSIGNED_INT
+        return TypeName.LONG_INT
+    if unsigned_cues >= 2:
+        return TypeName.UNSIGNED_INT
+    return TypeName.INT
+
+
+def predict(groups: dict[str, list[LabeledVuc]]) -> dict[str, TypeName]:
+    """Classify every variable in a grouping with the rule ladder."""
+    return {vid: classify_variable(vucs) for vid, vucs in groups.items()}

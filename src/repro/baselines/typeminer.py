@@ -1,0 +1,69 @@
+"""TypeMiner stand-in: n-gram features over the variable's own trace.
+
+TypeMiner (Maier et al., DIMVA'19) classifies a variable from n-grams of
+the instructions on its data-object trace (def-use chain) with a
+conventional classifier, ignoring unrelated surrounding instructions.
+It reports that variables with short traces cannot be predicted well and
+drops them — we keep that behavior switchable (``min_trace``) so the
+orphan-variable gap the paper highlights is measurable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.features import variable_features
+from repro.baselines.linear import SoftmaxRegression
+from repro.vuc.dataset import LabeledVuc
+
+
+@dataclass
+class TypeMinerConfig:
+    feature_dim: int = 512
+    epochs: int = 150
+    learning_rate: float = 0.05
+    min_trace: int = 0      # TypeMiner proper drops variables with short traces
+    seed: int = 0
+
+
+class TypeMinerModel:
+    """n-gram bag + softmax regression over variable-local instructions."""
+
+    def __init__(self, labels: Sequence[Hashable], config: TypeMinerConfig | None = None) -> None:
+        self.labels = list(labels)
+        self.label_index = {label: i for i, label in enumerate(self.labels)}
+        self.config = config or TypeMinerConfig()
+        self.model: SoftmaxRegression | None = None
+
+    def train(
+        self,
+        groups: dict[str, list[LabeledVuc]],
+        labels: dict[str, Hashable],
+    ) -> "TypeMinerModel":
+        usable = {vid: vucs for vid, vucs in groups.items()
+                  if len(vucs) >= self.config.min_trace}
+        ids, x = variable_features(usable, self.config.feature_dim)
+        y = np.asarray([self.label_index[labels[vid]] for vid in ids], dtype=np.int64)
+        self.model = SoftmaxRegression(
+            self.config.feature_dim, len(self.labels), seed=self.config.seed,
+        )
+        if len(ids):
+            self.model.fit(x, y, epochs=self.config.epochs,
+                           learning_rate=self.config.learning_rate, seed=self.config.seed)
+        return self
+
+    def predict(self, groups: dict[str, list[LabeledVuc]]) -> dict[str, Hashable]:
+        """Per-variable predictions; short-trace variables are skipped
+        when ``min_trace`` > 1 (TypeMiner's documented behavior)."""
+        if self.model is None:
+            raise RuntimeError("train() first")
+        usable = {vid: vucs for vid, vucs in groups.items()
+                  if len(vucs) >= self.config.min_trace}
+        ids, x = variable_features(usable, self.config.feature_dim)
+        if not ids:
+            return {}
+        predictions = self.model.predict(x)
+        return {vid: self.labels[predictions[i]] for i, vid in enumerate(ids)}

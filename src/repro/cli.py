@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``train``       — build a corpus, train CATI, save the model.
+* ``infer``       — load a model, compile+strip a seeded demo binary,
+                    print inferred variable types against ground truth.
+* ``experiment``  — run one paper experiment by name and print its table.
+* ``corpus-stats``— print Table I-style statistics for a corpus.
+
+The CLI exists so the system is usable without writing Python; every
+command is a thin veneer over the public API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.config import CatiConfig
+    from repro.core.pipeline import Cati
+    from repro.datasets.corpus import build_corpus, build_small_corpus
+
+    corpus = build_small_corpus() if args.small else build_corpus()
+    print(corpus.summary())
+    config = CatiConfig(epochs=args.epochs)
+    cati = Cati(config).train(corpus.train, verbose=args.verbose)
+    cati.save(args.model_dir)
+    print(f"model saved to {args.model_dir}")
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.codegen.compilers import compiler_by_name
+    from repro.codegen.strip import strip
+    from repro.codegen.binary import debug_variables
+    from repro.core.pipeline import Cati
+    from repro.experiments.speed import extents_from_debug
+
+    cati = Cati.load(args.model_dir)
+    compiler = compiler_by_name(args.compiler)
+    binary = compiler.compile_fresh(seed=args.seed, name="cli-demo", opt_level=args.opt_level)
+    truth = {}
+    for func_index, func in enumerate(binary.functions):
+        for record in debug_variables(binary):
+            if record.function != func.name:
+                continue
+            base = "rbp" if record.frame_offset < 0 else "rsp"
+            truth[f"cli-demo/{func_index}::{base}{record.frame_offset:+d}"] = record.type_label
+    predictions = cati.infer_binary(strip(binary), extents_from_debug(binary))
+    hits = 0
+    for prediction in predictions:
+        true_label = truth.get(prediction.variable_id)
+        mark = "ok" if true_label is prediction.predicted else "  "
+        hits += true_label is prediction.predicted
+        print(f"{mark} {prediction.variable_id:30s} -> {str(prediction.predicted):22s}"
+              f" (truth: {true_label}, {prediction.n_vucs} VUCs)")
+    if predictions:
+        print(f"\naccuracy: {hits}/{len(predictions)} = {hits / len(predictions):.0%}")
+    return 0
+
+
+_EXPERIMENTS = (
+    "table1", "table3", "table4", "table5", "table6",
+    "debin", "fig6", "table7", "compiler-id", "speed", "opt-levels",
+)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.common import get_context
+
+    name = args.name
+    if name not in _EXPERIMENTS:
+        print(f"unknown experiment {name!r}; choose from {', '.join(_EXPERIMENTS)}")
+        return 2
+    context = get_context("clang" if name == "table7" else "gcc")
+    if name == "table1":
+        from repro.experiments import table1
+
+        result = table1.run(context.corpus)
+    elif name == "table3":
+        from repro.experiments import table3
+
+        result = table3.run(context)
+    elif name == "table4":
+        from repro.experiments import table4
+
+        result = table4.run(context)
+    elif name == "table5":
+        from repro.experiments import table5
+
+        result = table5.run(context)
+    elif name == "table6":
+        from repro.experiments import table6
+
+        result = table6.run(context)
+    elif name == "debin":
+        from repro.experiments import debin_compare
+
+        result = debin_compare.run(context)
+    elif name == "fig6":
+        from repro.experiments import fig6
+
+        result = fig6.run(context)
+    elif name == "table7":
+        from repro.experiments import table7
+
+        result = table7.run(context)
+    elif name == "compiler-id":
+        from repro.experiments import compiler_id
+
+        result = compiler_id.run(context)
+    elif name == "opt-levels":
+        from repro.experiments.ablations import run_opt_level_breakdown
+
+        result = run_opt_level_breakdown(context)
+    else:  # speed
+        from repro.experiments import speed
+
+        result = speed.run(context)
+    print(result.render())
+    return 0
+
+
+def _cmd_corpus_stats(args: argparse.Namespace) -> int:
+    from repro.datasets.corpus import build_corpus, build_small_corpus
+    from repro.experiments import table1
+
+    corpus = build_small_corpus() if args.small else build_corpus()
+    print(table1.run(corpus).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CATI reproduction: type inference from stripped binaries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train CATI and save the model")
+    train.add_argument("--model-dir", default=".cache/cli-model")
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--small", action="store_true", help="use the small test corpus")
+    train.add_argument("--verbose", action="store_true")
+    train.set_defaults(func=_cmd_train)
+
+    infer = sub.add_parser("infer", help="type a freshly compiled stripped binary")
+    infer.add_argument("--model-dir", default=".cache/cli-model")
+    infer.add_argument("--compiler", default="gcc", choices=("gcc", "clang"))
+    infer.add_argument("--opt-level", type=int, default=1, choices=(0, 1, 2, 3))
+    infer.add_argument("--seed", type=int, default=1234)
+    infer.set_defaults(func=_cmd_infer)
+
+    experiment = sub.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument("name", choices=_EXPERIMENTS)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    stats = sub.add_parser("corpus-stats", help="Table I statistics for a corpus")
+    stats.add_argument("--small", action="store_true")
+    stats.set_defaults(func=_cmd_corpus_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

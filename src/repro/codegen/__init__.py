@@ -1,0 +1,45 @@
+"""Synthetic compiler substrate.
+
+Replaces the paper's corpus of 2141 GCC-built open-source binaries with a
+deterministic pipeline: a seeded mini-C program generator
+(:mod:`repro.codegen.progen`), a type-faithful x86-64 lowering
+(:mod:`repro.codegen.lowering`) in GCC or Clang conventions
+(:mod:`repro.codegen.compilers`), DWARF-like debug emission
+(:mod:`repro.codegen.binary`) and stripping (:mod:`repro.codegen.strip`).
+See DESIGN.md §2 for why this substitution preserves the experiments.
+"""
+
+from repro.codegen.binary import Binary, VariableRecord, debug_variables
+from repro.codegen.compilers import ClangCompiler, Compiler, GccCompiler, compiler_by_name
+from repro.codegen.ctypes_model import (
+    ArrayType,
+    BaseType,
+    CType,
+    EnumType,
+    PointerType,
+    StructType,
+    TypedefType,
+)
+from repro.codegen.progen import GeneratorConfig, ProgramIR, generate_program
+from repro.codegen.strip import strip
+
+__all__ = [
+    "Binary",
+    "VariableRecord",
+    "debug_variables",
+    "ClangCompiler",
+    "Compiler",
+    "GccCompiler",
+    "compiler_by_name",
+    "ArrayType",
+    "BaseType",
+    "CType",
+    "EnumType",
+    "PointerType",
+    "StructType",
+    "TypedefType",
+    "GeneratorConfig",
+    "ProgramIR",
+    "generate_program",
+    "strip",
+]

@@ -1,0 +1,140 @@
+"""The :class:`Binary` artifact produced by the synthetic compiler.
+
+A binary bundles the disassembly-level view (function listings), the
+symbol table and — unless stripped — an encoded DWARF-like debug blob
+carrying variable names, frame locations and full type DIE graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.instruction import FunctionListing, Instruction
+from repro.codegen.lowering import LoweredFunction
+from repro.dwarf import DebugBlob, decode, dies, encode
+from repro.dwarf.dies import Attr, Die, Tag
+
+
+@dataclass
+class Binary:
+    """One compiled object: listings + symtab + optional debug blob."""
+
+    name: str
+    compiler: str
+    opt_level: int
+    functions: list[FunctionListing]
+    symtab: dict[str, int] = field(default_factory=dict)
+    debug: DebugBlob | None = None
+    #: Generator-side truth, present only on freshly built binaries; used
+    #: by validation tests, never by the inference pipeline.
+    lowered: list[LoweredFunction] = field(default_factory=list)
+
+    @property
+    def is_stripped(self) -> bool:
+        return self.debug is None
+
+    def instruction_count(self) -> int:
+        return sum(len(f) for f in self.functions)
+
+    def all_instructions(self) -> list[Instruction]:
+        out: list[Instruction] = []
+        for func in self.functions:
+            out.extend(func.instructions)
+        return out
+
+    def debug_tree(self) -> Die:
+        """Decode the debug blob back into a DIE tree."""
+        if self.debug is None:
+            raise ValueError(f"binary {self.name!r} is stripped")
+        return decode(self.debug)
+
+    def render(self) -> str:
+        """objdump-style text of the whole binary."""
+        return "\n\n".join(func.render() for func in self.functions)
+
+
+def build_debug_blob(name: str, lowered: list[LoweredFunction]) -> DebugBlob:
+    """Emit the compile-unit DIE tree for a set of lowered functions.
+
+    Every local gets a DW_TAG_variable DIE whose location is the literal
+    frame displacement its instructions use, and whose type reference is
+    the full DIE graph (typedef chains intact) built from the CType.
+    """
+    cu = dies.compile_unit(name)
+    type_cache: dict = {}
+    for func in lowered:
+        sub = cu.add(dies.subprogram(func.listing.name, func.listing.address))
+        for slot in func.slots.values():
+            type_die = slot.var.ctype.to_die(type_cache)
+            sub.add(dies.variable(slot.var.name, type_die, slot.offset))
+    # Hang shared type DIEs off the CU so references stay inside the tree.
+    seen = {id(d) for d in cu.walk()}
+    for type_die in type_cache.values():
+        for die in type_die.walk():
+            pass  # ensure structure is materialized
+        if id(type_die) not in seen:
+            cu.children.append(type_die)
+            seen.update(id(d) for d in type_die.walk())
+    return encode(cu)
+
+
+@dataclass(frozen=True)
+class VariableRecord:
+    """Ground truth for one variable, recovered from the debug blob."""
+
+    function: str
+    name: str
+    frame_offset: int
+    size: int
+    type_label: "object"  # TypeName; typed loosely to avoid import cycle
+
+
+def debug_variables(binary: Binary) -> list[VariableRecord]:
+    """Decode a binary's debug blob into per-variable ground truth.
+
+    This is the reproduction of the paper's DWARF labeling step (§IV-A):
+    DIE tree → subprogram → variable → recursively resolved type.
+    """
+    from repro.dwarf.resolver import UnresolvableType, resolve_type
+
+    cu = binary.debug_tree()
+    out: list[VariableRecord] = []
+    for sub in cu.find_all(Tag.SUBPROGRAM):
+        func_name = sub.name or "?"
+        for child in sub.children:
+            if child.tag is not Tag.VARIABLE:
+                continue
+            type_die = child.type_ref
+            try:
+                label = resolve_type(type_die)
+            except UnresolvableType:
+                continue
+            size = _die_size(type_die)
+            location = child.location
+            if location is None:
+                continue
+            out.append(VariableRecord(
+                function=func_name,
+                name=child.name or "?",
+                frame_offset=location,
+                size=size,
+                type_label=label,
+            ))
+    return out
+
+
+def _die_size(die: Die | None) -> int:
+    """Storage size of a type DIE, following typedef/qualifier chains."""
+    for _ in range(64):
+        if die is None:
+            return 8
+        size = die.byte_size
+        if size is not None:
+            return size
+        if die.tag in (Tag.TYPEDEF, Tag.CONST_TYPE, Tag.VOLATILE_TYPE, Tag.ARRAY_TYPE):
+            die = die.type_ref
+            continue
+        if die.tag is Tag.POINTER_TYPE:
+            return 8
+        return 8
+    return 8

@@ -1,0 +1,83 @@
+"""Compiler drivers: tie the generator, the lowering and the debug-info
+emitter together into a `compile this program` call.
+
+Two concrete drivers model the two toolchains the paper studies:
+:class:`GccCompiler` (the main corpus) and :class:`ClangCompiler`
+(§VIII's transferability experiment).  Both accept ``-O0``..``-O3``
+style optimization levels, which shift frame-base choice and the amount
+of redundant memory traffic — the diversity knob the paper turns when it
+builds each project at four optimization levels.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.codegen.binary import Binary, build_debug_blob
+from repro.codegen.lowering import CompilerStyle, clang_style, gcc_style, lower_function
+from repro.codegen.progen import GeneratorConfig, ProgramIR, generate_program
+
+
+class Compiler:
+    """Base driver: compile a :class:`ProgramIR` into a :class:`Binary`."""
+
+    name = "generic"
+
+    def style(self, opt_level: int) -> CompilerStyle:
+        raise NotImplementedError
+
+    def compile(self, program: ProgramIR, opt_level: int = 0, seed: int = 0) -> Binary:
+        """Lower every function and assemble the binary + debug blob."""
+        if not 0 <= opt_level <= 3:
+            raise ValueError(f"bad optimization level {opt_level}")
+        rng = random.Random((seed, program.name, self.name, opt_level).__repr__())
+        style = self.style(opt_level)
+        address = 0x401000 + rng.randrange(0x1000)
+        lowered = []
+        for func in program.functions:
+            result = lower_function(func, style, rng, address)
+            address = result.listing.instructions[-1].address + rng.randint(16, 64)
+            lowered.append(result)
+        debug = build_debug_blob(program.name, lowered)
+        return Binary(
+            name=program.name,
+            compiler=self.name,
+            opt_level=opt_level,
+            functions=[lf.listing for lf in lowered],
+            symtab={lf.listing.name: lf.listing.address for lf in lowered},
+            debug=debug,
+            lowered=lowered,
+        )
+
+    def compile_fresh(self, seed: int, name: str, opt_level: int = 0,
+                      config: GeneratorConfig | None = None) -> Binary:
+        """Generate a program and compile it in one step."""
+        program = generate_program(seed, name, config)
+        return self.compile(program, opt_level=opt_level, seed=seed)
+
+
+class GccCompiler(Compiler):
+    """GCC-convention codegen (rbp frames at low -O, rax-first scratch)."""
+
+    name = "gcc"
+
+    def style(self, opt_level: int) -> CompilerStyle:
+        return gcc_style(opt_level)
+
+
+class ClangCompiler(Compiler):
+    """Clang-convention codegen (rsp-relative slots, rcx-first scratch)."""
+
+    name = "clang"
+
+    def style(self, opt_level: int) -> CompilerStyle:
+        return clang_style(opt_level)
+
+
+def compiler_by_name(name: str) -> Compiler:
+    """Factory used by the dataset builder and the CLI examples."""
+    compilers = {"gcc": GccCompiler, "clang": ClangCompiler}
+    try:
+        return compilers[name]()
+    except KeyError:
+        raise ValueError(f"unknown compiler {name!r}; expected gcc or clang") from None

@@ -1,0 +1,293 @@
+"""C type system model used by the synthetic program generator.
+
+Mirrors the C99 types the paper recovers.  Every :class:`CType` knows its
+x86-64 SysV size/alignment, its 19-type leaf label, and how to emit the
+DWARF DIE graph describing it (typedef chains included, so the resolver's
+recursive-peeling path (§IV-A) is exercised by the main pipeline, not
+just by unit tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import TypeName
+from repro.dwarf import dies
+from repro.dwarf.dies import Die, Encoding
+
+
+@dataclass(frozen=True)
+class CType:
+    """Base class for C types."""
+
+    def leaf_label(self) -> TypeName:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def align(self) -> int:
+        return min(self.size, 16)
+
+    def to_die(self, cache: dict["CType", Die]) -> Die:
+        """Build (and memoize) the DIE graph for this type."""
+        die = cache.get(self)
+        if die is None:
+            die = self._build_die(cache)
+            cache[self] = die
+        return die
+
+    def _build_die(self, cache: dict["CType", Die]) -> Die:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BaseType(CType):
+    """A C base type: ``int``, ``double``, ``_Bool``, ..."""
+
+    name: str
+    byte_size: int
+    encoding: Encoding
+
+    def leaf_label(self) -> TypeName:
+        return _BASE_LABELS[self.name]
+
+    @property
+    def size(self) -> int:
+        return self.byte_size
+
+    @property
+    def is_float(self) -> bool:
+        return self.encoding is Encoding.FLOAT
+
+    @property
+    def is_signed(self) -> bool:
+        return self.encoding in (Encoding.SIGNED, Encoding.SIGNED_CHAR)
+
+    def _build_die(self, cache: dict[CType, Die]) -> Die:
+        return dies.base_type(self.name, self.byte_size, self.encoding)
+
+
+@dataclass(frozen=True)
+class EnumType(CType):
+    """An enumeration; 4 bytes on x86-64."""
+
+    name: str
+
+    def leaf_label(self) -> TypeName:
+        return TypeName.ENUM
+
+    @property
+    def size(self) -> int:
+        return 4
+
+    def _build_die(self, cache: dict[CType, Die]) -> Die:
+        return dies.enum_type(self.name, 4)
+
+
+@dataclass(frozen=True)
+class StructType(CType):
+    """A structure with named, typed members laid out SysV-style."""
+
+    name: str
+    members: tuple[tuple[str, "CType"], ...]
+
+    def leaf_label(self) -> TypeName:
+        return TypeName.STRUCT
+
+    @property
+    def size(self) -> int:
+        offset = 0
+        max_align = 1
+        for _, mtype in self.members:
+            align = mtype.align
+            max_align = max(max_align, align)
+            offset = _round_up(offset, align) + mtype.size
+        return _round_up(max(offset, 1), max_align)
+
+    def member_offsets(self) -> tuple[tuple[str, "CType", int], ...]:
+        """(name, type, byte offset) for each member."""
+        out = []
+        offset = 0
+        for mname, mtype in self.members:
+            offset = _round_up(offset, mtype.align)
+            out.append((mname, mtype, offset))
+            offset += mtype.size
+        return tuple(out)
+
+    def _build_die(self, cache: dict[CType, Die]) -> Die:
+        member_dies = [(mname, mtype.to_die(cache)) for mname, mtype in self.members]
+        return dies.struct_type(self.name, self.size, member_dies)
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    """A pointer; ``pointee=None`` means ``void*``."""
+
+    pointee: "CType | None"
+
+    def leaf_label(self) -> TypeName:
+        if self.pointee is None:
+            return TypeName.VOID_POINTER
+        target = self.pointee
+        while isinstance(target, TypedefType):
+            target = target.target
+        if isinstance(target, ArrayType):
+            target = target.element
+        if isinstance(target, StructType):
+            return TypeName.STRUCT_POINTER
+        if isinstance(target, (BaseType, EnumType)):
+            return TypeName.ARITH_POINTER
+        return TypeName.VOID_POINTER
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    @property
+    def stride(self) -> int:
+        """Element stride for pointer arithmetic (1 for void*)."""
+        return self.pointee.size if self.pointee is not None else 1
+
+    def _build_die(self, cache: dict[CType, Die]) -> Die:
+        target = self.pointee.to_die(cache) if self.pointee is not None else None
+        return dies.pointer_to(target)
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    """A fixed-size array; labeled by element type (see resolver)."""
+
+    element: "CType"
+    count: int
+
+    def leaf_label(self) -> TypeName:
+        return self.element.leaf_label()
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.count
+
+    @property
+    def align(self) -> int:
+        return self.element.align
+
+    def _build_die(self, cache: dict[CType, Die]) -> Die:
+        return dies.array_of(self.element.to_die(cache), self.count)
+
+
+@dataclass(frozen=True)
+class TypedefType(CType):
+    """A typedef alias; resolves transparently (``size_t`` → ulong)."""
+
+    name: str
+    target: "CType"
+
+    def leaf_label(self) -> TypeName:
+        return self.target.leaf_label()
+
+    @property
+    def size(self) -> int:
+        return self.target.size
+
+    @property
+    def align(self) -> int:
+        return self.target.align
+
+    def _build_die(self, cache: dict[CType, Die]) -> Die:
+        return dies.typedef(self.name, self.target.to_die(cache))
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+# -- the canonical instances ---------------------------------------------------
+
+BOOL = BaseType("_Bool", 1, Encoding.BOOLEAN)
+CHAR = BaseType("char", 1, Encoding.SIGNED_CHAR)
+UCHAR = BaseType("unsigned char", 1, Encoding.UNSIGNED_CHAR)
+SHORT = BaseType("short int", 2, Encoding.SIGNED)
+USHORT = BaseType("short unsigned int", 2, Encoding.UNSIGNED)
+INT = BaseType("int", 4, Encoding.SIGNED)
+UINT = BaseType("unsigned int", 4, Encoding.UNSIGNED)
+LONG = BaseType("long int", 8, Encoding.SIGNED)
+ULONG = BaseType("long unsigned int", 8, Encoding.UNSIGNED)
+LONGLONG = BaseType("long long int", 8, Encoding.SIGNED)
+ULONGLONG = BaseType("long long unsigned int", 8, Encoding.UNSIGNED)
+FLOAT = BaseType("float", 4, Encoding.FLOAT)
+DOUBLE = BaseType("double", 8, Encoding.FLOAT)
+LONG_DOUBLE = BaseType("long double", 16, Encoding.FLOAT)
+
+_BASE_LABELS: dict[str, TypeName] = {
+    "_Bool": TypeName.BOOL,
+    "char": TypeName.CHAR,
+    "unsigned char": TypeName.UNSIGNED_CHAR,
+    "short int": TypeName.SHORT_INT,
+    "short unsigned int": TypeName.SHORT_UNSIGNED_INT,
+    "int": TypeName.INT,
+    "unsigned int": TypeName.UNSIGNED_INT,
+    "long int": TypeName.LONG_INT,
+    "long unsigned int": TypeName.LONG_UNSIGNED_INT,
+    "long long int": TypeName.LONG_LONG_INT,
+    "long long unsigned int": TypeName.LONG_LONG_UNSIGNED_INT,
+    "float": TypeName.FLOAT,
+    "double": TypeName.DOUBLE,
+    "long double": TypeName.LONG_DOUBLE,
+}
+
+#: Common typedefs projects actually use; exercise the resolver's chains.
+SIZE_T = TypedefType("size_t", ULONG)
+SSIZE_T = TypedefType("ssize_t", LONG)
+UINT32_T = TypedefType("uint32_t", UINT)
+INT64_T = TypedefType("int64_t", LONG)
+UINT8_T = TypedefType("uint8_t", UCHAR)
+BYTE_T = TypedefType("byte", UINT8_T)  # two-level chain
+
+#: A small zoo of struct shapes the generator samples from.
+def make_struct_zoo() -> tuple[StructType, ...]:
+    """Struct shapes spanning small/large, pointer-heavy and scalar-heavy."""
+    node = StructType("node", (("next", PointerType(None)), ("value", INT)))
+    pair = StructType("attr_pair", (("key", PointerType(CHAR)), ("val", PointerType(CHAR))))
+    stat = StructType(
+        "stats",
+        (("count", ULONG), ("total", DOUBLE), ("min", INT), ("max", INT)),
+    )
+    buf = StructType(
+        "buffer",
+        (("data", PointerType(CHAR)), ("len", SIZE_T), ("cap", SIZE_T), ("flags", UINT)),
+    )
+    opts = StructType(
+        "options",
+        (("verbose", BOOL), ("level", INT), ("name", PointerType(CHAR)), ("limit", LONG)),
+    )
+    return (node, pair, stat, buf, opts)
+
+
+#: Leaf label → a representative concrete CType used by generators that
+#: need to materialize a variable of a given label.
+def representative(label: TypeName) -> CType:
+    mapping: dict[TypeName, CType] = {
+        TypeName.BOOL: BOOL,
+        TypeName.CHAR: CHAR,
+        TypeName.UNSIGNED_CHAR: UCHAR,
+        TypeName.SHORT_INT: SHORT,
+        TypeName.SHORT_UNSIGNED_INT: USHORT,
+        TypeName.INT: INT,
+        TypeName.UNSIGNED_INT: UINT,
+        TypeName.LONG_INT: LONG,
+        TypeName.LONG_UNSIGNED_INT: ULONG,
+        TypeName.LONG_LONG_INT: LONGLONG,
+        TypeName.LONG_LONG_UNSIGNED_INT: ULONGLONG,
+        TypeName.FLOAT: FLOAT,
+        TypeName.DOUBLE: DOUBLE,
+        TypeName.LONG_DOUBLE: LONG_DOUBLE,
+        TypeName.ENUM: EnumType("state_t"),
+        TypeName.STRUCT: make_struct_zoo()[2],
+        TypeName.VOID_POINTER: PointerType(None),
+        TypeName.STRUCT_POINTER: PointerType(make_struct_zoo()[0]),
+        TypeName.ARITH_POINTER: PointerType(INT),
+    }
+    return mapping[label]

@@ -1,0 +1,390 @@
+"""Seeded random mini-C program generator.
+
+Produces a :class:`ProgramIR` — functions with typed locals and an
+*event stream* (the mini-C statement sequence) — that the lowering in
+:mod:`repro.codegen.lowering` compiles to x86-64.  The generator plants
+the three statistical phenomena the paper measures (DESIGN.md §5):
+
+* **same-type clustering** — statements are scheduled in bursts that
+  keep operating the current variable or a same-type sibling,
+* **orphan variables** — ~35% of variables get only 1-2 accesses,
+* **uncertain samples** — per-type statement menus overlap on purpose
+  (e.g. ``movl $IMM, disp`` initializes int, unsigned, enum and struct
+  members alike), exactly as real codegen output does.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.codegen import ctypes_model as ct
+from repro.codegen.ctypes_model import ArrayType, CType, EnumType, PointerType, StructType
+from repro.core.types import TypeName
+
+
+class AccessKind(enum.Enum):
+    """Statement shapes that touch one variable."""
+
+    INIT = "init"                    # v = CONST
+    LOAD = "load"                    # reg = v
+    STORE = "store"                  # v = reg
+    ARITH_IMM = "arith_imm"          # v op= CONST
+    ARITH_VAR = "arith_var"          # v op= other (same-type partner)
+    INCREMENT = "increment"          # v++
+    COMPARE_BRANCH = "cmp_branch"    # if (v ...) goto
+    CALL_ARG = "call_arg"            # f(v)
+    CALL_RESULT = "call_result"      # v = f()
+    DEREF_LOAD = "deref_load"        # reg = *v       (pointers)
+    DEREF_STORE = "deref_store"      # *v = reg       (pointers)
+    PTR_ADVANCE = "ptr_advance"      # v += stride    (pointers)
+    ADDR_OF = "addr_of"              # v = &other     (pointers)
+    MEMBER_STORE = "member_store"    # v.m = ...      (structs)
+    MEMBER_LOAD = "member_load"      # reg = v.m      (structs)
+    ARRAY_STORE = "array_store"      # v[i] = ...     (arrays)
+    ARRAY_LOAD = "array_load"        # reg = v[i]     (arrays)
+    BOOL_SET = "bool_set"            # v = (cond)     (bool)
+    BOOL_TEST = "bool_test"          # if (v) goto    (bool)
+
+
+class FillerKind(enum.Enum):
+    """Instructions not tied to any located variable."""
+
+    CALL = "call"
+    CALL_NAMED = "call_named"
+    JUMP = "jump"
+    COND_JUMP = "cond_jump"
+    REG_MOVE = "reg_move"
+    REG_ARITH = "reg_arith"
+    REG_CMP = "reg_cmp"
+    NOP = "nop"
+
+
+@dataclass
+class LocalVar:
+    """One local variable: a name, a C type and its generator bookkeeping."""
+
+    name: str
+    ctype: CType
+    index: int
+
+    @property
+    def label(self) -> TypeName:
+        return self.ctype.leaf_label()
+
+
+@dataclass(frozen=True)
+class Access:
+    """One statement operating ``var``; ``partner`` for two-variable ops."""
+
+    var: LocalVar
+    kind: AccessKind
+    partner: LocalVar | None = None
+    member: int = 0  # member index for struct access
+
+
+@dataclass(frozen=True)
+class Filler:
+    kind: FillerKind
+
+
+Event = Access | Filler
+
+
+@dataclass
+class FunctionIR:
+    name: str
+    locals: list[LocalVar]
+    events: list[Event]
+
+
+@dataclass
+class ProgramIR:
+    name: str
+    functions: list[FunctionIR]
+
+
+# -- statement menus -----------------------------------------------------------
+# (kind, weight) menus per leaf label.  The *target-instruction* count the
+# lowering produces per access is 1 for most kinds, which is what keeps the
+# target-per-variable statistics (Table I) controllable.
+
+_SCALAR_MENU: tuple[tuple[AccessKind, float], ...] = (
+    (AccessKind.INIT, 2.0),
+    (AccessKind.LOAD, 3.0),
+    (AccessKind.STORE, 2.0),
+    (AccessKind.ARITH_IMM, 2.0),
+    (AccessKind.ARITH_VAR, 1.0),
+    (AccessKind.INCREMENT, 1.0),
+    (AccessKind.COMPARE_BRANCH, 1.5),
+    (AccessKind.CALL_ARG, 1.0),
+    (AccessKind.CALL_RESULT, 0.7),
+)
+
+_FLOAT_MENU: tuple[tuple[AccessKind, float], ...] = (
+    (AccessKind.INIT, 2.0),
+    (AccessKind.LOAD, 3.0),
+    (AccessKind.STORE, 2.0),
+    (AccessKind.ARITH_IMM, 2.0),
+    (AccessKind.ARITH_VAR, 1.5),
+    (AccessKind.COMPARE_BRANCH, 1.0),
+    (AccessKind.CALL_ARG, 0.8),
+    (AccessKind.CALL_RESULT, 0.5),
+)
+
+_BOOL_MENU: tuple[tuple[AccessKind, float], ...] = (
+    (AccessKind.INIT, 2.5),
+    (AccessKind.BOOL_SET, 2.0),
+    (AccessKind.BOOL_TEST, 3.0),
+    (AccessKind.LOAD, 1.0),
+    (AccessKind.CALL_ARG, 0.5),
+)
+
+_POINTER_MENU: tuple[tuple[AccessKind, float], ...] = (
+    (AccessKind.INIT, 1.5),
+    (AccessKind.LOAD, 1.5),
+    (AccessKind.STORE, 1.0),
+    (AccessKind.DEREF_LOAD, 2.5),
+    (AccessKind.DEREF_STORE, 1.5),
+    (AccessKind.PTR_ADVANCE, 1.2),
+    (AccessKind.COMPARE_BRANCH, 1.5),  # NULL checks
+    (AccessKind.CALL_ARG, 1.2),
+    (AccessKind.CALL_RESULT, 1.0),
+    (AccessKind.ADDR_OF, 0.8),
+)
+
+_VOID_POINTER_MENU: tuple[tuple[AccessKind, float], ...] = (
+    (AccessKind.INIT, 1.5),
+    (AccessKind.LOAD, 2.0),
+    (AccessKind.STORE, 1.5),
+    (AccessKind.COMPARE_BRANCH, 1.5),
+    (AccessKind.CALL_ARG, 2.0),
+    (AccessKind.CALL_RESULT, 2.0),
+    (AccessKind.ADDR_OF, 0.6),
+)
+
+_STRUCT_MENU: tuple[tuple[AccessKind, float], ...] = (
+    (AccessKind.MEMBER_STORE, 3.0),
+    (AccessKind.MEMBER_LOAD, 2.0),
+)
+
+_ARRAY_MENU: tuple[tuple[AccessKind, float], ...] = (
+    (AccessKind.ARRAY_STORE, 2.0),
+    (AccessKind.ARRAY_LOAD, 2.0),
+)
+
+
+def menu_for(var: LocalVar) -> tuple[tuple[AccessKind, float], ...]:
+    """The statement menu appropriate for a variable's type."""
+    ctype = var.ctype
+    while isinstance(ctype, ct.TypedefType):
+        ctype = ctype.target
+    if isinstance(ctype, ArrayType):
+        return _ARRAY_MENU
+    if isinstance(ctype, StructType):
+        return _STRUCT_MENU
+    if isinstance(ctype, PointerType):
+        return _VOID_POINTER_MENU if ctype.pointee is None else _POINTER_MENU
+    if isinstance(ctype, EnumType):
+        return _SCALAR_MENU
+    label = var.label
+    if label is TypeName.BOOL:
+        return _BOOL_MENU
+    if label in (TypeName.FLOAT, TypeName.DOUBLE, TypeName.LONG_DOUBLE):
+        return _FLOAT_MENU
+    return _SCALAR_MENU
+
+
+# -- type sampling -------------------------------------------------------------
+
+#: Default leaf-label frequencies, shaped after Table V's supports
+#: (struct* and int dominate; float and exotic ints are rare).
+DEFAULT_TYPE_WEIGHTS: dict[TypeName, float] = {
+    TypeName.BOOL: 1.3,
+    TypeName.STRUCT: 5.5,
+    TypeName.CHAR: 2.4,
+    TypeName.UNSIGNED_CHAR: 0.5,
+    TypeName.FLOAT: 0.15,
+    TypeName.DOUBLE: 3.0,
+    TypeName.LONG_DOUBLE: 0.25,
+    TypeName.ENUM: 2.2,
+    TypeName.INT: 23.0,
+    TypeName.SHORT_INT: 0.12,
+    TypeName.LONG_INT: 4.3,
+    TypeName.LONG_LONG_INT: 0.10,
+    TypeName.UNSIGNED_INT: 1.8,
+    TypeName.SHORT_UNSIGNED_INT: 0.15,
+    TypeName.LONG_UNSIGNED_INT: 5.2,
+    TypeName.LONG_LONG_UNSIGNED_INT: 0.10,
+    TypeName.VOID_POINTER: 2.6,
+    TypeName.STRUCT_POINTER: 22.0,
+    TypeName.ARITH_POINTER: 7.0,
+}
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the program generator."""
+
+    functions_per_binary: tuple[int, int] = (6, 14)
+    locals_per_function: tuple[int, int] = (3, 10)
+    orphan_fraction: float = 0.35       # Table I: ~35% of variables
+    orphan_accesses: tuple[int, int] = (1, 2)
+    normal_accesses: tuple[int, int] = (3, 9)
+    cluster_stay_prob: float = 0.42     # keep operating the same variable
+    cluster_same_type_prob: float = 0.30  # switch to a same-type sibling
+    filler_prob: float = 0.30           # chance of filler after each access
+    type_weights: dict[TypeName, float] = field(default_factory=lambda: dict(DEFAULT_TYPE_WEIGHTS))
+    array_fraction: float = 0.18        # of char/uchar/struct vars become arrays
+    typedef_fraction: float = 0.25      # of size-matched scalars via typedefs
+
+
+def _sample_ctype(rng: random.Random, label: TypeName, config: GeneratorConfig,
+                  struct_zoo: tuple[StructType, ...]) -> CType:
+    """Materialize a concrete CType for a sampled leaf label."""
+    if label is TypeName.STRUCT:
+        base: CType = rng.choice(struct_zoo)
+        if rng.random() < config.array_fraction:
+            return ArrayType(base, rng.choice((2, 4, 8)))
+        return base
+    if label is TypeName.STRUCT_POINTER:
+        return PointerType(rng.choice(struct_zoo))
+    if label is TypeName.VOID_POINTER:
+        return PointerType(None)
+    if label is TypeName.ARITH_POINTER:
+        pointee = rng.choice((ct.CHAR, ct.INT, ct.UCHAR, ct.DOUBLE, ct.LONG, ct.UINT))
+        return PointerType(pointee)
+    if label is TypeName.ENUM:
+        return EnumType(rng.choice(("state_t", "mode_t", "color_t", "token_kind")))
+    base = ct.representative(label)
+    if label in (TypeName.CHAR, TypeName.UNSIGNED_CHAR) and rng.random() < config.array_fraction:
+        return ArrayType(base, rng.choice((16, 32, 64, 128, 256)))
+    if rng.random() < config.typedef_fraction:
+        if label is TypeName.LONG_UNSIGNED_INT:
+            return ct.SIZE_T
+        if label is TypeName.LONG_INT:
+            return rng.choice((ct.SSIZE_T, ct.INT64_T))
+        if label is TypeName.UNSIGNED_INT:
+            return ct.UINT32_T
+        if label is TypeName.UNSIGNED_CHAR:
+            return rng.choice((ct.UINT8_T, ct.BYTE_T))
+    return base
+
+
+def _weighted_choice(rng: random.Random, menu: tuple[tuple[AccessKind, float], ...]) -> AccessKind:
+    total = sum(weight for _, weight in menu)
+    roll = rng.random() * total
+    for kind, weight in menu:
+        roll -= weight
+        if roll <= 0:
+            return kind
+    return menu[-1][0]
+
+
+def _sample_label(rng: random.Random, weights: dict[TypeName, float]) -> TypeName:
+    labels = list(weights)
+    cum = []
+    total = 0.0
+    for label in labels:
+        total += weights[label]
+        cum.append(total)
+    roll = rng.random() * total
+    for label, bound in zip(labels, cum):
+        if roll <= bound:
+            return label
+    return labels[-1]
+
+
+_FILLER_WEIGHTS: tuple[tuple[FillerKind, float], ...] = (
+    (FillerKind.REG_MOVE, 3.0),
+    (FillerKind.REG_ARITH, 2.0),
+    (FillerKind.REG_CMP, 1.5),
+    (FillerKind.COND_JUMP, 1.5),
+    (FillerKind.JUMP, 0.8),
+    (FillerKind.CALL, 1.0),
+    (FillerKind.CALL_NAMED, 1.0),
+    (FillerKind.NOP, 0.3),
+)
+
+
+def _sample_filler(rng: random.Random) -> Filler:
+    total = sum(weight for _, weight in _FILLER_WEIGHTS)
+    roll = rng.random() * total
+    for kind, weight in _FILLER_WEIGHTS:
+        roll -= weight
+        if roll <= 0:
+            return Filler(kind)
+    return Filler(FillerKind.NOP)
+
+
+def generate_function(rng: random.Random, name: str, config: GeneratorConfig) -> FunctionIR:
+    """Generate one function: locals, access budgets and a clustered schedule."""
+    struct_zoo = ct.make_struct_zoo()
+    n_locals = rng.randint(*config.locals_per_function)
+    locals_: list[LocalVar] = []
+    for index in range(n_locals):
+        label = _sample_label(rng, config.type_weights)
+        ctype = _sample_ctype(rng, label, config, struct_zoo)
+        locals_.append(LocalVar(name=f"v{index}", ctype=ctype, index=index))
+
+    budgets: dict[int, int] = {}
+    for var in locals_:
+        if rng.random() < config.orphan_fraction:
+            budgets[var.index] = rng.randint(*config.orphan_accesses)
+        else:
+            budgets[var.index] = rng.randint(*config.normal_accesses)
+
+    events: list[Event] = []
+    remaining = [var for var in locals_ if budgets[var.index] > 0]
+    current: LocalVar | None = None
+    while remaining:
+        if current is None or budgets[current.index] <= 0 or current not in remaining:
+            current = rng.choice(remaining)
+        access_kind = _weighted_choice(rng, menu_for(current))
+        partner = None
+        member = 0
+        if access_kind is AccessKind.ARITH_VAR:
+            same_type = [v for v in locals_ if v.label is current.label and v is not current]
+            partner = rng.choice(same_type) if same_type else None
+            if partner is None:
+                access_kind = AccessKind.ARITH_IMM
+        elif access_kind is AccessKind.ADDR_OF:
+            others = [v for v in locals_ if v is not current and not isinstance(v.ctype, PointerType)]
+            partner = rng.choice(others) if others else None
+            if partner is None:
+                access_kind = AccessKind.INIT
+        elif access_kind in (AccessKind.MEMBER_STORE, AccessKind.MEMBER_LOAD):
+            struct = current.ctype
+            while isinstance(struct, (ct.TypedefType, ArrayType)):
+                struct = struct.target if isinstance(struct, ct.TypedefType) else struct.element
+            member = rng.randrange(len(struct.members)) if isinstance(struct, StructType) else 0
+        events.append(Access(var=current, kind=access_kind, partner=partner, member=member))
+        budgets[current.index] -= 1
+        if budgets[current.index] <= 0:
+            remaining = [v for v in remaining if v is not current]
+
+        if rng.random() < config.filler_prob:
+            events.append(_sample_filler(rng))
+
+        # Clustered scheduling: stay / same-type sibling / anyone.
+        roll = rng.random()
+        if roll < config.cluster_stay_prob:
+            pass  # keep current
+        elif roll < config.cluster_stay_prob + config.cluster_same_type_prob:
+            siblings = [v for v in remaining if v.label is current.label]
+            current = rng.choice(siblings) if siblings else None
+        else:
+            current = None
+    return FunctionIR(name=name, locals=locals_, events=events)
+
+
+def generate_program(seed: int, name: str, config: GeneratorConfig | None = None) -> ProgramIR:
+    """Generate a whole binary's worth of functions, deterministically."""
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+    n_functions = rng.randint(*config.functions_per_binary)
+    functions = [
+        generate_function(rng, f"{name}_fn{i}", config) for i in range(n_functions)
+    ]
+    return ProgramIR(name=name, functions=functions)

@@ -1,0 +1,58 @@
+"""Strip a binary: discard debug information and symbol names.
+
+Models what ``strip`` does to COTS binaries — the debug blob disappears,
+local symbol names disappear, and only PLT-style import names survive
+(which is why the generalizer can still see ``<memchr@plt>`` in real
+stripped binaries; §IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.asm.instruction import FunctionListing, Instruction
+from repro.asm.operands import Label
+from repro.codegen.binary import Binary
+
+
+def strip(binary: Binary) -> Binary:
+    """Return a stripped copy: no debug blob, no local symbols, no truth.
+
+    Call-target symbols that do not look like PLT imports are removed
+    from instruction operands as well, since objdump resolves those from
+    the (now deleted) symbol table.
+    """
+    functions = [_strip_listing(func, index) for index, func in enumerate(binary.functions)]
+    return Binary(
+        name=binary.name,
+        compiler=binary.compiler,
+        opt_level=binary.opt_level,
+        functions=functions,
+        symtab={},
+        debug=None,
+        lowered=[],
+    )
+
+
+def _strip_listing(func: FunctionListing, index: int) -> FunctionListing:
+    instructions = [_strip_instruction(ins) for ins in func.instructions]
+    return FunctionListing(
+        name=f"sub_{func.address:x}",
+        address=func.address,
+        instructions=instructions,
+    )
+
+
+def _strip_instruction(ins: Instruction) -> Instruction:
+    """Drop non-PLT symbols from label operands."""
+    new_operands = []
+    changed = False
+    for op in ins.operands:
+        if isinstance(op, Label) and op.symbol is not None and "@plt" not in op.symbol:
+            new_operands.append(replace(op, symbol=None))
+            changed = True
+        else:
+            new_operands.append(op)
+    if not changed:
+        return ins
+    return Instruction(mnemonic=ins.mnemonic, operands=tuple(new_operands), address=ins.address)

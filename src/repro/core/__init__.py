@@ -1,0 +1,80 @@
+"""CATI core: the 19-type taxonomy, the six-stage CNN classifier tree,
+confidence voting, the end-to-end pipeline facade and occlusion
+explanations.
+
+Heavy submodules (classifier/pipeline/occlusion) are loaded lazily via
+PEP 562 so that low-level packages can import :mod:`repro.core.types`
+without dragging the whole ML stack (and a circular import) in.
+"""
+
+from repro.core.types import (
+    ALL_STAGES,
+    ALL_TYPES,
+    CHAR_FAMILY,
+    DEBIN_TYPES,
+    FLOAT_FAMILY,
+    INT_FAMILY,
+    POINTER_TYPES,
+    STAGE_SPECS,
+    Stage,
+    StageSpec,
+    TypeName,
+    stage_label,
+    stage_path,
+    to_debin_label,
+)
+from repro.core.voting import DEFAULT_THRESHOLD, clip_confidences, vote, vote_many, vote_scores
+
+_LAZY = {
+    "MultiStageClassifier": ("repro.core.classifier", "MultiStageClassifier"),
+    "StageModel": ("repro.core.classifier", "StageModel"),
+    "CatiConfig": ("repro.core.config", "CatiConfig"),
+    "OcclusionResult": ("repro.core.occlusion", "OcclusionResult"),
+    "epsilon_distribution": ("repro.core.occlusion", "epsilon_distribution"),
+    "occlusion_epsilons": ("repro.core.occlusion", "occlusion_epsilons"),
+    "Cati": ("repro.core.pipeline", "Cati"),
+    "VariablePrediction": ("repro.core.pipeline", "VariablePrediction"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value
+
+
+__all__ = [
+    "MultiStageClassifier",
+    "StageModel",
+    "CatiConfig",
+    "OcclusionResult",
+    "epsilon_distribution",
+    "occlusion_epsilons",
+    "Cati",
+    "VariablePrediction",
+    "ALL_STAGES",
+    "ALL_TYPES",
+    "CHAR_FAMILY",
+    "DEBIN_TYPES",
+    "FLOAT_FAMILY",
+    "INT_FAMILY",
+    "POINTER_TYPES",
+    "STAGE_SPECS",
+    "Stage",
+    "StageSpec",
+    "TypeName",
+    "stage_label",
+    "stage_path",
+    "to_debin_label",
+    "DEFAULT_THRESHOLD",
+    "clip_confidences",
+    "vote",
+    "vote_many",
+    "vote_scores",
+]

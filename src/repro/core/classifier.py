@@ -1,0 +1,166 @@
+"""The multi-stage classifier (Fig. 5): six CNNs arranged in a tree.
+
+Each stage is an independently trained CNN over the encoded VUC matrix.
+A VUC's *leaf distribution* over the 19 types is the product of stage
+confidences along each root-to-leaf path — the tree factorization of the
+joint classifier.  Per-stage evaluation (Tables III/IV) routes samples by
+their *ground-truth* parent decisions, exactly as the paper scores each
+stage on the samples that truly belong to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import CatiConfig
+from repro.core.types import ALL_TYPES, STAGE_SPECS, Stage, StageSpec, TypeName, stage_label, stage_path
+from repro.nn.model import Sequential, build_cati_cnn
+from repro.nn.optimizers import Adam
+
+
+@dataclass
+class StageModel:
+    """One trained stage: its spec and CNN."""
+
+    spec: StageSpec
+    model: Sequential
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self.model.predict_proba(x)
+
+
+class MultiStageClassifier:
+    """Six stage CNNs + tree composition over the 19 leaf types."""
+
+    def __init__(self, config: CatiConfig) -> None:
+        self.config = config
+        self.stages: dict[Stage, StageModel] = {}
+
+    # -- training -------------------------------------------------------------
+
+    def train(self, x: np.ndarray, labels: list[TypeName], verbose: bool = False) -> None:
+        """Train every stage on the samples routed to it by ground truth.
+
+        ``x`` is the encoded [N, L, C] VUC tensor; ``labels`` the leaf
+        types.  A stage with fewer than 2 distinct labels present falls
+        back to a trivial constant model (can happen on tiny corpora).
+        """
+        for stage, spec in STAGE_SPECS.items():
+            stage_y: list[int] = []
+            stage_idx: list[int] = []
+            for index, leaf in enumerate(labels):
+                label = stage_label(leaf, stage)
+                if label is not None:
+                    stage_idx.append(index)
+                    stage_y.append(spec.label_index(label))
+            model = build_cati_cnn(
+                input_length=x.shape[1],
+                input_channels=x.shape[2],
+                n_classes=len(spec.labels),
+                conv_channels=self.config.conv_channels,
+                fc_width=self.config.fc_width,
+                dropout=self.config.dropout,
+                seed=self.config.seed + sum(ord(c) for c in stage.value),
+            )
+            if stage_idx:
+                sx = x[np.asarray(stage_idx)]
+                sy = np.asarray(stage_y, dtype=np.int64)
+                class_weights = None
+                if self.config.class_weighting:
+                    counts = np.bincount(sy, minlength=len(spec.labels)).astype(np.float64)
+                    weights = 1.0 / np.sqrt(np.maximum(counts, 1.0))
+                    class_weights = weights / weights.mean()
+                if verbose:
+                    print(f"[train] {stage.value}: {len(sy)} VUCs, {len(spec.labels)} classes")
+                model.fit(
+                    sx, sy,
+                    epochs=self.config.epochs,
+                    batch_size=self.config.batch_size,
+                    optimizer=Adam(self.config.learning_rate),
+                    class_weights=class_weights,
+                    seed=self.config.seed,
+                    verbose=verbose,
+                )
+            self.stages[stage] = StageModel(spec=spec, model=model)
+
+    # -- prediction --------------------------------------------------------------
+
+    def stage_proba(self, stage: Stage, x: np.ndarray) -> np.ndarray:
+        """Stage-local confidence matrix [N, C_stage]."""
+        return self.stages[stage].predict_proba(x)
+
+    def leaf_proba(self, x: np.ndarray) -> np.ndarray:
+        """[N, 19] leaf distribution: product of stage confidences.
+
+        Column order follows :data:`repro.core.types.ALL_TYPES`.
+        """
+        stage_probs = {stage: self.stage_proba(stage, x) for stage in self.stages}
+        n = len(x)
+        out = np.zeros((n, len(ALL_TYPES)))
+        for column, leaf in enumerate(ALL_TYPES):
+            path = stage_path(leaf)
+            factor = np.ones(n)
+            for stage, label in path:
+                spec = STAGE_SPECS[stage]
+                factor = factor * stage_probs[stage][:, spec.label_index(label)]
+            out[:, column] = factor
+        # Normalize: paths have different lengths, so the raw products
+        # are sub-stochastic; renormalizing keeps eq. (3)'s threshold
+        # semantics meaningful at the leaf level.
+        totals = out.sum(axis=1, keepdims=True)
+        return out / np.maximum(totals, 1e-12)
+
+    def predict_leaf(self, x: np.ndarray) -> list[TypeName]:
+        """Hard 19-type prediction per VUC."""
+        probs = self.leaf_proba(x)
+        return [ALL_TYPES[i] for i in probs.argmax(axis=1)]
+
+    def vote_variable(self, stage_probs: dict[Stage, np.ndarray],
+                      indices: list[int], threshold: float = 0.9) -> TypeName:
+        """Hierarchical per-variable decision (the paper's §V-B flow).
+
+        At each stage, the variable's VUC confidences are clipped
+        (eq. 3) and summed (eq. 4); the winning label routes to the next
+        stage until a leaf is reached.  ``stage_probs`` maps each stage
+        to its full [N, C] confidence matrix; ``indices`` selects the
+        variable's VUC rows.
+        """
+        from repro.core.voting import clip_confidences
+
+        stage = Stage.STAGE1
+        while True:
+            spec = STAGE_SPECS[stage]
+            matrix = stage_probs[stage][indices]
+            totals = clip_confidences(matrix, threshold).sum(axis=0)
+            label = spec.labels[int(totals.argmax())]
+            next_stage = spec.routes[label]
+            if next_stage is None:
+                return next(t for t in ALL_TYPES if t.value == label)
+            stage = next_stage
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        for stage, stage_model in self.stages.items():
+            stage_model.model.save(os.path.join(directory, f"{stage.value}.npz"))
+
+    def load(self, directory: str, input_length: int, input_channels: int) -> None:
+        import os
+
+        for stage, spec in STAGE_SPECS.items():
+            model = build_cati_cnn(
+                input_length=input_length,
+                input_channels=input_channels,
+                n_classes=len(spec.labels),
+                conv_channels=self.config.conv_channels,
+                fc_width=self.config.fc_width,
+                dropout=self.config.dropout,
+                seed=self.config.seed,
+            )
+            model.load(os.path.join(directory, f"{stage.value}.npz"))
+            self.stages[stage] = StageModel(spec=spec, model=model)

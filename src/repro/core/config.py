@@ -1,0 +1,52 @@
+"""Configuration for the CATI pipeline.
+
+Defaults follow the paper where it states values (window 10, token dim
+32, confidence threshold 0.9, 2-layer 32-64 CNN); training-scale knobs
+(epochs, FC width, corpus size) default to laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.embedding.word2vec import Word2VecConfig
+
+
+@dataclass
+class CatiConfig:
+    """All knobs of the system in one place."""
+
+    window: int = 10                   # w: instructions before/after target
+    token_dim: int = 32                # Word2Vec embedding length (§IV-C)
+    confidence_threshold: float = 0.9  # eq. (3) clipping threshold
+    conv_channels: tuple[int, int] = (32, 64)
+    fc_width: int = 128                # paper: 1024 at 22M-VUC scale
+    dropout: float = 0.3
+    epochs: int = 12
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    class_weighting: bool = True       # sqrt-inverse-frequency loss weights
+    min_token_count: int = 2
+    seed: int = 0
+    word2vec: Word2VecConfig = field(default_factory=lambda: Word2VecConfig(
+        dim=32, window=5, epochs=2, subsample_pairs=0.5,
+    ))
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            # window 0 = no context (the bare target instruction); used by
+            # the window-size ablation as the no-context baseline.
+            raise ValueError("window must be >= 0")
+        if not 0.0 < self.confidence_threshold <= 1.0:
+            raise ValueError("confidence threshold must be in (0, 1]")
+        self.word2vec.dim = self.token_dim
+
+    @property
+    def vuc_length(self) -> int:
+        """Instructions per VUC: 2w + 1 (= 21 at the paper's w=10)."""
+        return 2 * self.window + 1
+
+    @property
+    def instruction_dim(self) -> int:
+        """Embedded instruction width: 3 tokens x token_dim (= 96)."""
+        return 3 * self.token_dim

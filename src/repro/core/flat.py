@@ -1,0 +1,61 @@
+"""Flat 19-way classifier — the ablation counterpart of the stage tree.
+
+§V-A argues the multi-stage tree is chosen for interpretability and
+training speed, noting a single deep model could also "distinguish 19
+classes within one model".  This module provides that single model so
+the design choice can be measured (see ``benchmarks/bench_ablation_flat.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CatiConfig
+from repro.core.types import ALL_TYPES, TypeName
+from repro.nn.model import Sequential, build_cati_cnn
+from repro.nn.optimizers import Adam
+
+
+class FlatClassifier:
+    """One CNN over all 19 leaf types (no stage routing)."""
+
+    def __init__(self, config: CatiConfig) -> None:
+        self.config = config
+        self.model: Sequential | None = None
+
+    def train(self, x: np.ndarray, labels: list[TypeName], verbose: bool = False) -> "FlatClassifier":
+        index = {t: i for i, t in enumerate(ALL_TYPES)}
+        y = np.asarray([index[label] for label in labels], dtype=np.int64)
+        self.model = build_cati_cnn(
+            input_length=x.shape[1],
+            input_channels=x.shape[2],
+            n_classes=len(ALL_TYPES),
+            conv_channels=self.config.conv_channels,
+            fc_width=self.config.fc_width,
+            dropout=self.config.dropout,
+            seed=self.config.seed,
+        )
+        class_weights = None
+        if self.config.class_weighting:
+            counts = np.bincount(y, minlength=len(ALL_TYPES)).astype(np.float64)
+            weights = 1.0 / np.sqrt(np.maximum(counts, 1.0))
+            class_weights = weights / weights.mean()
+        self.model.fit(
+            x, y,
+            epochs=self.config.epochs,
+            batch_size=self.config.batch_size,
+            optimizer=Adam(self.config.learning_rate),
+            class_weights=class_weights,
+            seed=self.config.seed,
+            verbose=verbose,
+        )
+        return self
+
+    def leaf_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("train() first")
+        return self.model.predict_proba(x)
+
+    def predict_leaf(self, x: np.ndarray) -> list[TypeName]:
+        probs = self.leaf_proba(x)
+        return [ALL_TYPES[i] for i in probs.argmax(axis=1)]

@@ -1,0 +1,65 @@
+"""Occlusion importance ε (§VII-B, eq. 5, Fig. 6).
+
+For a VUC and a trained model, ε_k is the ratio of the predicted class's
+confidence after BLANKing instruction k to the unoccluded confidence.
+ε < 1 means the instruction supported the prediction; the paper's Fig. 6
+shows central/target instructions have the smallest ε and importance
+decays with distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import Cati
+from repro.vuc.generalize import BLANK_TOKENS, Tokens
+
+
+@dataclass
+class OcclusionResult:
+    """ε for every window position of one VUC."""
+
+    epsilons: np.ndarray          # [L]
+    predicted_index: int          # leaf class index used as the probe
+    base_confidence: float
+
+
+def occlusion_epsilons(cati: Cati, window: tuple[Tokens, ...]) -> OcclusionResult:
+    """Compute eq. (5) for one generalized VUC window."""
+    base = cati.predict_vuc_proba([window])[0]
+    predicted = int(base.argmax())
+    base_confidence = float(base[predicted])
+    occluded = []
+    for position in range(len(window)):
+        variant = list(window)
+        variant[position] = BLANK_TOKENS
+        occluded.append(tuple(variant))
+    probs = cati.predict_vuc_proba(occluded)
+    epsilons = probs[:, predicted] / max(base_confidence, 1e-12)
+    return OcclusionResult(
+        epsilons=epsilons,
+        predicted_index=predicted,
+        base_confidence=base_confidence,
+    )
+
+
+def epsilon_distribution(
+    cati: Cati,
+    windows: list[tuple[Tokens, ...]],
+    thresholds: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+) -> np.ndarray:
+    """Fig. 6b's heat map: per position, P(ε in (t, 1)) for each t.
+
+    Returns a [L, len(thresholds)] matrix; row ordering matches window
+    positions (row w is the central instruction).
+    """
+    if not windows:
+        raise ValueError("need at least one window")
+    length = len(windows[0])
+    all_eps = np.stack([occlusion_epsilons(cati, w).epsilons for w in windows])  # [N, L]
+    out = np.zeros((length, len(thresholds)))
+    for column, threshold in enumerate(thresholds):
+        out[:, column] = ((all_eps > threshold) & (all_eps < 1.0)).mean(axis=0)
+    return out

@@ -1,0 +1,157 @@
+"""The CATI facade: train on a labeled corpus, infer on stripped binaries.
+
+``Cati.train`` fits the Word2Vec embedding and the six stage CNNs;
+``Cati.predict_*`` expose VUC- and variable-granularity predictions; and
+``Cati.infer_binary`` runs the full §V-B pipeline on a stripped binary:
+disassemble → locate → extract VUCs → generalize → embed → classify →
+vote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codegen.binary import Binary
+from repro.core.classifier import MultiStageClassifier
+from repro.core.config import CatiConfig
+from repro.core.types import ALL_TYPES, TypeName
+from repro.core.voting import vote
+from repro.embedding.encoder import VucEncoder
+from repro.embedding.vocab import Vocab
+from repro.embedding.word2vec import Word2Vec
+from repro.vuc.dataflow import VariableExtent
+from repro.vuc.dataset import LabeledVuc, VucDataset, extract_unlabeled_vucs
+from repro.vuc.generalize import Tokens
+
+
+@dataclass
+class VariablePrediction:
+    """One inferred variable: its id, winning type and vote detail."""
+
+    variable_id: str
+    predicted: TypeName
+    n_vucs: int
+    scores: np.ndarray  # summed clipped confidences per leaf type
+
+
+class Cati:
+    """The end-to-end system of the paper."""
+
+    def __init__(self, config: CatiConfig | None = None) -> None:
+        self.config = config or CatiConfig()
+        self.embedding: Word2Vec | None = None
+        self.encoder: VucEncoder | None = None
+        self.classifier = MultiStageClassifier(self.config)
+
+    # -- training ------------------------------------------------------------------
+
+    def train(self, dataset: VucDataset, verbose: bool = False) -> "Cati":
+        """Fit embedding + stage CNNs on a labeled VUC corpus."""
+        if len(dataset) == 0:
+            raise ValueError("cannot train on an empty dataset")
+        sequences = [self._flatten(sample.tokens) for sample in dataset]
+        vocab = Vocab.build(sequences, min_count=self.config.min_token_count)
+        if verbose:
+            print(f"[train] vocabulary: {len(vocab)} tokens over {len(sequences)} VUCs")
+        self.embedding = Word2Vec(vocab, self.config.word2vec).train(sequences)
+        self.encoder = VucEncoder(self.embedding)
+        x = self.encoder.encode_batch([sample.tokens for sample in dataset])
+        labels = [sample.label for sample in dataset]
+        self.classifier.train(x, labels, verbose=verbose)
+        return self
+
+    @staticmethod
+    def _flatten(tokens: tuple[Tokens, ...]) -> list[str]:
+        return [token for triple in tokens for token in triple]
+
+    def _require_trained(self) -> VucEncoder:
+        if self.encoder is None:
+            raise RuntimeError("Cati is not trained; call train() or load() first")
+        return self.encoder
+
+    # -- VUC-level prediction ----------------------------------------------------------
+
+    def encode(self, windows: list[tuple[Tokens, ...]]) -> np.ndarray:
+        return self._require_trained().encode_batch(windows)
+
+    def predict_vuc_proba(self, windows: list[tuple[Tokens, ...]]) -> np.ndarray:
+        """[N, 19] leaf confidence matrix for generalized VUC windows."""
+        return self.classifier.leaf_proba(self.encode(windows))
+
+    def predict_vucs(self, windows: list[tuple[Tokens, ...]]) -> list[TypeName]:
+        probs = self.predict_vuc_proba(windows)
+        return [ALL_TYPES[i] for i in probs.argmax(axis=1)]
+
+    # -- variable-level prediction (voting) -----------------------------------------------
+
+    def predict_variables(
+        self,
+        windows: list[tuple[Tokens, ...]],
+        variable_ids: list[str],
+    ) -> list[VariablePrediction]:
+        """Vote per variable over its VUCs' leaf confidences (eqs. 3-4)."""
+        if len(windows) != len(variable_ids):
+            raise ValueError("windows and variable_ids must align")
+        probs = self.predict_vuc_proba(windows)
+        from repro.core.voting import clip_confidences
+
+        groups: dict[str, list[int]] = {}
+        for index, variable_id in enumerate(variable_ids):
+            groups.setdefault(variable_id, []).append(index)
+        out = []
+        for variable_id, indices in groups.items():
+            matrix = probs[indices]
+            scores = clip_confidences(matrix, self.config.confidence_threshold).sum(axis=0)
+            winner = vote(matrix, self.config.confidence_threshold)
+            out.append(VariablePrediction(
+                variable_id=variable_id,
+                predicted=ALL_TYPES[winner],
+                n_vucs=len(indices),
+                scores=scores,
+            ))
+        return out
+
+    # -- whole-binary inference --------------------------------------------------------------
+
+    def infer_binary(
+        self,
+        stripped: Binary,
+        extents_by_function: list[list[VariableExtent]],
+    ) -> list[VariablePrediction]:
+        """Full pipeline on a stripped binary with given variable locations.
+
+        This is the deployment path of Fig. 3(e-f): takes ~the paper's
+        "6 seconds per binary" stages (extraction + prediction + voting).
+        """
+        pairs = extract_unlabeled_vucs(stripped, extents_by_function, self.config.window)
+        if not pairs:
+            return []
+        variable_ids = [variable_id for variable_id, _tokens in pairs]
+        windows = [tokens for _variable_id, tokens in pairs]
+        return self.predict_variables(windows, variable_ids)
+
+    # -- persistence ------------------------------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        assert self.embedding is not None, "train before saving"
+        self.embedding.save(os.path.join(directory, "word2vec.npz"))
+        self.classifier.save(os.path.join(directory, "stages"))
+
+    @classmethod
+    def load(cls, directory: str, config: CatiConfig | None = None) -> "Cati":
+        import os
+
+        cati = cls(config)
+        cati.embedding = Word2Vec.load(os.path.join(directory, "word2vec.npz"))
+        cati.encoder = VucEncoder(cati.embedding)
+        cati.classifier.load(
+            os.path.join(directory, "stages"),
+            input_length=cati.config.vuc_length,
+            input_channels=cati.config.instruction_dim,
+        )
+        return cati

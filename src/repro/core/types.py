@@ -1,0 +1,253 @@
+"""The 19-type taxonomy CATI infers, and the multi-stage routing tree.
+
+The paper (Fig. 5, §V-A) classifies every variable into one of 19 leaf
+types: all C99 non-pointer base types except ``union`` (16 of them,
+including ``struct`` and ``enum``) plus three pointer kinds —
+``void*``, ``struct*`` and *pointer to arithmetic* (any pointer whose
+pointee is a base type; statically untraceable, hence clustered).
+
+The classifier is a tree of six stages:
+
+* Stage 1   — pointer vs non-pointer,
+* Stage 2-1 — pointer kind: void* / struct* / arith*,
+* Stage 2-2 — non-pointer coarse class: struct / bool / char / float / int,
+* Stage 3-1 — char family: char / unsigned char,
+* Stage 3-2 — float family: float / double / long double,
+* Stage 3-3 — int family: the eight C99 int types plus enum.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TypeName(enum.Enum):
+    """The 19 leaf types CATI predicts (display strings match Table V)."""
+
+    BOOL = "bool"
+    STRUCT = "struct"
+    CHAR = "char"
+    UNSIGNED_CHAR = "unsigned char"
+    FLOAT = "float"
+    DOUBLE = "double"
+    LONG_DOUBLE = "long double"
+    ENUM = "enum"
+    INT = "int"
+    SHORT_INT = "short int"
+    LONG_INT = "long int"
+    LONG_LONG_INT = "long long int"
+    UNSIGNED_INT = "unsigned int"
+    SHORT_UNSIGNED_INT = "short unsigned int"
+    LONG_UNSIGNED_INT = "long unsigned int"
+    LONG_LONG_UNSIGNED_INT = "long long unsigned int"
+    VOID_POINTER = "void*"
+    STRUCT_POINTER = "struct*"
+    ARITH_POINTER = "arith*"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: All 19 leaf types, in Table V's presentation order (pointers last).
+ALL_TYPES: tuple[TypeName, ...] = (
+    TypeName.BOOL,
+    TypeName.STRUCT,
+    TypeName.CHAR,
+    TypeName.UNSIGNED_CHAR,
+    TypeName.FLOAT,
+    TypeName.DOUBLE,
+    TypeName.LONG_DOUBLE,
+    TypeName.ENUM,
+    TypeName.INT,
+    TypeName.SHORT_INT,
+    TypeName.LONG_INT,
+    TypeName.LONG_LONG_INT,
+    TypeName.UNSIGNED_INT,
+    TypeName.SHORT_UNSIGNED_INT,
+    TypeName.LONG_UNSIGNED_INT,
+    TypeName.LONG_LONG_UNSIGNED_INT,
+    TypeName.VOID_POINTER,
+    TypeName.STRUCT_POINTER,
+    TypeName.ARITH_POINTER,
+)
+
+POINTER_TYPES = frozenset({
+    TypeName.VOID_POINTER, TypeName.STRUCT_POINTER, TypeName.ARITH_POINTER,
+})
+
+CHAR_FAMILY = (TypeName.CHAR, TypeName.UNSIGNED_CHAR)
+
+FLOAT_FAMILY = (TypeName.FLOAT, TypeName.DOUBLE, TypeName.LONG_DOUBLE)
+
+INT_FAMILY = (
+    TypeName.INT,
+    TypeName.SHORT_INT,
+    TypeName.LONG_INT,
+    TypeName.LONG_LONG_INT,
+    TypeName.UNSIGNED_INT,
+    TypeName.SHORT_UNSIGNED_INT,
+    TypeName.LONG_UNSIGNED_INT,
+    TypeName.LONG_LONG_UNSIGNED_INT,
+    TypeName.ENUM,
+)
+
+
+class Stage(enum.Enum):
+    """The six classifier stages of Fig. 5."""
+
+    STAGE1 = "Stage1"
+    STAGE2_1 = "Stage2-1"
+    STAGE2_2 = "Stage2-2"
+    STAGE3_1 = "Stage3-1"
+    STAGE3_2 = "Stage3-2"
+    STAGE3_3 = "Stage3-3"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+ALL_STAGES: tuple[Stage, ...] = tuple(Stage)
+
+
+@dataclass(frozen=True, slots=True)
+class StageSpec:
+    """One stage: its class labels and, per label, the follow-up stage.
+
+    ``labels`` are strings (coarse class names or leaf type values);
+    ``routes`` maps a label to the next :class:`Stage` or None for leaves.
+    """
+
+    stage: Stage
+    labels: tuple[str, ...]
+    routes: dict[str, "Stage | None"]
+
+    def label_index(self, label: str) -> int:
+        return self.labels.index(label)
+
+
+def _leaf_labels(types: tuple[TypeName, ...]) -> tuple[str, ...]:
+    return tuple(t.value for t in types)
+
+
+STAGE_SPECS: dict[Stage, StageSpec] = {
+    Stage.STAGE1: StageSpec(
+        Stage.STAGE1,
+        labels=("pointer", "non-pointer"),
+        routes={"pointer": Stage.STAGE2_1, "non-pointer": Stage.STAGE2_2},
+    ),
+    Stage.STAGE2_1: StageSpec(
+        Stage.STAGE2_1,
+        labels=_leaf_labels((TypeName.VOID_POINTER, TypeName.STRUCT_POINTER, TypeName.ARITH_POINTER)),
+        routes={"void*": None, "struct*": None, "arith*": None},
+    ),
+    Stage.STAGE2_2: StageSpec(
+        Stage.STAGE2_2,
+        labels=("struct", "bool", "char", "float", "int"),
+        routes={
+            "struct": None,
+            "bool": None,
+            "char": Stage.STAGE3_1,
+            "float": Stage.STAGE3_2,
+            "int": Stage.STAGE3_3,
+        },
+    ),
+    Stage.STAGE3_1: StageSpec(
+        Stage.STAGE3_1,
+        labels=_leaf_labels(CHAR_FAMILY),
+        routes={t.value: None for t in CHAR_FAMILY},
+    ),
+    Stage.STAGE3_2: StageSpec(
+        Stage.STAGE3_2,
+        labels=_leaf_labels(FLOAT_FAMILY),
+        routes={t.value: None for t in FLOAT_FAMILY},
+    ),
+    Stage.STAGE3_3: StageSpec(
+        Stage.STAGE3_3,
+        labels=_leaf_labels(INT_FAMILY),
+        routes={t.value: None for t in INT_FAMILY},
+    ),
+}
+
+
+def stage_label(type_name: TypeName, stage: Stage) -> str | None:
+    """The label ``type_name`` carries at ``stage``, or None if the type
+    never reaches that stage.
+
+    >>> stage_label(TypeName.DOUBLE, Stage.STAGE1)
+    'non-pointer'
+    >>> stage_label(TypeName.DOUBLE, Stage.STAGE2_2)
+    'float'
+    >>> stage_label(TypeName.DOUBLE, Stage.STAGE3_2)
+    'double'
+    >>> stage_label(TypeName.DOUBLE, Stage.STAGE2_1) is None
+    True
+    """
+    path = stage_path(type_name)
+    for path_stage, label in path:
+        if path_stage is stage:
+            return label
+    return None
+
+
+def stage_path(type_name: TypeName) -> tuple[tuple[Stage, str], ...]:
+    """The (stage, label) decisions that route a leaf type down the tree.
+
+    >>> stage_path(TypeName.STRUCT_POINTER)
+    ((<Stage.STAGE1: 'Stage1'>, 'pointer'), (<Stage.STAGE2_1: 'Stage2-1'>, 'struct*'))
+    """
+    if type_name in POINTER_TYPES:
+        return ((Stage.STAGE1, "pointer"), (Stage.STAGE2_1, type_name.value))
+    path: list[tuple[Stage, str]] = [(Stage.STAGE1, "non-pointer")]
+    if type_name in CHAR_FAMILY:
+        path.append((Stage.STAGE2_2, "char"))
+        path.append((Stage.STAGE3_1, type_name.value))
+    elif type_name in FLOAT_FAMILY:
+        path.append((Stage.STAGE2_2, "float"))
+        path.append((Stage.STAGE3_2, type_name.value))
+    elif type_name in INT_FAMILY:
+        path.append((Stage.STAGE2_2, "int"))
+        path.append((Stage.STAGE3_3, type_name.value))
+    else:  # struct, bool terminate at Stage 2-2
+        path.append((Stage.STAGE2_2, type_name.value))
+    return tuple(path)
+
+
+#: The 17 types of the DEBIN comparison task (§VII-B): struct, union, enum,
+#: array, pointer, void, bool, char, short, int, long, long long, with
+#: signed+unsigned for the last five.  We map our 19-type labels onto it.
+DEBIN_TYPES: tuple[str, ...] = (
+    "struct", "union", "enum", "array", "pointer", "void", "bool",
+    "char", "unsigned char",
+    "short", "unsigned short",
+    "int", "unsigned int",
+    "long", "unsigned long",
+    "long long", "unsigned long long",
+)
+
+_TO_DEBIN: dict[TypeName, str] = {
+    TypeName.BOOL: "bool",
+    TypeName.STRUCT: "struct",
+    TypeName.CHAR: "char",
+    TypeName.UNSIGNED_CHAR: "unsigned char",
+    TypeName.FLOAT: "int",          # DEBIN's task has no float rows; folded
+    TypeName.DOUBLE: "int",
+    TypeName.LONG_DOUBLE: "int",
+    TypeName.ENUM: "enum",
+    TypeName.INT: "int",
+    TypeName.SHORT_INT: "short",
+    TypeName.LONG_INT: "long",
+    TypeName.LONG_LONG_INT: "long long",
+    TypeName.UNSIGNED_INT: "unsigned int",
+    TypeName.SHORT_UNSIGNED_INT: "unsigned short",
+    TypeName.LONG_UNSIGNED_INT: "unsigned long",
+    TypeName.LONG_LONG_UNSIGNED_INT: "unsigned long long",
+    TypeName.VOID_POINTER: "pointer",
+    TypeName.STRUCT_POINTER: "pointer",
+    TypeName.ARITH_POINTER: "pointer",
+}
+
+
+def to_debin_label(type_name: TypeName) -> str:
+    """Project a CATI leaf type onto the DEBIN 17-type label set."""
+    return _TO_DEBIN[type_name]

@@ -1,0 +1,55 @@
+"""Confidence-based voting (§V-B, eqs. 3-4).
+
+A variable's final type is decided from all of its VUCs' confidence
+vectors: confidences at or above the threshold (0.9) are clipped up to
+1.0 so confident votes dominate (eq. 3), then the per-class sums are
+taken and the argmax wins (eq. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The paper's empirically chosen threshold.
+DEFAULT_THRESHOLD = 0.9
+
+
+def clip_confidences(probs: np.ndarray, threshold: float = DEFAULT_THRESHOLD) -> np.ndarray:
+    """Eq. (3): Z'_ij = 1.0 where Z_ij >= threshold, else Z_ij."""
+    clipped = probs.copy()
+    clipped[clipped >= threshold] = 1.0
+    return clipped
+
+
+def vote(probs: np.ndarray, threshold: float = DEFAULT_THRESHOLD) -> int:
+    """Eq. (4): final class for one variable from its [N, C] VUC matrix."""
+    if probs.ndim != 2 or len(probs) == 0:
+        raise ValueError("vote needs a non-empty [N, C] confidence matrix")
+    totals = clip_confidences(probs, threshold).sum(axis=0)
+    return int(totals.argmax())
+
+
+def vote_scores(probs: np.ndarray, threshold: float = DEFAULT_THRESHOLD) -> np.ndarray:
+    """The summed clipped confidences per class (for inspection)."""
+    return clip_confidences(probs, threshold).sum(axis=0)
+
+
+def vote_many(
+    probs: np.ndarray,
+    variable_ids: list[str],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> dict[str, int]:
+    """Vote per variable over a flat VUC confidence matrix.
+
+    ``variable_ids[i]`` names the variable VUC ``i`` belongs to; returns
+    the winning class index per variable id.
+    """
+    if len(probs) != len(variable_ids):
+        raise ValueError("probs and variable_ids must align")
+    groups: dict[str, list[int]] = {}
+    for index, variable_id in enumerate(variable_ids):
+        groups.setdefault(variable_id, []).append(index)
+    return {
+        variable_id: vote(probs[indices], threshold)
+        for variable_id, indices in groups.items()
+    }

@@ -1,0 +1,31 @@
+"""Corpus management: project profiles matching the paper's application
+list and train/test dataset assembly.
+"""
+
+from repro.datasets.corpus import (
+    Corpus,
+    build_corpus,
+    build_dataset,
+    build_project_binaries,
+    build_small_corpus,
+)
+from repro.datasets.projects import (
+    TEST_APP_NAMES,
+    TEST_PROJECTS,
+    TRAINING_PROJECTS,
+    ProjectProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "Corpus",
+    "build_corpus",
+    "build_dataset",
+    "build_project_binaries",
+    "build_small_corpus",
+    "TEST_APP_NAMES",
+    "TEST_PROJECTS",
+    "TRAINING_PROJECTS",
+    "ProjectProfile",
+    "profile_by_name",
+]

@@ -1,0 +1,113 @@
+"""Corpus construction: projects → compiled binaries → labeled VUCs.
+
+The paper builds every project at -O0..-O3 with one compiler (§VII-A);
+:func:`build_corpus` does the same over the synthetic projects.  Corpus
+size is controlled by ``opt_levels`` and each profile's ``n_binaries``,
+so tests can run on tiny corpora while benches use the full thing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.codegen.binary import Binary
+from repro.codegen.compilers import Compiler, GccCompiler
+from repro.datasets.projects import TEST_PROJECTS, TRAINING_PROJECTS, ProjectProfile
+from repro.vuc.dataset import VucDataset, extract_labeled_vucs
+
+
+@dataclass
+class Corpus:
+    """Train + test VUC datasets plus the binaries they came from."""
+
+    train: VucDataset
+    test: VucDataset
+    train_binaries: list[Binary]
+    test_binaries: list[Binary]
+
+    def summary(self) -> str:
+        return (
+            f"train: {len(self.train)} VUCs / {self.train.n_variables()} variables "
+            f"({len(self.train_binaries)} binaries); "
+            f"test: {len(self.test)} VUCs / {self.test.n_variables()} variables "
+            f"({len(self.test_binaries)} binaries)"
+        )
+
+
+def build_project_binaries(
+    profile: ProjectProfile,
+    compiler: Compiler,
+    opt_levels: Sequence[int] = (0, 1, 2, 3),
+) -> list[Binary]:
+    """Compile every binary of one project at every optimization level."""
+    config = profile.generator_config()
+    binaries = []
+    for binary_index in range(profile.n_binaries):
+        for opt_level in opt_levels:
+            binaries.append(compiler.compile_fresh(
+                seed=profile.seed * 1000 + binary_index,
+                name=f"{profile.name}-{binary_index}",
+                opt_level=opt_level,
+                config=config,
+            ))
+    return binaries
+
+
+def build_dataset(
+    profiles: Sequence[ProjectProfile],
+    compiler: Compiler,
+    opt_levels: Sequence[int] = (0, 1, 2, 3),
+    window: int = 10,
+) -> tuple[VucDataset, list[Binary]]:
+    """Extract one labeled dataset over many projects."""
+    dataset = VucDataset(window=window)
+    binaries: list[Binary] = []
+    for profile in profiles:
+        for binary in build_project_binaries(profile, compiler, opt_levels):
+            dataset.extend(extract_labeled_vucs(binary, app=profile.name, window=window))
+            binaries.append(binary)
+    return dataset, binaries
+
+
+def build_corpus(
+    compiler: Compiler | None = None,
+    opt_levels: Sequence[int] = (0, 1, 2, 3),
+    train_profiles: Sequence[ProjectProfile] = TRAINING_PROJECTS,
+    test_profiles: Sequence[ProjectProfile] = TEST_PROJECTS,
+    window: int = 10,
+) -> Corpus:
+    """The full train/test corpus used by the experiment harness.
+
+    Test applications are disjoint from training projects, matching the
+    paper's unseen-binaries evaluation.
+    """
+    compiler = compiler or GccCompiler()
+    train, train_binaries = build_dataset(train_profiles, compiler, opt_levels, window)
+    test, test_binaries = build_dataset(test_profiles, compiler, opt_levels, window)
+    return Corpus(
+        train=train,
+        test=test,
+        train_binaries=train_binaries,
+        test_binaries=test_binaries,
+    )
+
+
+def build_small_corpus(window: int = 10) -> Corpus:
+    """A fast corpus for tests: 2 projects x 1 binary x -O0/-O2."""
+    small_train = tuple(TRAINING_PROJECTS[:2])
+    small_test = tuple(TEST_PROJECTS[:2])
+    resized_train = [
+        ProjectProfile(p.name, p.seed, 1, dict(p.weight_overrides), p.size_scale)
+        for p in small_train
+    ]
+    resized_test = [
+        ProjectProfile(p.name, p.seed, 1, dict(p.weight_overrides), p.size_scale)
+        for p in small_test
+    ]
+    return build_corpus(
+        opt_levels=(0, 2),
+        train_profiles=resized_train,
+        test_profiles=resized_test,
+        window=window,
+    )

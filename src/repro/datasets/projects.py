@@ -1,0 +1,100 @@
+"""Project profiles: the synthetic stand-ins for the paper's corpus.
+
+Training projects mirror §VII-A's list (OS tools, network programs,
+computationally intensive programs, R/Python-style mixed projects); the
+twelve test applications are the ones Tables III/IV/VI report.  Each
+profile tweaks the base type distribution the way the real project's
+domain does — R is float-heavy, grep/sed are char-buffer-heavy, gzip is
+unsigned-heavy — which is what creates the per-application accuracy
+spread the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import TypeName
+from repro.codegen.progen import DEFAULT_TYPE_WEIGHTS, GeneratorConfig
+
+
+@dataclass(frozen=True)
+class ProjectProfile:
+    """One project: name, corpus role, size and distribution tweaks."""
+
+    name: str
+    seed: int
+    n_binaries: int
+    weight_overrides: dict[TypeName, float] = field(default_factory=dict)
+    size_scale: float = 1.0     # multiplies functions-per-binary
+
+    def generator_config(self) -> GeneratorConfig:
+        weights = dict(DEFAULT_TYPE_WEIGHTS)
+        weights.update(self.weight_overrides)
+        config = GeneratorConfig(type_weights=weights)
+        if self.size_scale != 1.0:
+            low, high = config.functions_per_binary
+            config.functions_per_binary = (
+                max(2, int(low * self.size_scale)),
+                max(3, int(high * self.size_scale)),
+            )
+        return config
+
+
+#: Training-side projects (§VII-A's categories).
+TRAINING_PROJECTS: tuple[ProjectProfile, ...] = (
+    ProjectProfile("coreutils", seed=101, n_binaries=4),
+    ProjectProfile("binutils", seed=102, n_binaries=4,
+                   weight_overrides={TypeName.STRUCT_POINTER: 26.0}),
+    ProjectProfile("gcc", seed=103, n_binaries=4,
+                   weight_overrides={TypeName.ENUM: 4.0, TypeName.STRUCT: 7.0}),
+    ProjectProfile("php", seed=104, n_binaries=3,
+                   weight_overrides={TypeName.VOID_POINTER: 5.0}),
+    ProjectProfile("nginx", seed=105, n_binaries=3,
+                   weight_overrides={TypeName.STRUCT_POINTER: 28.0, TypeName.UNSIGNED_INT: 3.0}),
+    ProjectProfile("xpdf", seed=106, n_binaries=3,
+                   weight_overrides={TypeName.DOUBLE: 7.0, TypeName.FLOAT: 0.6}),
+    ProjectProfile("zlib", seed=107, n_binaries=2,
+                   weight_overrides={TypeName.UNSIGNED_CHAR: 2.0, TypeName.LONG_UNSIGNED_INT: 8.0}),
+    ProjectProfile("python", seed=108, n_binaries=3,
+                   weight_overrides={TypeName.DOUBLE: 5.0, TypeName.LONG_INT: 7.0}),
+)
+
+#: The 12 test applications of Tables III/IV/VI.
+TEST_PROJECTS: tuple[ProjectProfile, ...] = (
+    ProjectProfile("bash", seed=201, n_binaries=2,
+                   weight_overrides={TypeName.CHAR: 3.5, TypeName.INT: 26.0}),
+    ProjectProfile("bison", seed=202, n_binaries=2,
+                   weight_overrides={TypeName.ENUM: 4.5, TypeName.STRUCT: 7.0}),
+    ProjectProfile("cflow", seed=203, n_binaries=1,
+                   weight_overrides={TypeName.STRUCT_POINTER: 25.0}),
+    ProjectProfile("gawk", seed=204, n_binaries=2,
+                   weight_overrides={TypeName.DOUBLE: 5.0, TypeName.CHAR: 3.0}),
+    ProjectProfile("grep", seed=205, n_binaries=1,
+                   weight_overrides={TypeName.CHAR: 4.5, TypeName.UNSIGNED_CHAR: 1.2}),
+    ProjectProfile("gzip", seed=206, n_binaries=1, size_scale=0.7,
+                   weight_overrides={TypeName.UNSIGNED_INT: 4.0, TypeName.FLOAT: 0.0,
+                                     TypeName.DOUBLE: 0.0, TypeName.LONG_DOUBLE: 0.0}),
+    ProjectProfile("inetutils", seed=207, n_binaries=3,
+                   weight_overrides={TypeName.STRUCT_POINTER: 26.0, TypeName.VOID_POINTER: 4.0}),
+    ProjectProfile("less", seed=208, n_binaries=1, size_scale=0.8),
+    ProjectProfile("nano", seed=209, n_binaries=1,
+                   weight_overrides={TypeName.FLOAT: 0.0, TypeName.DOUBLE: 0.0,
+                                     TypeName.LONG_DOUBLE: 0.0, TypeName.BOOL: 2.5}),
+    ProjectProfile("R", seed=210, n_binaries=4, size_scale=1.4,
+                   weight_overrides={TypeName.DOUBLE: 9.0, TypeName.FLOAT: 0.5,
+                                     TypeName.LONG_DOUBLE: 0.6, TypeName.STRUCT_POINTER: 24.0}),
+    ProjectProfile("sed", seed=211, n_binaries=1, size_scale=0.8,
+                   weight_overrides={TypeName.CHAR: 4.0, TypeName.FLOAT: 0.0,
+                                     TypeName.DOUBLE: 0.0, TypeName.LONG_DOUBLE: 0.0}),
+    ProjectProfile("wget", seed=212, n_binaries=2,
+                   weight_overrides={TypeName.STRUCT_POINTER: 24.0, TypeName.CHAR: 3.0}),
+)
+
+TEST_APP_NAMES: tuple[str, ...] = tuple(p.name for p in TEST_PROJECTS)
+
+
+def profile_by_name(name: str) -> ProjectProfile:
+    for profile in TRAINING_PROJECTS + TEST_PROJECTS:
+        if profile.name == name:
+            return profile
+    raise KeyError(f"unknown project {name!r}")

@@ -1,0 +1,10 @@
+"""From-scratch x86-64 instruction decoder (bytes → Instruction IR).
+
+Together with :mod:`repro.elf` and :mod:`repro.dwarf.native`, this makes
+the real-binary pipeline fully self-contained: no objdump or readelf
+needed.  Cross-validated against objdump in the test suite.
+"""
+
+from repro.disasm.decoder import DecodeError, decode_function, decode_one, elf_symbolizer
+
+__all__ = ["DecodeError", "decode_function", "decode_one", "elf_symbolizer"]

@@ -1,0 +1,644 @@
+"""x86-64 instruction decoder: machine-code bytes → :class:`Instruction`.
+
+Covers the userland instruction subset gcc/clang emit at -O0..-O2 for C
+code — the same coverage the pipeline's locator and generalizer need:
+MOV family (including immediates and extensions), LEA, the ALU groups,
+shifts, TEST/CMP, PUSH/POP, CALL/JMP/Jcc/SETcc, RET/LEAVE/NOP/ENDBR64,
+scalar SSE (movss/movsd/arith/ucomi/cvt) and the x87 long-double loads
+and stores.
+
+Decoding is table-light and structured around the actual encoding
+pipeline: legacy prefixes → REX → opcode (with 0F escape) → ModRM/SIB →
+displacement → immediate.  Output renders in AT&T operand order, the
+same convention as the rest of the IR, and the test suite cross-checks
+every decoded function against objdump's output byte-for-byte and
+text-for-text.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.asm.instruction import Instruction
+from repro.asm.operands import Imm, Label, Mem, Operand, Reg
+
+#: Register name tables indexed by (reg number 0-15) per width.
+_REG64 = ("rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+          "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15")
+_REG32 = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+          "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d")
+_REG16 = ("ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+          "r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w")
+_REG8 = ("al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+         "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b")
+_REG8_LEGACY = ("al", "cl", "dl", "bl", "ah", "ch", "dh", "bh")
+_XMM = tuple(f"xmm{i}" for i in range(16))
+
+_CC_NAMES = ("o", "no", "b", "ae", "e", "ne", "be", "a",
+             "s", "ns", "p", "np", "l", "ge", "le", "g")
+
+_GROUP1 = ("add", "or", "adc", "sbb", "and", "sub", "xor", "cmp")
+_SHIFT_GROUP = ("rol", "ror", "rcl", "rcr", "shl", "shr", "sal", "sar")
+_GROUP3 = ("test", "test", "not", "neg", "mul", "imul", "div", "idiv")
+
+
+class DecodeError(ValueError):
+    """Raised when the byte stream cannot be decoded."""
+
+    def __init__(self, message: str, offset: int = 0) -> None:
+        super().__init__(f"{message} at offset 0x{offset:x}")
+        self.offset = offset
+
+
+@dataclass
+class _State:
+    """Mutable decode cursor + prefix bookkeeping for one instruction."""
+
+    data: bytes
+    pos: int
+    address: int             # virtual address of the instruction start
+    start: int = 0           # byte offset of the instruction start
+    rex: int = 0
+    opsize: bool = False     # 0x66 prefix
+    rep: int = 0             # 0xF3 / 0xF2 prefix value
+
+    def rel_target(self, rel: int) -> int:
+        """Branch target VA: rel is relative to the instruction end,
+        and relative immediates are always the last bytes, so the
+        current cursor is the end."""
+        return self.address + (self.pos - self.start) + rel
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise DecodeError("truncated instruction", self.pos)
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def i8(self) -> int:
+        return struct.unpack_from("<b", self.data, self._take(1))[0]
+
+    def u8(self) -> int:
+        return self.data[self._take(1)]
+
+    def i16(self) -> int:
+        return struct.unpack_from("<h", self.data, self._take(2))[0]
+
+    def i32(self) -> int:
+        return struct.unpack_from("<i", self.data, self._take(4))[0]
+
+    def i64(self) -> int:
+        return struct.unpack_from("<q", self.data, self._take(8))[0]
+
+    def _take(self, n: int) -> int:
+        if self.pos + n > len(self.data):
+            raise DecodeError("truncated immediate/displacement", self.pos)
+        start = self.pos
+        self.pos += n
+        return start
+
+    # -- REX helpers -----------------------------------------------------------
+
+    @property
+    def rex_w(self) -> bool:
+        return bool(self.rex & 0x8)
+
+    @property
+    def rex_r(self) -> int:
+        return (self.rex & 0x4) >> 2
+
+    @property
+    def rex_x(self) -> int:
+        return (self.rex & 0x2) >> 1
+
+    @property
+    def rex_b(self) -> int:
+        return self.rex & 0x1
+
+    def gp(self, number: int, width: int) -> str:
+        if width == 8:
+            return _REG64[number]
+        if width == 4:
+            return _REG32[number]
+        if width == 2:
+            return _REG16[number]
+        if self.rex:
+            return _REG8[number]
+        return _REG8_LEGACY[number] if number < 8 else _REG8[number]
+
+    @property
+    def opwidth(self) -> int:
+        """Operand width from prefixes: REX.W=8, 0x66=2, default 4."""
+        if self.rex_w:
+            return 8
+        if self.opsize:
+            return 2
+        return 4
+
+
+def _modrm(state: _State, width: int, reg_table: str = "gp") -> tuple[int, Operand]:
+    """Decode ModRM (+SIB, +disp); return (reg field, r/m operand)."""
+    modrm = state.byte()
+    mod = modrm >> 6
+    reg = ((modrm >> 3) & 0x7) | (state.rex_r << 3)
+    rm = (modrm & 0x7) | (state.rex_b << 3)
+
+    if mod == 3:
+        if reg_table == "xmm":
+            return reg, Reg(_XMM[rm])
+        return reg, Reg(state.gp(rm, width))
+
+    # memory form
+    base: str | None = None
+    index: str | None = None
+    scale = 1
+    disp = 0
+    if (modrm & 0x7) == 4:  # SIB follows
+        sib = state.byte()
+        scale = 1 << (sib >> 6)
+        index_num = ((sib >> 3) & 0x7) | (state.rex_x << 3)
+        base_num = (sib & 0x7) | (state.rex_b << 3)
+        if index_num != 4:  # 4 = no index
+            index = _REG64[index_num]
+        if (sib & 0x7) == 5 and mod == 0:
+            base = None
+            disp = state.i32()
+        else:
+            base = _REG64[base_num]
+    elif (modrm & 0x7) == 5 and mod == 0:
+        # RIP-relative
+        disp = state.i32()
+        return reg, Mem(disp=disp, base="rip")
+    else:
+        base = _REG64[rm]
+
+    if mod == 1:
+        disp = state.i8()
+    elif mod == 2:
+        disp = state.i32()
+    if index is not None and scale == 1 and base is None:
+        # keep canonical form; Mem handles rendering
+        pass
+    return reg, Mem(disp=disp, base=base, index=index, scale=scale)
+
+
+def _width_suffix(width: int) -> str:
+    return {1: "b", 2: "w", 4: "l", 8: "q"}[width]
+
+
+def _mem_or_reg_mnemonic(base: str, operand: Operand, width: int) -> str:
+    """objdump prints a width suffix only when the width is ambiguous
+    (memory operand with an immediate or alone)."""
+    if isinstance(operand, Mem):
+        return base + _width_suffix(width)
+    return base
+
+
+def decode_one(data: bytes, offset: int, address: int) -> tuple[Instruction, int]:
+    """Decode the instruction at ``offset``; return (instruction, length)."""
+    state = _State(data=data, pos=offset, address=address, start=offset)
+
+    # -- prefixes -------------------------------------------------------------
+    while True:
+        if state.pos >= len(data):
+            raise DecodeError("ran off end in prefixes", state.pos)
+        byte = data[state.pos]
+        if byte == 0x66:
+            state.opsize = True
+            state.pos += 1
+        elif byte in (0xF2, 0xF3):
+            state.rep = byte
+            state.pos += 1
+        elif byte in (0x2E, 0x3E, 0x26, 0x36, 0x64, 0x65):  # segment prefixes
+            state.pos += 1
+        else:
+            break
+    if 0x40 <= data[state.pos] <= 0x4F:
+        state.rex = data[state.pos] & 0xF
+        state.pos += 1
+
+    opcode = state.byte()
+    instruction = _decode_opcode(state, opcode)
+    length = state.pos - offset
+    return Instruction(
+        mnemonic=instruction.mnemonic, operands=instruction.operands, address=address,
+    ), length
+
+
+def _ins(mnemonic: str, *operands: Operand) -> Instruction:
+    return Instruction(mnemonic=mnemonic, operands=tuple(operands))
+
+
+def _decode_opcode(s: _State, op: int) -> Instruction:
+    # -- one-byte opcodes -------------------------------------------------------
+    if op == 0x0F:
+        return _decode_0f(s, s.byte())
+
+    if 0x50 <= op <= 0x57:
+        return _ins("push", Reg(_REG64[(op - 0x50) | (s.rex_b << 3)]))
+    if 0x58 <= op <= 0x5F:
+        return _ins("pop", Reg(_REG64[(op - 0x58) | (s.rex_b << 3)]))
+
+    # ALU r/m, r and r, r/m forms: op base in table
+    alu_base = {0x00: "add", 0x08: "or", 0x10: "adc", 0x18: "sbb",
+                0x20: "and", 0x28: "sub", 0x30: "xor", 0x38: "cmp"}
+    if (op & 0xC7) in (0x00, 0x01, 0x02, 0x03) and (op & 0x38) in alu_base:
+        name = alu_base[op & 0x38]
+        width = 1 if (op & 1) == 0 else s.opwidth
+        reg, rm = _modrm(s, width)
+        reg_op = Reg(s.gp(reg, width))
+        # No width suffix: the register operand already discloses it.
+        if op & 2:  # r <- r/m
+            return _ins(name, rm, reg_op)
+        return _ins(name, reg_op, rm)
+    if (op & 0xC7) in (0x04, 0x05) and (op & 0x38) in alu_base:
+        # op AL/eAX, imm
+        name = alu_base[op & 0x38]
+        if op & 1:
+            width = s.opwidth
+            imm = s.i32() if width != 2 else s.i16()
+            return _ins(name, Imm(imm), Reg(s.gp(0, width)))
+        return _ins(name, Imm(s.i8()), Reg(s.gp(0, 1)))
+
+    if op == 0x63:  # movsxd / movslq
+        reg, rm = _modrm(s, 4)
+        return _ins("movslq", rm, Reg(s.gp(reg, 8)))
+
+    if op in (0x69, 0x6B):  # imul r, r/m, imm
+        width = s.opwidth
+        reg, rm = _modrm(s, width)
+        imm = s.i8() if op == 0x6B else (s.i16() if width == 2 else s.i32())
+        return _ins("imul", Imm(imm), rm, Reg(s.gp(reg, width)))
+
+    if 0x70 <= op <= 0x7F:
+        rel = s.i8()
+        return _ins("j" + _CC_NAMES[op - 0x70], Label(s.rel_target(rel)))
+
+    if op in (0x80, 0x81, 0x83):  # group1 imm
+        width = 1 if op == 0x80 else s.opwidth
+        reg, rm = _modrm(s, width)
+        if op == 0x81:
+            imm = s.i16() if width == 2 else s.i32()
+        else:
+            imm = s.i8()
+        name = _GROUP1[reg & 7]
+        return _ins(_mem_or_reg_mnemonic(name, rm, width), Imm(imm), rm)
+
+    if op in (0x84, 0x85):  # test
+        width = 1 if op == 0x84 else s.opwidth
+        reg, rm = _modrm(s, width)
+        return _ins("test", Reg(s.gp(reg, width)), rm)
+
+    if op in (0x86, 0x87):  # xchg
+        width = 1 if op == 0x86 else s.opwidth
+        reg, rm = _modrm(s, width)
+        return _ins("xchg", Reg(s.gp(reg, width)), rm)
+
+    if op in (0x88, 0x89, 0x8A, 0x8B):  # mov
+        width = 1 if (op & 1) == 0 else s.opwidth
+        reg, rm = _modrm(s, width)
+        reg_op = Reg(s.gp(reg, width))
+        if op & 2:
+            return _ins("mov", rm, reg_op)
+        return _ins("mov", reg_op, rm)
+
+    if op == 0x8D:  # lea
+        reg, rm = _modrm(s, s.opwidth)
+        return _ins("lea", rm, Reg(s.gp(reg, s.opwidth)))
+
+    if op == 0x90:
+        return _ins("xchg", Reg("ax"), Reg("ax")) if s.opsize else _ins("nop")
+
+    if op == 0x98:
+        return _ins("cltq") if s.rex_w else (_ins("cbtw") if s.opsize else _ins("cwtl"))
+    if op == 0x99:
+        return _ins("cqto") if s.rex_w else (_ins("cwtd") if s.opsize else _ins("cltd"))
+
+    if 0xB0 <= op <= 0xB7:  # mov imm8, r8
+        reg = (op - 0xB0) | (s.rex_b << 3)
+        return _ins("mov", Imm(s.u8()), Reg(s.gp(reg, 1)))
+    if 0xB8 <= op <= 0xBF:  # mov imm, r
+        reg = (op - 0xB8) | (s.rex_b << 3)
+        if s.rex_w:
+            return _ins("movabs", Imm(s.i64()), Reg(s.gp(reg, 8)))
+        if s.opsize:
+            return _ins("mov", Imm(s.i16()), Reg(s.gp(reg, 2)))
+        return _ins("mov", Imm(s.i32()), Reg(s.gp(reg, 4)))
+
+    if op in (0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3):  # shift group
+        width = 1 if op in (0xC0, 0xD0, 0xD2) else s.opwidth
+        reg, rm = _modrm(s, width)
+        name = _SHIFT_GROUP[reg & 7]
+        mnemonic = _mem_or_reg_mnemonic(name, rm, width)
+        if op in (0xC0, 0xC1):
+            return _ins(mnemonic, Imm(s.u8()), rm)
+        if op in (0xD0, 0xD1):
+            return _ins(mnemonic, rm)
+        return _ins(mnemonic, Reg("cl"), rm)
+
+    if op == 0xC3:
+        return _ins("retq")
+    if op == 0xC9:
+        return _ins("leave")
+    if op == 0xCC:
+        return _ins("int3")
+    if op == 0xF4:
+        return _ins("hlt")
+
+    if op in (0xC6, 0xC7):  # mov imm, r/m
+        width = 1 if op == 0xC6 else s.opwidth
+        reg, rm = _modrm(s, width)
+        if op == 0xC6:
+            imm = s.u8()
+        else:
+            imm = s.i16() if width == 2 else s.i32()
+        return _ins(_mem_or_reg_mnemonic("mov", rm, width), Imm(imm), rm)
+
+    if op == 0xE8:
+        return _ins("callq", Label(s.rel_target(s.i32())))
+    if op == 0xE9:
+        return _ins("jmp", Label(s.rel_target(s.i32())))
+    if op == 0xEB:
+        return _ins("jmp", Label(s.rel_target(s.i8())))
+
+    if op in (0xF6, 0xF7):  # group3
+        width = 1 if op == 0xF6 else s.opwidth
+        reg, rm = _modrm(s, width)
+        name = _GROUP3[reg & 7]
+        if name == "test":
+            if width == 1:
+                return _ins(_mem_or_reg_mnemonic("test", rm, width), Imm(s.u8()), rm)
+            imm = s.i16() if width == 2 else s.i32()
+            return _ins(_mem_or_reg_mnemonic("test", rm, width), Imm(imm), rm)
+        return _ins(_mem_or_reg_mnemonic(name, rm, width), rm)
+
+    if op in (0xFE, 0xFF):  # group5 (inc/dec/call/jmp/push)
+        # The reg field selects the operation; call/jmp/push operate on
+        # 64-bit operands regardless of prefixes. Peek before decoding.
+        if s.pos >= len(s.data):
+            raise DecodeError("truncated modrm", s.pos)
+        kind = (s.data[s.pos] >> 3) & 7
+        if op == 0xFF and kind in (2, 3, 4, 5, 6):
+            width = 8
+        else:
+            width = 1 if op == 0xFE else s.opwidth
+        _reg, rm = _modrm(s, width)
+        if op == 0xFF and kind == 2:
+            return _ins("callq", _star(rm))
+        if op == 0xFF and kind == 4:
+            return _ins("jmp", _star(rm))
+        if op == 0xFF and kind == 6:
+            return _ins("push", rm)
+        name = "inc" if kind == 0 else "dec"
+        return _ins(_mem_or_reg_mnemonic(name, rm, width), rm)
+
+    if 0xD8 <= op <= 0xDF:
+        return _decode_x87(s, op)
+
+    raise DecodeError(f"unknown opcode 0x{op:02x}", s.pos - 1)
+
+
+#: x87 memory-form mnemonics: (opcode, reg field) -> mnemonic.
+_X87_MEM = {
+    (0xD8, 0): "fadds", (0xD8, 1): "fmuls", (0xD8, 4): "fsubs", (0xD8, 6): "fdivs",
+    (0xD9, 0): "flds", (0xD9, 2): "fsts", (0xD9, 3): "fstps",
+    (0xD9, 5): "fldcw", (0xD9, 7): "fnstcw",
+    (0xDB, 0): "fildl", (0xDB, 2): "fistl", (0xDB, 3): "fistpl",
+    (0xDB, 5): "fldt", (0xDB, 7): "fstpt",
+    (0xDC, 0): "faddl", (0xDC, 1): "fmull", (0xDC, 4): "fsubl", (0xDC, 6): "fdivl",
+    (0xDD, 0): "fldl", (0xDD, 2): "fstl", (0xDD, 3): "fstpl",
+    (0xDE, 0): "fiadds", (0xDE, 1): "fimuls",
+    (0xDF, 0): "filds", (0xDF, 3): "fistps", (0xDF, 5): "fildll", (0xDF, 7): "fistpll",
+}
+
+#: x87 register-form instructions: (opcode, modrm byte) -> (mnemonic, operands).
+_X87_REG = {
+    (0xD9, 0xC9): ("fxch", ()),
+    (0xD9, 0xE0): ("fchs", ()),
+    (0xD9, 0xE1): ("fabs", ()),
+    (0xD9, 0xE8): ("fld1", ()),
+    (0xD9, 0xEE): ("fldz", ()),
+    (0xDE, 0xC1): ("faddp", (Reg("st"), Reg("st(1)"))),
+    (0xDE, 0xC9): ("fmulp", (Reg("st"), Reg("st(1)"))),
+    (0xDE, 0xE1): ("fsubrp", (Reg("st"), Reg("st(1)"))),
+    (0xDE, 0xE9): ("fsubp", (Reg("st"), Reg("st(1)"))),
+    (0xDE, 0xF1): ("fdivrp", (Reg("st"), Reg("st(1)"))),
+    (0xDE, 0xF9): ("fdivp", (Reg("st"), Reg("st(1)"))),
+    (0xDF, 0xE9): ("fucomip", ()),
+    (0xDB, 0xE9): ("fucomi", ()),
+    (0xDF, 0xF1): ("fcomip", ()),
+}
+
+
+def _decode_x87(s: _State, op: int) -> Instruction:
+    if s.pos >= len(s.data):
+        raise DecodeError("truncated x87", s.pos)
+    modrm = s.data[s.pos]
+    if modrm >= 0xC0:
+        s.pos += 1
+        known = _X87_REG.get((op, modrm))
+        if known is not None:
+            return _ins(known[0], *known[1])
+        # Generic register-stack form: fld/fstp st(i) and friends.
+        if op == 0xD9 and 0xC0 <= modrm <= 0xC7:
+            return _ins("fld", Reg(f"st({modrm - 0xC0})"))
+        if op == 0xDD and 0xD8 <= modrm <= 0xDF:
+            return _ins("fstp", Reg(f"st({modrm - 0xD8})"))
+        raise DecodeError(f"unknown x87 form {op:02x} {modrm:02x}", s.pos - 1)
+    reg_field = (modrm >> 3) & 7
+    name = _X87_MEM.get((op, reg_field))
+    if name is None:
+        raise DecodeError(f"unknown x87 memory form {op:02x}/{reg_field}", s.pos)
+    _reg, rm = _modrm(s, 8)
+    return _ins(name, rm)
+
+
+def _star(rm: Operand) -> Operand:
+    """Indirect call/jmp target; rendered as-is (we do not print the *)."""
+    return rm
+
+
+def _decode_0f(s: _State, op: int) -> Instruction:
+    # endbr64: F3 0F 1E FA
+    if op == 0x1E and s.rep == 0xF3:
+        sub = s.byte()
+        if sub == 0xFA:
+            return _ins("endbr64")
+        raise DecodeError(f"unknown F3 0F 1E {sub:02x}", s.pos - 1)
+    if op == 0x1F:  # multi-byte nop
+        _reg, rm = _modrm(s, s.opwidth)
+        return _ins("nopw" if s.opsize else "nopl", rm)
+
+    if op == 0x05:
+        return _ins("syscall")
+    if op == 0x0B:
+        return _ins("ud2")
+    if op == 0xA2:
+        return _ins("cpuid")
+    if op == 0x31:
+        return _ins("rdtsc")
+
+    # scalar SSE
+    if op in (0x10, 0x11):
+        if s.rep == 0xF3:
+            name = "movss"
+        elif s.rep == 0xF2:
+            name = "movsd"
+        elif s.opsize:
+            name = "movupd"
+        else:
+            name = "movups"
+        reg, rm = _modrm(s, 16, reg_table="xmm")
+        xmm = Reg(_XMM[reg])
+        if op == 0x10:
+            return _ins(name, rm, xmm)
+        return _ins(name, xmm, rm)
+    if op in (0x28, 0x29):
+        name = "movapd" if s.opsize else "movaps"
+        reg, rm = _modrm(s, 16, reg_table="xmm")
+        xmm = Reg(_XMM[reg])
+        return _ins(name, rm, xmm) if op == 0x28 else _ins(name, xmm, rm)
+    if op == 0x2A:  # cvtsi2ss/sd
+        name = "cvtsi2ss" if s.rep == 0xF3 else "cvtsi2sd"
+        width = 8 if s.rex_w else 4
+        reg, rm = _modrm(s, width)
+        suffix = ""
+        if isinstance(rm, Mem):
+            suffix = "q" if s.rex_w else "l"
+        return _ins(name + suffix, rm, Reg(_XMM[reg]))
+    if op in (0x2C, 0x2D):  # cvttss2si / cvtss2si
+        prefix = "cvtt" if op == 0x2C else "cvt"
+        name = prefix + ("ss2si" if s.rep == 0xF3 else "sd2si")
+        reg, rm = _modrm(s, 16, reg_table="xmm")
+        width = 8 if s.rex_w else 4
+        return _ins(name, rm, Reg(s.gp(reg, width)))
+    if op in (0x2E, 0x2F):
+        name = ("ucomis" if op == 0x2E else "comis") + ("d" if s.opsize else "s")
+        reg, rm = _modrm(s, 16, reg_table="xmm")
+        return _ins(name, rm, Reg(_XMM[reg]))
+    if op in (0x51, 0x58, 0x59, 0x5C, 0x5D, 0x5E, 0x5F):
+        base = {0x51: "sqrt", 0x58: "add", 0x59: "mul", 0x5C: "sub",
+                0x5D: "min", 0x5E: "div", 0x5F: "max"}[op]
+        if s.rep == 0xF3:
+            name = base + "ss"
+        elif s.rep == 0xF2:
+            name = base + "sd"
+        elif s.opsize:
+            name = base + "pd"
+        else:
+            name = base + "ps"
+        reg, rm = _modrm(s, 16, reg_table="xmm")
+        return _ins(name, rm, Reg(_XMM[reg]))
+    if op == 0x5A:  # cvtss2sd / cvtsd2ss
+        name = "cvtss2sd" if s.rep == 0xF3 else "cvtsd2ss"
+        reg, rm = _modrm(s, 16, reg_table="xmm")
+        return _ins(name, rm, Reg(_XMM[reg]))
+    if op == 0x57:
+        name = "xorpd" if s.opsize else "xorps"
+        reg, rm = _modrm(s, 16, reg_table="xmm")
+        return _ins(name, rm, Reg(_XMM[reg]))
+    if op == 0xEF:
+        reg, rm = _modrm(s, 16, reg_table="xmm")
+        return _ins("pxor", rm, Reg(_XMM[reg]))
+    if op in (0x6E, 0x7E):  # movd/movq between gp/xmm
+        if op == 0x7E and s.rep == 0xF3:
+            reg, rm = _modrm(s, 16, reg_table="xmm")
+            return _ins("movq", rm, Reg(_XMM[reg]))
+        width = 8 if s.rex_w else 4
+        name = "movq" if s.rex_w else "movd"
+        reg, rm = _modrm(s, width)
+        xmm = Reg(_XMM[reg])
+        return _ins(name, rm, xmm) if op == 0x6E else _ins(name, xmm, rm)
+    if op == 0xD6:
+        reg, rm = _modrm(s, 16, reg_table="xmm")
+        return _ins("movq", Reg(_XMM[reg]), rm)
+
+    if 0x40 <= op <= 0x4F:  # cmovcc
+        width = s.opwidth
+        reg, rm = _modrm(s, width)
+        return _ins("cmov" + _CC_NAMES[op - 0x40], rm, Reg(s.gp(reg, width)))
+
+    if 0x80 <= op <= 0x8F:  # jcc rel32
+        return _ins("j" + _CC_NAMES[op - 0x80], Label(s.rel_target(s.i32())))
+
+    if 0x90 <= op <= 0x9F:  # setcc
+        _reg, rm = _modrm(s, 1)
+        return _ins("set" + _CC_NAMES[op - 0x90], rm)
+
+    if op == 0xAF:  # imul r, r/m
+        width = s.opwidth
+        reg, rm = _modrm(s, width)
+        return _ins("imul", rm, Reg(s.gp(reg, width)))
+
+    if op in (0xB6, 0xB7, 0xBE, 0xBF):  # movzx / movsx
+        src_width = 1 if op in (0xB6, 0xBE) else 2
+        dst_width = s.opwidth
+        reg, rm = _modrm(s, src_width)
+        prefix = "movz" if op in (0xB6, 0xB7) else "movs"
+        name = prefix + _width_suffix(src_width) + _width_suffix(dst_width)
+        return _ins(name, rm, Reg(s.gp(reg, dst_width)))
+
+    raise DecodeError(f"unknown opcode 0f {op:02x}", s.pos - 1)
+
+
+def decode_function(
+    code: bytes,
+    base_address: int,
+    symbolizer=None,
+) -> list[Instruction]:
+    """Decode a whole function's bytes into an instruction list.
+
+    ``symbolizer`` (optional) maps a target address to a display symbol
+    (``"process_ints+0x2c"``); matching Label operands get annotated the
+    way objdump annotates them.
+    """
+    out: list[Instruction] = []
+    offset = 0
+    while offset < len(code):
+        instruction, length = decode_one(code, offset, base_address + offset)
+        if symbolizer is not None:
+            instruction = _symbolize(instruction, symbolizer)
+        out.append(instruction)
+        offset += length
+    return out
+
+
+def _symbolize(instruction: Instruction, symbolizer) -> Instruction:
+    changed = False
+    operands = []
+    for op in instruction.operands:
+        if isinstance(op, Label) and op.symbol is None:
+            symbol = symbolizer(op.address)
+            if symbol is not None:
+                op = Label(address=op.address, symbol=symbol)
+                changed = True
+        operands.append(op)
+    if not changed:
+        return instruction
+    return Instruction(
+        mnemonic=instruction.mnemonic, operands=tuple(operands),
+        address=instruction.address,
+    )
+
+
+def elf_symbolizer(elf) -> "callable":
+    """Build a symbolizer from an :class:`~repro.elf.parser.ElfFile`'s
+    function symbols: addresses inside a function map to ``name`` or
+    ``name+0xoff`` (PLT stubs are not resolved — that needs relocation
+    parsing, which stripped-binary workflows do not have anyway)."""
+    functions = elf.function_symbols()
+    plt = elf.plt_map()
+
+    def lookup(address: int) -> str | None:
+        name = plt.get(address)
+        if name is not None:
+            return name
+        for symbol in functions:
+            if symbol.value <= address < symbol.value + symbol.size:
+                if address == symbol.value:
+                    return symbol.name
+                return f"{symbol.name}+0x{address - symbol.value:x}"
+        return None
+
+    return lookup

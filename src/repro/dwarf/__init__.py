@@ -1,0 +1,59 @@
+"""DWARF-like debug information: DIE tree model, byte-level codec and
+type resolution down to the 19 CATI labels.
+
+The synthetic compiler (:mod:`repro.codegen`) emits a :class:`DebugBlob`
+for every binary it builds; stripping a binary discards the blob.  The
+labeled-dataset builder decodes the blob to recover each variable's
+ground-truth type exactly as the paper does with real DWARF (§IV-A).
+"""
+
+from repro.dwarf.decode import DwarfDecodeError, decode
+from repro.dwarf.dies import (
+    Attr,
+    Die,
+    Encoding,
+    Tag,
+    array_of,
+    base_type,
+    compile_unit,
+    const_of,
+    enum_type,
+    pointer_to,
+    struct_type,
+    subprogram,
+    typedef,
+    variable,
+    volatile_of,
+)
+from repro.dwarf.encode import DebugBlob, encode
+from repro.dwarf.leb128 import decode_sleb128, decode_uleb128, encode_sleb128, encode_uleb128
+from repro.dwarf.resolver import UnresolvableType, resolve_type, variables_with_types
+
+__all__ = [
+    "Attr",
+    "Die",
+    "Encoding",
+    "Tag",
+    "DebugBlob",
+    "DwarfDecodeError",
+    "UnresolvableType",
+    "array_of",
+    "base_type",
+    "compile_unit",
+    "const_of",
+    "decode",
+    "decode_sleb128",
+    "decode_uleb128",
+    "encode",
+    "encode_sleb128",
+    "encode_uleb128",
+    "enum_type",
+    "pointer_to",
+    "resolve_type",
+    "struct_type",
+    "subprogram",
+    "typedef",
+    "variable",
+    "variables_with_types",
+    "volatile_of",
+]

@@ -1,0 +1,104 @@
+"""Parse the encoded ``.debug_abbrev``/``.debug_info`` streams back into a
+DIE tree.  Inverse of :mod:`repro.dwarf.encode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dwarf.dies import Attr, Die, Tag
+from repro.dwarf.encode import DebugBlob
+from repro.dwarf.leb128 import decode_sleb128, decode_uleb128
+
+
+class DwarfDecodeError(ValueError):
+    """Raised on malformed debug streams."""
+
+
+@dataclass(frozen=True, slots=True)
+class _Abbrev:
+    tag: int
+    attr_ids: tuple[int, ...]
+    has_children: bool
+
+
+def _parse_abbrevs(data: bytes) -> dict[int, _Abbrev]:
+    abbrevs: dict[int, _Abbrev] = {}
+    offset = 0
+    while True:
+        code, offset = decode_uleb128(data, offset)
+        if code == 0:
+            return abbrevs
+        tag, offset = decode_uleb128(data, offset)
+        if offset >= len(data):
+            raise DwarfDecodeError("truncated abbrev table")
+        has_children = bool(data[offset])
+        offset += 1
+        attr_ids: list[int] = []
+        while True:
+            attr_id, offset = decode_uleb128(data, offset)
+            if attr_id == 0:
+                break
+            attr_ids.append(attr_id)
+        abbrevs[code] = _Abbrev(tag=tag, attr_ids=tuple(attr_ids), has_children=has_children)
+
+
+def _read_string(data: bytes, offset: int) -> tuple[str, int]:
+    end = data.find(b"\x00", offset)
+    if end < 0:
+        raise DwarfDecodeError("unterminated string")
+    return data[offset:end].decode("utf-8"), end + 1
+
+
+def decode(blob: DebugBlob) -> Die:
+    """Decode a :class:`DebugBlob` into its root :class:`Die`.
+
+    Type references are resolved in a second pass once every DIE ordinal
+    is known, so forward references work.
+    """
+    abbrevs = _parse_abbrevs(blob.abbrev)
+    data = blob.info
+    dies_in_order: list[Die] = []
+    pending_refs: list[tuple[Die, int]] = []
+
+    def parse_die(offset: int) -> tuple[Die, int]:
+        code, offset = decode_uleb128(data, offset)
+        if code == 0:
+            raise DwarfDecodeError("unexpected null DIE")
+        abbrev = abbrevs.get(code)
+        if abbrev is None:
+            raise DwarfDecodeError(f"unknown abbrev code {code}")
+        die = Die(Tag(abbrev.tag))
+        dies_in_order.append(die)
+        for attr_id in abbrev.attr_ids:
+            attr = Attr(attr_id)
+            if attr is Attr.NAME:
+                value, offset = _read_string(data, offset)
+                die.attrs[attr] = value
+            elif attr is Attr.LOCATION:
+                value, offset = decode_sleb128(data, offset)
+                die.attrs[attr] = value
+            elif attr is Attr.TYPE:
+                ref, offset = decode_uleb128(data, offset)
+                pending_refs.append((die, ref))
+            else:
+                value, offset = decode_uleb128(data, offset)
+                die.attrs[attr] = value
+        if abbrev.has_children:
+            while True:
+                peek, next_offset = decode_uleb128(data, offset)
+                if peek == 0:
+                    offset = next_offset
+                    break
+                child, offset = parse_die(offset)
+                die.children.append(child)
+        return die, offset
+
+    root, offset = parse_die(0)
+    if offset != len(data):
+        raise DwarfDecodeError(f"{len(data) - offset} trailing bytes in info stream")
+    for die, ref in pending_refs:
+        if not 1 <= ref <= len(dies_in_order):
+            raise DwarfDecodeError(f"dangling type reference {ref}")
+        die.attrs[Attr.TYPE] = dies_in_order[ref - 1]
+    return root

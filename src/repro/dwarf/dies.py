@@ -1,0 +1,186 @@
+"""Debug Information Entry (DIE) tree — the DWARF subset CATI needs.
+
+Real DWARF describes each variable with a ``DW_TAG_variable`` DIE holding
+a name, a frame-base-relative location expression and a reference into a
+graph of type DIEs (base types, pointers, structs, typedef chains, cv
+qualifiers).  We model exactly that subset; the encoder in
+:mod:`repro.dwarf.encode` serializes the tree into genuine
+abbrev/info byte streams and :mod:`repro.dwarf.decode` parses them back.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Tag(enum.IntEnum):
+    """DWARF tags we model (values match the DWARF v4 standard)."""
+
+    COMPILE_UNIT = 0x11
+    SUBPROGRAM = 0x2E
+    VARIABLE = 0x34
+    FORMAL_PARAMETER = 0x05
+    BASE_TYPE = 0x24
+    POINTER_TYPE = 0x0F
+    STRUCTURE_TYPE = 0x13
+    UNION_TYPE = 0x17
+    ARRAY_TYPE = 0x01
+    ENUMERATION_TYPE = 0x04
+    TYPEDEF = 0x16
+    CONST_TYPE = 0x26
+    VOLATILE_TYPE = 0x35
+    MEMBER = 0x0D
+
+
+class Attr(enum.IntEnum):
+    """DWARF attributes we model (values match the standard)."""
+
+    NAME = 0x03
+    BYTE_SIZE = 0x0B
+    ENCODING = 0x3E
+    TYPE = 0x49
+    LOCATION = 0x02
+    LOW_PC = 0x11
+    DECL_LINE = 0x3B
+
+
+class Encoding(enum.IntEnum):
+    """DW_AT_encoding values for base types."""
+
+    ADDRESS = 0x01
+    BOOLEAN = 0x02
+    FLOAT = 0x04
+    SIGNED = 0x05
+    SIGNED_CHAR = 0x06
+    UNSIGNED = 0x07
+    UNSIGNED_CHAR = 0x08
+
+
+#: Attribute value kinds, used by the encoder to pick forms.
+AttrValue = "int | str | Die"
+
+
+@dataclass(eq=False)
+class Die:
+    """A single debug information entry.
+
+    Attribute values are Python-native: strings, ints, or references to
+    other :class:`Die` objects (for ``DW_AT_type``).  Children form the
+    tree (a compile unit owns subprograms; a subprogram owns variables;
+    a struct owns members).
+    """
+
+    tag: Tag
+    attrs: dict[Attr, "AttrValue"] = field(default_factory=dict)
+    children: list["Die"] = field(default_factory=list)
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def name(self) -> str | None:
+        value = self.attrs.get(Attr.NAME)
+        return value if isinstance(value, str) else None
+
+    @property
+    def type_ref(self) -> "Die | None":
+        value = self.attrs.get(Attr.TYPE)
+        return value if isinstance(value, Die) else None
+
+    @property
+    def byte_size(self) -> int | None:
+        value = self.attrs.get(Attr.BYTE_SIZE)
+        return value if isinstance(value, int) else None
+
+    @property
+    def location(self) -> int | None:
+        """Frame-base-relative offset (DW_OP_fbreg operand) for variables."""
+        value = self.attrs.get(Attr.LOCATION)
+        return value if isinstance(value, int) else None
+
+    def add(self, child: "Die") -> "Die":
+        """Append a child and return it (builder style)."""
+        self.children.append(child)
+        return child
+
+    def walk(self):
+        """Depth-first iterator over this DIE and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find_all(self, tag: Tag) -> list["Die"]:
+        """All descendant DIEs (including self) with the given tag."""
+        return [die for die in self.walk() if die.tag is tag]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.name or ""
+        return f"<Die {self.tag.name} {name!r} children={len(self.children)}>"
+
+
+# -- builder helpers used by the synthetic compiler ---------------------------
+
+
+def base_type(name: str, size: int, encoding: Encoding) -> Die:
+    """Build a DW_TAG_base_type DIE."""
+    return Die(Tag.BASE_TYPE, {Attr.NAME: name, Attr.BYTE_SIZE: size, Attr.ENCODING: int(encoding)})
+
+
+def pointer_to(target: Die | None) -> Die:
+    """Build a pointer-type DIE; ``None`` target means ``void*``."""
+    attrs: dict[Attr, AttrValue] = {Attr.BYTE_SIZE: 8}
+    if target is not None:
+        attrs[Attr.TYPE] = target
+    return Die(Tag.POINTER_TYPE, attrs)
+
+
+def typedef(name: str, target: Die) -> Die:
+    """Build a DW_TAG_typedef DIE aliasing ``target``."""
+    return Die(Tag.TYPEDEF, {Attr.NAME: name, Attr.TYPE: target})
+
+
+def struct_type(name: str, size: int, members: list[tuple[str, Die]] | None = None) -> Die:
+    """Build a structure-type DIE with optional named members."""
+    die = Die(Tag.STRUCTURE_TYPE, {Attr.NAME: name, Attr.BYTE_SIZE: size})
+    for member_name, member_type in members or []:
+        die.add(Die(Tag.MEMBER, {Attr.NAME: member_name, Attr.TYPE: member_type}))
+    return die
+
+
+def enum_type(name: str, size: int = 4) -> Die:
+    """Build an enumeration-type DIE."""
+    return Die(Tag.ENUMERATION_TYPE, {Attr.NAME: name, Attr.BYTE_SIZE: size})
+
+
+def array_of(element: Die, count: int) -> Die:
+    """Build an array-type DIE of ``count`` elements."""
+    size = (element.byte_size or 1) * count
+    return Die(Tag.ARRAY_TYPE, {Attr.TYPE: element, Attr.BYTE_SIZE: size})
+
+
+def const_of(target: Die) -> Die:
+    """Build a const-qualified view of ``target``."""
+    return Die(Tag.CONST_TYPE, {Attr.TYPE: target})
+
+
+def volatile_of(target: Die) -> Die:
+    """Build a volatile-qualified view of ``target``."""
+    return Die(Tag.VOLATILE_TYPE, {Attr.TYPE: target})
+
+
+def variable(name: str, var_type: Die, frame_offset: int) -> Die:
+    """Build a DW_TAG_variable DIE with a DW_OP_fbreg location."""
+    return Die(
+        Tag.VARIABLE,
+        {Attr.NAME: name, Attr.TYPE: var_type, Attr.LOCATION: frame_offset},
+    )
+
+
+def subprogram(name: str, low_pc: int) -> Die:
+    """Build a DW_TAG_subprogram DIE."""
+    return Die(Tag.SUBPROGRAM, {Attr.NAME: name, Attr.LOW_PC: low_pc})
+
+
+def compile_unit(name: str) -> Die:
+    """Build the root DW_TAG_compile_unit DIE."""
+    return Die(Tag.COMPILE_UNIT, {Attr.NAME: name})

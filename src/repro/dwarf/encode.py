@@ -1,0 +1,127 @@
+"""Serialize a DIE tree into DWARF-style ``.debug_abbrev``/``.debug_info``
+byte streams.
+
+The layout follows the real format's structure: an abbreviation table
+describing (tag, attribute-list, has-children) shapes, and an info stream
+where every DIE is an abbrev code followed by attribute values, with a
+zero code terminating each sibling list.  Attribute forms:
+
+* ``DW_AT_name``            → inline NUL-terminated UTF-8 (DW_FORM_string)
+* ``DW_AT_location``        → SLEB128 frame offset (DW_OP_fbreg operand)
+* ``DW_AT_type``            → ULEB128 DIE ordinal (DW_FORM_ref_udata-like)
+* all other int attributes  → ULEB128 (DW_FORM_udata)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dwarf.dies import Attr, Die
+from repro.dwarf.leb128 import encode_sleb128, encode_uleb128
+
+
+@dataclass(frozen=True, slots=True)
+class DebugBlob:
+    """The two encoded debug sections."""
+
+    abbrev: bytes
+    info: bytes
+
+
+def _shape(die: Die) -> tuple[int, tuple[int, ...], bool]:
+    """The abbreviation key of a DIE: tag, sorted attrs, has-children."""
+    return int(die.tag), tuple(sorted(int(a) for a in die.attrs)), bool(die.children)
+
+
+def _number_dies(root: Die) -> dict[int, int]:
+    """Assign each DIE a 1-based DFS ordinal (0 is reserved = null ref)."""
+    ordinals: dict[int, int] = {}
+    for ordinal, die in enumerate(root.walk(), start=1):
+        ordinals[id(die)] = ordinal
+    return ordinals
+
+
+def _encode_attr(attr: Attr, value, ordinals: dict[int, int]) -> bytes:
+    if attr is Attr.NAME:
+        if not isinstance(value, str):
+            raise TypeError(f"DW_AT_name must be str, got {type(value)}")
+        return value.encode("utf-8") + b"\x00"
+    if attr is Attr.LOCATION:
+        return encode_sleb128(int(value))
+    if attr is Attr.TYPE:
+        if isinstance(value, Die):
+            ref = ordinals.get(id(value))
+            if ref is None:
+                raise ValueError("DW_AT_type references a DIE outside the tree")
+            return encode_uleb128(ref)
+        raise TypeError("DW_AT_type must reference a Die")
+    return encode_uleb128(int(value))
+
+
+def _attach_loose_references(root: Die) -> None:
+    """Append attr-referenced DIEs that are not yet in the tree.
+
+    Builders may reference type DIEs (``DW_AT_type``) that were created
+    inline and never placed in the tree; real DWARF would give them a
+    section offset somewhere, so we hang them off the root.  Iterates to
+    closure because newly attached DIEs can reference further ones.
+    """
+    while True:
+        in_tree = {id(die) for die in root.walk()}
+        loose: list[Die] = []
+        seen_loose: set[int] = set()
+        for die in root.walk():
+            for value in die.attrs.values():
+                if isinstance(value, Die) and id(value) not in in_tree \
+                        and id(value) not in seen_loose:
+                    loose.append(value)
+                    seen_loose.add(id(value))
+        if not loose:
+            return
+        root.children.extend(loose)
+
+
+def encode(root: Die) -> DebugBlob:
+    """Encode a DIE tree rooted at a compile unit into a :class:`DebugBlob`.
+
+    The encoding is self-contained: type references may point anywhere in
+    the tree (forward references included), which matches real DWARF where
+    ``DW_AT_type`` is an arbitrary section offset.  Referenced DIEs not
+    yet placed in the tree are attached under the root automatically.
+    """
+    _attach_loose_references(root)
+    ordinals = _number_dies(root)
+
+    abbrevs: dict[tuple, int] = {}
+    abbrev_stream = bytearray()
+
+    def abbrev_code(die: Die) -> int:
+        key = _shape(die)
+        code = abbrevs.get(key)
+        if code is None:
+            code = len(abbrevs) + 1
+            abbrevs[key] = code
+            tag, attr_ids, has_children = key
+            abbrev_stream.extend(encode_uleb128(code))
+            abbrev_stream.extend(encode_uleb128(tag))
+            abbrev_stream.append(1 if has_children else 0)
+            for attr_id in attr_ids:
+                abbrev_stream.extend(encode_uleb128(attr_id))
+            abbrev_stream.extend(encode_uleb128(0))  # attr list terminator
+        return code
+
+    info = bytearray()
+
+    def emit(die: Die) -> None:
+        info.extend(encode_uleb128(abbrev_code(die)))
+        for attr_id in sorted(int(a) for a in die.attrs):
+            attr = Attr(attr_id)
+            info.extend(_encode_attr(attr, die.attrs[attr], ordinals))
+        if die.children:
+            for child in die.children:
+                emit(child)
+            info.extend(encode_uleb128(0))  # sibling terminator
+
+    emit(root)
+    abbrev_stream.extend(encode_uleb128(0))  # abbrev table terminator
+    return DebugBlob(abbrev=bytes(abbrev_stream), info=bytes(info))

@@ -1,0 +1,71 @@
+"""LEB128 variable-length integer codec, as used by DWARF.
+
+Unsigned (ULEB128) and signed (SLEB128) forms, byte-exact with the DWARF
+standard so the encoded debug sections we produce are genuine LEB128
+streams.
+"""
+
+from __future__ import annotations
+
+
+def encode_uleb128(value: int) -> bytes:
+    """Encode a non-negative integer as ULEB128."""
+    if value < 0:
+        raise ValueError("ULEB128 cannot encode negative values")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uleb128(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a ULEB128 value; return (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated ULEB128")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def encode_sleb128(value: int) -> bytes:
+    """Encode a signed integer as SLEB128."""
+    out = bytearray()
+    more = True
+    while more:
+        byte = value & 0x7F
+        value >>= 7
+        sign_bit = byte & 0x40
+        if (value == 0 and not sign_bit) or (value == -1 and sign_bit):
+            more = False
+        else:
+            byte |= 0x80
+        out.append(byte)
+    return bytes(out)
+
+
+def decode_sleb128(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode an SLEB128 value; return (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated SLEB128")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            if byte & 0x40:
+                result -= 1 << shift
+            return result, offset

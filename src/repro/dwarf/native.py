@@ -1,0 +1,414 @@
+"""Native DWARF parser: reads real ``.debug_info``/``.debug_abbrev``/
+``.debug_str`` bytes (DWARF v4/v5, as emitted by gcc/clang) into the
+same :class:`~repro.dwarf.dies.Die` model the rest of the pipeline uses.
+
+This is the from-scratch replacement for ``readelf --debug-dump=info``
+text scraping: byte-level form decoding, CU-relative reference
+resolution, exprloc location parsing (``DW_OP_fbreg``), and array-size
+synthesis from subrange children.  The test suite cross-validates it
+against the readelf text path on a freshly compiled binary.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.types import TypeName
+from repro.dwarf.dies import Attr, Die, Tag
+from repro.dwarf.leb128 import decode_sleb128, decode_uleb128
+from repro.elf.parser import ElfFile
+
+
+class NativeDwarfError(ValueError):
+    """Raised on malformed or unsupported DWARF input."""
+
+
+# -- DWARF constants (subset) ----------------------------------------------------
+
+DW_FORM_ADDR = 0x01
+DW_FORM_DATA2 = 0x05
+DW_FORM_DATA4 = 0x06
+DW_FORM_DATA8 = 0x07
+DW_FORM_STRING = 0x08
+DW_FORM_BLOCK1 = 0x0A
+DW_FORM_DATA1 = 0x0B
+DW_FORM_FLAG = 0x0C
+DW_FORM_SDATA = 0x0D
+DW_FORM_STRP = 0x0E
+DW_FORM_UDATA = 0x0F
+DW_FORM_REF_ADDR = 0x10
+DW_FORM_REF1 = 0x11
+DW_FORM_REF2 = 0x12
+DW_FORM_REF4 = 0x13
+DW_FORM_REF8 = 0x14
+DW_FORM_REF_UDATA = 0x15
+DW_FORM_INDIRECT = 0x16
+DW_FORM_SEC_OFFSET = 0x17
+DW_FORM_EXPRLOC = 0x18
+DW_FORM_FLAG_PRESENT = 0x19
+DW_FORM_LINE_STRP = 0x1F
+DW_FORM_IMPLICIT_CONST = 0x21
+
+DW_AT_NAME = 0x03
+DW_AT_BYTE_SIZE = 0x0B
+DW_AT_ENCODING = 0x3E
+DW_AT_TYPE = 0x49
+DW_AT_LOCATION = 0x02
+DW_AT_LOW_PC = 0x11
+DW_AT_UPPER_BOUND = 0x2F
+DW_AT_COUNT = 0x37
+DW_AT_FRAME_BASE = 0x40
+
+DW_TAG_SUBRANGE_TYPE = 0x21
+
+DW_OP_FBREG = 0x91
+DW_OP_CALL_FRAME_CFA = 0x9C
+
+#: DWARF tags we materialize into the Die model (others become generic
+#: containers so the tree structure is preserved).
+_KNOWN_TAGS = {int(tag) for tag in Tag}
+
+#: CFA = rbp + 16 in the standard gcc rbp-framed prologue.
+CFA_TO_RBP = 16
+
+
+@dataclass(frozen=True, slots=True)
+class _AbbrevAttr:
+    attr: int
+    form: int
+    implicit: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class _Abbrev:
+    tag: int
+    has_children: bool
+    attrs: tuple[_AbbrevAttr, ...]
+
+
+def parse_abbrev_table(data: bytes, offset: int) -> dict[int, _Abbrev]:
+    """Parse one abbreviation table starting at ``offset``."""
+    table: dict[int, _Abbrev] = {}
+    while True:
+        code, offset = decode_uleb128(data, offset)
+        if code == 0:
+            return table
+        tag, offset = decode_uleb128(data, offset)
+        if offset >= len(data):
+            raise NativeDwarfError("truncated abbrev table")
+        has_children = bool(data[offset])
+        offset += 1
+        attrs: list[_AbbrevAttr] = []
+        while True:
+            attr, offset = decode_uleb128(data, offset)
+            form, offset = decode_uleb128(data, offset)
+            if attr == 0 and form == 0:
+                break
+            implicit = 0
+            if form == DW_FORM_IMPLICIT_CONST:
+                implicit, offset = decode_sleb128(data, offset)
+            attrs.append(_AbbrevAttr(attr=attr, form=form, implicit=implicit))
+        table[code] = _Abbrev(tag=tag, has_children=has_children, attrs=tuple(attrs))
+
+
+def _read_str(data: bytes, offset: int) -> str:
+    end = data.find(b"\x00", offset)
+    if end < 0:
+        raise NativeDwarfError("unterminated string")
+    return data[offset:end].decode("utf-8", "replace")
+
+
+@dataclass
+class _CuContext:
+    info: bytes
+    debug_str: bytes
+    line_str: bytes
+    cu_start: int          # offset of this CU within .debug_info
+    address_size: int
+
+
+class _FormReader:
+    """Decodes one attribute value per its form."""
+
+    def __init__(self, ctx: _CuContext) -> None:
+        self.ctx = ctx
+
+    def read(self, form: int, implicit: int, offset: int):
+        """Return (kind, value, next_offset); kind in
+        {'int','str','ref','exprloc','skip'}."""
+        data = self.ctx.info
+        if form == DW_FORM_ADDR:
+            size = self.ctx.address_size
+            value = int.from_bytes(data[offset:offset + size], "little")
+            return "int", value, offset + size
+        if form == DW_FORM_DATA1 or form == DW_FORM_FLAG:
+            return "int", data[offset], offset + 1
+        if form == DW_FORM_DATA2:
+            return "int", struct.unpack_from("<H", data, offset)[0], offset + 2
+        if form in (DW_FORM_DATA4, DW_FORM_SEC_OFFSET):
+            return "int", struct.unpack_from("<I", data, offset)[0], offset + 4
+        if form == DW_FORM_DATA8:
+            return "int", struct.unpack_from("<Q", data, offset)[0], offset + 8
+        if form == DW_FORM_SDATA:
+            value, offset = decode_sleb128(data, offset)
+            return "int", value, offset
+        if form == DW_FORM_UDATA:
+            value, offset = decode_uleb128(data, offset)
+            return "int", value, offset
+        if form == DW_FORM_STRING:
+            value = _read_str(data, offset)
+            return "str", value, offset + len(value.encode("utf-8")) + 1
+        if form == DW_FORM_STRP:
+            pointer = struct.unpack_from("<I", data, offset)[0]
+            return "str", _read_str(self.ctx.debug_str, pointer), offset + 4
+        if form == DW_FORM_LINE_STRP:
+            pointer = struct.unpack_from("<I", data, offset)[0]
+            return "str", _read_str(self.ctx.line_str, pointer), offset + 4
+        if form == DW_FORM_REF1:
+            return "ref", self.ctx.cu_start + data[offset], offset + 1
+        if form == DW_FORM_REF2:
+            return "ref", self.ctx.cu_start + struct.unpack_from("<H", data, offset)[0], offset + 2
+        if form == DW_FORM_REF4:
+            return "ref", self.ctx.cu_start + struct.unpack_from("<I", data, offset)[0], offset + 4
+        if form == DW_FORM_REF8:
+            return "ref", self.ctx.cu_start + struct.unpack_from("<Q", data, offset)[0], offset + 8
+        if form == DW_FORM_REF_UDATA:
+            value, offset = decode_uleb128(data, offset)
+            return "ref", self.ctx.cu_start + value, offset
+        if form == DW_FORM_REF_ADDR:
+            return "ref", struct.unpack_from("<I", data, offset)[0], offset + 4
+        if form == DW_FORM_EXPRLOC or form == DW_FORM_BLOCK1:
+            if form == DW_FORM_BLOCK1:
+                length = data[offset]
+                offset += 1
+            else:
+                length, offset = decode_uleb128(data, offset)
+            return "exprloc", data[offset:offset + length], offset + length
+        if form == DW_FORM_FLAG_PRESENT:
+            return "int", 1, offset
+        if form == DW_FORM_IMPLICIT_CONST:
+            return "int", implicit, offset
+        raise NativeDwarfError(f"unsupported DWARF form 0x{form:02x}")
+
+
+@dataclass
+class NativeDie:
+    """A parsed DIE before projection onto the compact Die model."""
+
+    offset: int
+    tag: int
+    depth: int
+    attrs: dict[int, object] = field(default_factory=dict)
+    refs: dict[int, int] = field(default_factory=dict)   # attr -> DIE offset
+    children: list["NativeDie"] = field(default_factory=list)
+
+
+def parse_compile_units(info: bytes, abbrev: bytes, debug_str: bytes,
+                        line_str: bytes) -> list[NativeDie]:
+    """Parse every CU in ``.debug_info`` into NativeDie trees."""
+    units: list[NativeDie] = []
+    offset = 0
+    while offset + 11 < len(info):
+        cu_start = offset
+        unit_length = struct.unpack_from("<I", info, offset)[0]
+        if unit_length == 0 or unit_length >= 0xFFFFFFF0:
+            raise NativeDwarfError("64-bit DWARF or corrupt unit length")
+        next_cu = offset + 4 + unit_length
+        version = struct.unpack_from("<H", info, offset + 4)[0]
+        if version == 5:
+            _unit_type = info[offset + 6]
+            address_size = info[offset + 7]
+            abbrev_offset = struct.unpack_from("<I", info, offset + 8)[0]
+            offset += 12
+        elif version in (3, 4):
+            abbrev_offset = struct.unpack_from("<I", info, offset + 6)[0]
+            address_size = info[offset + 10]
+            offset += 11
+        else:
+            raise NativeDwarfError(f"unsupported DWARF version {version}")
+
+        abbrevs = parse_abbrev_table(abbrev, abbrev_offset)
+        ctx = _CuContext(info=info, debug_str=debug_str, line_str=line_str,
+                         cu_start=cu_start, address_size=address_size)
+        reader = _FormReader(ctx)
+
+        root: NativeDie | None = None
+        stack: list[NativeDie] = []
+        while offset < next_cu:
+            die_offset = offset
+            code, offset = decode_uleb128(info, offset)
+            if code == 0:
+                if stack:
+                    stack.pop()
+                continue
+            abbrev_entry = abbrevs.get(code)
+            if abbrev_entry is None:
+                raise NativeDwarfError(f"unknown abbrev code {code} at 0x{die_offset:x}")
+            die = NativeDie(offset=die_offset, tag=abbrev_entry.tag, depth=len(stack))
+            for spec in abbrev_entry.attrs:
+                kind, value, offset = reader.read(spec.form, spec.implicit, offset)
+                if kind == "ref":
+                    die.refs[spec.attr] = value
+                else:
+                    die.attrs[spec.attr] = value
+            if stack:
+                stack[-1].children.append(die)
+            elif root is None:
+                root = die
+            if abbrev_entry.has_children:
+                stack.append(die)
+        if root is not None:
+            units.append(root)
+        offset = next_cu
+    return units
+
+
+# -- projection onto the compact Die model -----------------------------------------
+
+
+def to_die_tree(root: NativeDie) -> Die:
+    """Convert a NativeDie CU into the compact :class:`Die` model.
+
+    Unknown tags become pass-through containers (children preserved) so
+    typedef chains crossing exotic tags still resolve.  Array byte sizes
+    are synthesized from subrange bounds.
+    """
+    by_offset: dict[int, NativeDie] = {}
+
+    def index(native: NativeDie) -> None:
+        by_offset[native.offset] = native
+        for child in native.children:
+            index(child)
+
+    index(root)
+
+    converted: dict[int, Die] = {}
+
+    def convert(native: NativeDie) -> Die:
+        cached = converted.get(native.offset)
+        if cached is not None:
+            return cached
+        try:
+            tag = Tag(native.tag)
+        except ValueError:
+            tag = Tag.TYPEDEF if DW_AT_TYPE in native.refs else Tag.COMPILE_UNIT
+        die = Die(tag)
+        converted[native.offset] = die
+        name = native.attrs.get(DW_AT_NAME)
+        if isinstance(name, str):
+            die.attrs[Attr.NAME] = name
+        size = native.attrs.get(DW_AT_BYTE_SIZE)
+        if isinstance(size, int):
+            die.attrs[Attr.BYTE_SIZE] = size
+        encoding = native.attrs.get(DW_AT_ENCODING)
+        if isinstance(encoding, int):
+            die.attrs[Attr.ENCODING] = encoding
+        low_pc = native.attrs.get(DW_AT_LOW_PC)
+        if isinstance(low_pc, int):
+            die.attrs[Attr.LOW_PC] = low_pc
+        location = native.attrs.get(DW_AT_LOCATION)
+        if isinstance(location, (bytes, bytearray)) and len(location) >= 2 \
+                and location[0] == DW_OP_FBREG:
+            fbreg, _end = decode_sleb128(bytes(location), 1)
+            die.attrs[Attr.LOCATION] = fbreg
+        type_ref = native.refs.get(DW_AT_TYPE)
+        if type_ref is not None:
+            target = by_offset.get(type_ref)
+            if target is not None:
+                die.attrs[Attr.TYPE] = convert(target)
+        for child in native.children:
+            die.children.append(convert(child))
+        # Array size synthesis from subrange children.
+        if tag is Tag.ARRAY_TYPE and Attr.BYTE_SIZE not in die.attrs:
+            count = _array_count(native)
+            element = die.type_ref
+            if count is not None and element is not None:
+                element_size = _element_size(element)
+                die.attrs[Attr.BYTE_SIZE] = count * element_size
+        return die
+
+    return convert(root)
+
+
+def _array_count(native: NativeDie) -> int | None:
+    for child in native.children:
+        if child.tag == DW_TAG_SUBRANGE_TYPE:
+            upper = child.attrs.get(DW_AT_UPPER_BOUND)
+            if isinstance(upper, int):
+                return upper + 1
+            count = child.attrs.get(DW_AT_COUNT)
+            if isinstance(count, int):
+                return count
+    return None
+
+
+def _element_size(die: Die) -> int:
+    for _ in range(32):
+        if die.byte_size is not None:
+            return die.byte_size
+        target = die.type_ref
+        if target is None:
+            return 1
+        die = target
+    return 1
+
+
+# -- high-level API -----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class NativeVariable:
+    """One variable recovered from native DWARF parsing."""
+
+    function: str
+    name: str
+    rbp_offset: int
+    size: int
+    label: TypeName
+
+
+def load_compile_units(elf: ElfFile) -> list[Die]:
+    """Parse all CUs of an ELF file into compact Die trees."""
+    if not elf.has_debug_info:
+        raise NativeDwarfError("binary has no debug information")
+    natives = parse_compile_units(
+        elf.section_data(".debug_info"),
+        elf.section_data(".debug_abbrev"),
+        elf.section_data(".debug_str"),
+        elf.section_data(".debug_line_str"),
+    )
+    return [to_die_tree(root) for root in natives]
+
+
+def native_variables(elf: ElfFile) -> list[NativeVariable]:
+    """End-to-end: ELF bytes → located, typed local variables.
+
+    Mirrors :func:`repro.frontend.readelf.extract_real_variables` but
+    without any external tool; fbreg (CFA-relative) offsets are converted
+    to rbp displacements for the rbp-framed gcc prologue.
+    """
+    from repro.dwarf.resolver import UnresolvableType, resolve_type
+
+    out: list[NativeVariable] = []
+    for cu in load_compile_units(elf):
+        for sub in cu.find_all(Tag.SUBPROGRAM):
+            function = sub.name or "?"
+            for child in sub.walk():
+                if child.tag not in (Tag.VARIABLE, Tag.FORMAL_PARAMETER):
+                    continue
+                location = child.location
+                if location is None:
+                    continue
+                try:
+                    label = resolve_type(child.type_ref)
+                except UnresolvableType:
+                    continue
+                out.append(NativeVariable(
+                    function=function,
+                    name=child.name or "?",
+                    rbp_offset=location + CFA_TO_RBP,
+                    size=_element_size(child.type_ref) if child.type_ref else 8,
+                    label=label,
+                ))
+    return out

@@ -1,0 +1,176 @@
+"""Resolve a variable's DIE type reference to one of the 19 CATI labels.
+
+This implements §IV-A of the paper: typedef chains are followed
+recursively to the base type; cv-qualifiers are peeled; pointers are
+bucketed by their (fully resolved) pointee into ``void*`` / ``struct*`` /
+``arith*``; arrays are labeled by their element type (an array of char is
+used exactly like a char buffer at the instruction level).
+"""
+
+from __future__ import annotations
+
+from repro.core.types import TypeName
+from repro.dwarf.dies import Attr, Die, Encoding, Tag
+
+
+class UnresolvableType(ValueError):
+    """Raised for DIE shapes outside the 19-type taxonomy (e.g. union)."""
+
+
+#: Base-type name → leaf label.  Covers every spelling GCC/Clang emit.
+_BASE_NAMES: dict[str, TypeName] = {
+    "_Bool": TypeName.BOOL,
+    "bool": TypeName.BOOL,
+    "char": TypeName.CHAR,
+    "signed char": TypeName.CHAR,
+    "unsigned char": TypeName.UNSIGNED_CHAR,
+    "float": TypeName.FLOAT,
+    "double": TypeName.DOUBLE,
+    "long double": TypeName.LONG_DOUBLE,
+    "int": TypeName.INT,
+    "signed int": TypeName.INT,
+    "short": TypeName.SHORT_INT,
+    "short int": TypeName.SHORT_INT,
+    "long": TypeName.LONG_INT,
+    "long int": TypeName.LONG_INT,
+    "long long": TypeName.LONG_LONG_INT,
+    "long long int": TypeName.LONG_LONG_INT,
+    "unsigned int": TypeName.UNSIGNED_INT,
+    "unsigned": TypeName.UNSIGNED_INT,
+    "short unsigned int": TypeName.SHORT_UNSIGNED_INT,
+    "unsigned short": TypeName.SHORT_UNSIGNED_INT,
+    "long unsigned int": TypeName.LONG_UNSIGNED_INT,
+    "unsigned long": TypeName.LONG_UNSIGNED_INT,
+    "long long unsigned int": TypeName.LONG_LONG_UNSIGNED_INT,
+    "unsigned long long": TypeName.LONG_LONG_UNSIGNED_INT,
+}
+
+#: Fallback resolution by (encoding, byte size) for unnamed base types.
+_BY_ENCODING: dict[tuple[int, int], TypeName] = {
+    (int(Encoding.BOOLEAN), 1): TypeName.BOOL,
+    (int(Encoding.SIGNED_CHAR), 1): TypeName.CHAR,
+    (int(Encoding.UNSIGNED_CHAR), 1): TypeName.UNSIGNED_CHAR,
+    (int(Encoding.FLOAT), 4): TypeName.FLOAT,
+    (int(Encoding.FLOAT), 8): TypeName.DOUBLE,
+    (int(Encoding.FLOAT), 10): TypeName.LONG_DOUBLE,
+    (int(Encoding.FLOAT), 16): TypeName.LONG_DOUBLE,
+    (int(Encoding.SIGNED), 2): TypeName.SHORT_INT,
+    (int(Encoding.SIGNED), 4): TypeName.INT,
+    (int(Encoding.SIGNED), 8): TypeName.LONG_INT,
+    (int(Encoding.UNSIGNED), 2): TypeName.SHORT_UNSIGNED_INT,
+    (int(Encoding.UNSIGNED), 4): TypeName.UNSIGNED_INT,
+    (int(Encoding.UNSIGNED), 8): TypeName.LONG_UNSIGNED_INT,
+}
+
+#: Tags that merely wrap another type and are peeled transparently.
+_TRANSPARENT_TAGS = (Tag.TYPEDEF, Tag.CONST_TYPE, Tag.VOLATILE_TYPE)
+
+_MAX_CHAIN = 64  # guards against cyclic typedef chains in corrupt input
+
+
+def _peel(die: Die) -> Die:
+    """Follow typedef/const/volatile chains to the underlying type DIE."""
+    for _ in range(_MAX_CHAIN):
+        if die.tag in _TRANSPARENT_TAGS:
+            target = die.type_ref
+            if target is None:
+                raise UnresolvableType(f"{die.tag.name} without DW_AT_type")
+            die = target
+        else:
+            return die
+    raise UnresolvableType("typedef chain too deep (cycle?)")
+
+
+def _resolve_base(die: Die) -> TypeName:
+    name = die.name
+    if name is not None and name in _BASE_NAMES:
+        return _BASE_NAMES[name]
+    encoding = die.attrs.get(Attr.ENCODING)
+    size = die.byte_size
+    if isinstance(encoding, int) and isinstance(size, int):
+        label = _BY_ENCODING.get((encoding, size))
+        if label is not None:
+            return label
+    raise UnresolvableType(f"unknown base type {name!r} (size={size})")
+
+
+def _is_arithmetic(die: Die) -> bool:
+    """True when the (peeled) pointee is an arithmetic base type or enum."""
+    return die.tag in (Tag.BASE_TYPE, Tag.ENUMERATION_TYPE)
+
+
+def resolve_type(die: Die | None) -> TypeName:
+    """Resolve a type DIE (possibly None for ``void``) to a leaf label.
+
+    A ``None`` input models a missing DW_AT_type, which in DWARF means
+    ``void``; it only occurs under a pointer, so it is unresolvable on its
+    own.
+    """
+    if die is None:
+        raise UnresolvableType("bare void is not a variable type")
+    die = _peel(die)
+    if die.tag is Tag.BASE_TYPE:
+        return _resolve_base(die)
+    if die.tag is Tag.ENUMERATION_TYPE:
+        return TypeName.ENUM
+    if die.tag is Tag.STRUCTURE_TYPE:
+        return TypeName.STRUCT
+    if die.tag is Tag.ARRAY_TYPE:
+        # Arrays are labeled by element type: the instruction stream
+        # accesses elements, and the paper's Fig. 2 treats a struct array
+        # as `struct`.
+        return resolve_type(die.type_ref)
+    if die.tag is Tag.POINTER_TYPE:
+        pointee = die.type_ref
+        if pointee is None:
+            return TypeName.VOID_POINTER
+        pointee = _peel(pointee)
+        if pointee.tag is Tag.STRUCTURE_TYPE:
+            return TypeName.STRUCT_POINTER
+        if _is_arithmetic(pointee):
+            return TypeName.ARITH_POINTER
+        if pointee.tag is Tag.POINTER_TYPE:
+            # Pointer-to-pointer: statically indistinguishable from void*
+            # traffic; the paper folds it into the pointer taxonomy the
+            # same way.
+            return TypeName.VOID_POINTER
+        if pointee.tag is Tag.ARRAY_TYPE:
+            return resolve_pointer_to(pointee)
+        if pointee.tag is Tag.UNION_TYPE:
+            return TypeName.VOID_POINTER
+        raise UnresolvableType(f"pointer to {pointee.tag.name}")
+    if die.tag is Tag.UNION_TYPE:
+        raise UnresolvableType("union is outside the 19-type taxonomy")
+    raise UnresolvableType(f"cannot resolve tag {die.tag.name}")
+
+
+def resolve_pointer_to(array_die: Die) -> TypeName:
+    """Classify a pointer whose pointee is an array by element kind."""
+    element = array_die.type_ref
+    if element is None:
+        return TypeName.VOID_POINTER
+    element = _peel(element)
+    if element.tag is Tag.STRUCTURE_TYPE:
+        return TypeName.STRUCT_POINTER
+    if _is_arithmetic(element):
+        return TypeName.ARITH_POINTER
+    return TypeName.VOID_POINTER
+
+
+def variables_with_types(compile_unit: Die) -> list[tuple[Die, Die, TypeName]]:
+    """Extract (subprogram, variable DIE, resolved type) triples from a CU.
+
+    Variables whose types fall outside the taxonomy (unions, function
+    pointers) are skipped, mirroring the paper's exclusion of union.
+    """
+    out: list[tuple[Die, Die, TypeName]] = []
+    for func in compile_unit.find_all(Tag.SUBPROGRAM):
+        for child in func.children:
+            if child.tag not in (Tag.VARIABLE, Tag.FORMAL_PARAMETER):
+                continue
+            try:
+                label = resolve_type(child.type_ref)
+            except UnresolvableType:
+                continue
+            out.append((func, child, label))
+    return out

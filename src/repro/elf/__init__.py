@@ -1,0 +1,8 @@
+"""Pure-Python read-only ELF64 parser: sections, symbols, function
+bytes.  Used by :mod:`repro.dwarf.native` to read real debug sections
+without external tools.
+"""
+
+from repro.elf.parser import ElfFile, ElfParseError, Section, Symbol
+
+__all__ = ["ElfFile", "ElfParseError", "Section", "Symbol"]

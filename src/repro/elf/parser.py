@@ -1,0 +1,239 @@
+"""ELF64 object-file parser (pure Python, read-only).
+
+Parses just what the binary-analysis pipeline needs: the ELF header,
+the section header table (with names resolved through ``.shstrtab``),
+section contents, and the symbol table.  This removes the dependency on
+``readelf`` for section access and lets :mod:`repro.dwarf.native` parse
+debug information straight from the file bytes.
+
+Layout references: the System V ABI / ELF-64 object file format.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+ELF_MAGIC = b"\x7fELF"
+
+#: e_ident offsets
+EI_CLASS = 4
+EI_DATA = 5
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+
+#: section header types we care about
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+
+#: symbol-table entry constants
+STT_FUNC = 2
+STT_OBJECT = 1
+
+
+class ElfParseError(ValueError):
+    """Raised on malformed or unsupported ELF input."""
+
+
+@dataclass(frozen=True, slots=True)
+class Section:
+    """One ELF section: its header fields and raw contents."""
+
+    name: str
+    sh_type: int
+    addr: int
+    offset: int
+    size: int
+    link: int
+    entsize: int
+    data: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol:
+    """One symbol-table entry."""
+
+    name: str
+    value: int
+    size: int
+    info: int
+    shndx: int
+
+    @property
+    def type(self) -> int:
+        return self.info & 0xF
+
+    @property
+    def is_function(self) -> bool:
+        return self.type == STT_FUNC
+
+
+class ElfFile:
+    """A parsed 64-bit little-endian ELF file."""
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) < 64 or data[:4] != ELF_MAGIC:
+            raise ElfParseError("not an ELF file")
+        if data[EI_CLASS] != ELFCLASS64:
+            raise ElfParseError("only ELF64 is supported")
+        if data[EI_DATA] != ELFDATA2LSB:
+            raise ElfParseError("only little-endian ELF is supported")
+        self.data = data
+        (
+            self.e_type, self.e_machine, _version, self.e_entry,
+            _phoff, e_shoff, _flags, _ehsize, _phentsize, _phnum,
+            e_shentsize, e_shnum, e_shstrndx,
+        ) = struct.unpack_from("<HHIQQQIHHHHHH", data, 16)
+        self.sections = self._parse_sections(e_shoff, e_shentsize, e_shnum, e_shstrndx)
+        self._by_name = {s.name: s for s in self.sections}
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ElfFile":
+        return cls(Path(path).read_bytes())
+
+    # -- sections ----------------------------------------------------------------
+
+    def _parse_sections(self, shoff: int, entsize: int, count: int,
+                        shstrndx: int) -> list[Section]:
+        if shoff == 0 or count == 0:
+            return []
+        raw = []
+        for index in range(count):
+            base = shoff + index * entsize
+            if base + 64 > len(self.data):
+                raise ElfParseError("section header table out of bounds")
+            (name_off, sh_type, _flags, addr, offset, size, link,
+             _info, _align, sh_entsize) = struct.unpack_from("<IIQQQQIIQQ", self.data, base)
+            raw.append((name_off, sh_type, addr, offset, size, link, sh_entsize))
+        if not 0 <= shstrndx < len(raw):
+            raise ElfParseError("bad section name string table index")
+        str_off, str_size = raw[shstrndx][3], raw[shstrndx][4]
+        shstrtab = self.data[str_off:str_off + str_size]
+
+        def section_name(name_off: int) -> str:
+            end = shstrtab.find(b"\x00", name_off)
+            return shstrtab[name_off:end].decode("utf-8", "replace")
+
+        sections = []
+        for name_off, sh_type, addr, offset, size, link, sh_entsize in raw:
+            contents = b"" if sh_type == 8 else self.data[offset:offset + size]  # SHT_NOBITS
+            sections.append(Section(
+                name=section_name(name_off), sh_type=sh_type, addr=addr,
+                offset=offset, size=size, link=link, entsize=sh_entsize,
+                data=contents,
+            ))
+        return sections
+
+    def section(self, name: str) -> Section | None:
+        """Look up a section by name (``.text``, ``.debug_info``, ...)."""
+        return self._by_name.get(name)
+
+    def section_data(self, name: str) -> bytes:
+        """Contents of a named section; empty bytes when absent."""
+        section = self.section(name)
+        return section.data if section is not None else b""
+
+    @property
+    def has_debug_info(self) -> bool:
+        return bool(self.section_data(".debug_info")) and bool(self.section_data(".debug_abbrev"))
+
+    # -- symbols ------------------------------------------------------------------
+
+    def symbols(self) -> list[Symbol]:
+        """Parse ``.symtab`` (or fall back to ``.dynsym``)."""
+        table = self.section(".symtab") or self.section(".dynsym")
+        if table is None or table.entsize == 0:
+            return []
+        strtab = self.sections[table.link].data if table.link < len(self.sections) else b""
+
+        def symbol_name(offset: int) -> str:
+            end = strtab.find(b"\x00", offset)
+            return strtab[offset:end].decode("utf-8", "replace")
+
+        out = []
+        for base in range(0, len(table.data) - 23, table.entsize):
+            name_off, info, _other, shndx, value, size = struct.unpack_from(
+                "<IBBHQQ", table.data, base,
+            )
+            out.append(Symbol(
+                name=symbol_name(name_off), value=value, size=size,
+                info=info, shndx=shndx,
+            ))
+        return out
+
+    def function_symbols(self) -> list[Symbol]:
+        """Defined function symbols with a non-zero size, sorted by address."""
+        functions = [
+            s for s in self.symbols()
+            if s.is_function and s.size > 0 and s.shndx != 0 and s.name
+        ]
+        return sorted(functions, key=lambda s: s.value)
+
+    def dynamic_symbols(self) -> list[Symbol]:
+        """Parse ``.dynsym`` entries (names from ``.dynstr``)."""
+        table = self.section(".dynsym")
+        if table is None or table.entsize == 0:
+            return []
+        strtab = self.sections[table.link].data if table.link < len(self.sections) else b""
+
+        def symbol_name(offset: int) -> str:
+            end = strtab.find(b"\x00", offset)
+            return strtab[offset:end].decode("utf-8", "replace")
+
+        out = []
+        for base in range(0, len(table.data) - 23, table.entsize):
+            name_off, info, _other, shndx, value, size = struct.unpack_from(
+                "<IBBHQQ", table.data, base,
+            )
+            out.append(Symbol(name=symbol_name(name_off), value=value, size=size,
+                              info=info, shndx=shndx))
+        return out
+
+    def plt_map(self) -> dict[int, str]:
+        """Map PLT stub addresses to ``name@plt`` import names.
+
+        Walks ``.rela.plt`` (GOT slot → dynamic symbol) and then scans
+        each 16-byte stub of ``.plt``/``.plt.sec`` for its ``jmp
+        *disp(%rip)`` (ff 25) to find which GOT slot it dispatches
+        through — the standard lazy-PLT layout gcc and clang emit.
+        """
+        rela = self.section(".rela.plt")
+        if rela is None:
+            return {}
+        dynsyms = self.dynamic_symbols()
+        got_to_name: dict[int, str] = {}
+        for base in range(0, len(rela.data) - 23, 24):
+            r_offset, r_info, _addend = struct.unpack_from("<QQq", rela.data, base)
+            sym_index = r_info >> 32
+            if 0 <= sym_index < len(dynsyms) and dynsyms[sym_index].name:
+                got_to_name[r_offset] = dynsyms[sym_index].name + "@plt"
+
+        out: dict[int, str] = {}
+        for section_name in (".plt.sec", ".plt"):
+            section = self.section(section_name)
+            if section is None:
+                continue
+            for stub_off in range(0, len(section.data) - 15, 16):
+                stub = section.data[stub_off:stub_off + 16]
+                position = stub.find(b"\xff\x25")
+                if position < 0 or position + 6 > len(stub):
+                    continue
+                disp = struct.unpack_from("<i", stub, position + 2)[0]
+                target = section.addr + stub_off + position + 6 + disp
+                name = got_to_name.get(target)
+                stub_addr = section.addr + stub_off
+                if name is not None and stub_addr not in out:
+                    out[stub_addr] = name
+        # Prefer .plt.sec stubs (the call targets) over .plt when both map.
+        return out
+
+    def text_bytes_for(self, symbol: Symbol) -> bytes:
+        """The machine-code bytes of one function symbol."""
+        text = self.section(".text")
+        if text is None:
+            return b""
+        start = symbol.value - text.addr
+        if start < 0 or start + symbol.size > len(text.data):
+            return b""
+        return text.data[start:start + symbol.size]

@@ -1,0 +1,9 @@
+"""Assembly-code embedding: vocabulary, from-scratch Word2Vec (SGNS) and
+the VUC-to-matrix encoder (§IV-C).
+"""
+
+from repro.embedding.encoder import VucEncoder
+from repro.embedding.vocab import UNK, Vocab
+from repro.embedding.word2vec import Word2Vec, Word2VecConfig
+
+__all__ = ["VucEncoder", "UNK", "Vocab", "Word2Vec", "Word2VecConfig"]

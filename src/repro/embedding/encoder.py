@@ -1,0 +1,44 @@
+"""VUC → matrix encoding (§IV-C / Fig. 3c).
+
+Each instruction is three tokens (mnemonic, op1, op2); each token embeds
+to a 32-dim vector; the instruction is their concatenation (96 dims);
+the VUC is the stacked ``[21, 96]`` float32 matrix the CNN consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.embedding.word2vec import Word2Vec
+from repro.vuc.generalize import Tokens
+
+
+class VucEncoder:
+    """Encode generalized VUC token windows into CNN input tensors."""
+
+    def __init__(self, embedding: Word2Vec) -> None:
+        self.embedding = embedding
+
+    @property
+    def token_dim(self) -> int:
+        return self.embedding.config.dim
+
+    @property
+    def instruction_dim(self) -> int:
+        return 3 * self.token_dim
+
+    def encode_window(self, tokens: Sequence[Tokens]) -> np.ndarray:
+        """One VUC → [len(window), 3*dim] float32 matrix."""
+        flat_ids = self.embedding.vocab.encode(
+            [token for triple in tokens for token in triple]
+        )
+        vectors = self.embedding.embed_ids(flat_ids)
+        return vectors.reshape(len(tokens), self.instruction_dim).astype(np.float32)
+
+    def encode_batch(self, windows: Sequence[Sequence[Tokens]]) -> np.ndarray:
+        """Many VUCs → [N, L, 3*dim] tensor (all windows must share L)."""
+        if not windows:
+            return np.zeros((0, 0, self.instruction_dim), dtype=np.float32)
+        return np.stack([self.encode_window(window) for window in windows])

@@ -1,0 +1,73 @@
+"""Token vocabulary for the assembly-code embedding.
+
+Tokens are the generalized mnemonic/operand strings produced by
+:mod:`repro.vuc.generalize`.  Rare tokens (below ``min_count``) map to
+``UNK`` so unseen binaries embed cleanly — the paper reports its
+generalization covers >99% of new samples; UNK absorbs the rest.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+UNK = "UNK"
+
+
+@dataclass
+class Vocab:
+    """Immutable token → id mapping with frequency bookkeeping."""
+
+    token_to_id: dict[str, int] = field(default_factory=dict)
+    counts: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @classmethod
+    def build(cls, sequences: Iterable[Iterable[str]], min_count: int = 1) -> "Vocab":
+        """Count tokens over token sequences and build the mapping.
+
+        ``UNK`` always gets id 0, with a count equal to the total mass of
+        the dropped rare tokens (so negative sampling stays calibrated).
+        """
+        counter: Counter[str] = Counter()
+        for sequence in sequences:
+            counter.update(sequence)
+        kept = [(token, count) for token, count in counter.most_common() if count >= min_count]
+        dropped_mass = sum(count for token, count in counter.items() if count < min_count)
+        token_to_id = {UNK: 0}
+        counts = [max(dropped_mass, 1)]
+        for token, count in kept:
+            token_to_id[token] = len(token_to_id)
+            counts.append(count)
+        return cls(token_to_id=token_to_id, counts=np.asarray(counts, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self.token_to_id)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.token_to_id
+
+    def id_of(self, token: str) -> int:
+        """Token id, with rare/unseen tokens mapping to UNK (id 0)."""
+        return self.token_to_id.get(token, 0)
+
+    def encode(self, tokens: Iterable[str]) -> np.ndarray:
+        """Encode a token sequence to an int32 id array."""
+        return np.asarray([self.id_of(token) for token in tokens], dtype=np.int32)
+
+    def unigram_table(self, power: float = 0.75) -> np.ndarray:
+        """Negative-sampling distribution: counts ** power, normalized."""
+        weights = self.counts.astype(np.float64) ** power
+        return weights / weights.sum()
+
+    def coverage(self, sequences: Iterable[Iterable[str]]) -> float:
+        """Fraction of tokens in ``sequences`` that are in-vocabulary."""
+        total = 0
+        known = 0
+        for sequence in sequences:
+            for token in sequence:
+                total += 1
+                known += token in self.token_to_id
+        return known / total if total else 1.0

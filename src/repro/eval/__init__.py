@@ -1,0 +1,29 @@
+"""Evaluation: metrics (P/R/F1/accuracy/confusion), corpus statistics
+(orphans, uncertain samples, clustering) and paper-style table renderers.
+"""
+
+from repro.eval.metrics import ClassMetrics, Report, accuracy, confusion_matrix, evaluate
+from repro.eval.reports import render_confusion, render_stage_app_table, render_table
+from repro.eval.stats import (
+    ClusteringStats,
+    OrphanStats,
+    clustering_stats,
+    find_uncertain_examples,
+    orphan_stats,
+)
+
+__all__ = [
+    "ClassMetrics",
+    "Report",
+    "accuracy",
+    "confusion_matrix",
+    "evaluate",
+    "render_confusion",
+    "render_stage_app_table",
+    "render_table",
+    "ClusteringStats",
+    "OrphanStats",
+    "clustering_stats",
+    "find_uncertain_examples",
+    "orphan_stats",
+]

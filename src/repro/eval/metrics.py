@@ -1,0 +1,104 @@
+"""Classification metrics: precision/recall/F1, accuracy, confusion.
+
+Matches §VII-A's definitions.  Aggregates are *weighted* by class
+support, which is what the paper reports for its per-application P/R/F1
+rows (the per-stage numbers in Tables III/IV are single summary values
+per application, i.e. support-weighted averages over that stage's
+classes).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """P/R/F1 and support for one class."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass(frozen=True)
+class Report:
+    """Full evaluation report over a label set."""
+
+    per_class: dict[Hashable, ClassMetrics]
+    accuracy: float
+    weighted_precision: float
+    weighted_recall: float
+    weighted_f1: float
+    n_samples: int
+
+
+def _f1(precision: float, recall: float) -> float:
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def evaluate(y_true: Sequence[Hashable], y_pred: Sequence[Hashable]) -> Report:
+    """Compute the full report; classes = union of true and predicted."""
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must align")
+    if not y_true:
+        return Report({}, 0.0, 0.0, 0.0, 0.0, 0)
+    classes = sorted({*y_true, *y_pred}, key=str)
+    true_counts = Counter(y_true)
+    pred_counts = Counter(y_pred)
+    hit_counts: Counter = Counter(t for t, p in zip(y_true, y_pred) if t == p)
+
+    per_class: dict[Hashable, ClassMetrics] = {}
+    for cls in classes:
+        tp = hit_counts.get(cls, 0)
+        support = true_counts.get(cls, 0)
+        predicted = pred_counts.get(cls, 0)
+        precision = tp / predicted if predicted else 0.0
+        recall = tp / support if support else 0.0
+        per_class[cls] = ClassMetrics(
+            precision=precision, recall=recall, f1=_f1(precision, recall), support=support,
+        )
+
+    n = len(y_true)
+    accuracy = sum(hit_counts.values()) / n
+    weights = {cls: true_counts.get(cls, 0) / n for cls in classes}
+    weighted_precision = sum(per_class[c].precision * weights[c] for c in classes)
+    weighted_recall = sum(per_class[c].recall * weights[c] for c in classes)
+    weighted_f1 = sum(per_class[c].f1 * weights[c] for c in classes)
+    return Report(
+        per_class=per_class,
+        accuracy=accuracy,
+        weighted_precision=weighted_precision,
+        weighted_recall=weighted_recall,
+        weighted_f1=weighted_f1,
+        n_samples=n,
+    )
+
+
+def confusion_matrix(
+    y_true: Sequence[Hashable],
+    y_pred: Sequence[Hashable],
+    classes: Sequence[Hashable],
+) -> np.ndarray:
+    """[C, C] counts with rows = true class, columns = predicted."""
+    index = {cls: i for i, cls in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        if t in index and p in index:
+            matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def accuracy(y_true: Sequence[Hashable], y_pred: Sequence[Hashable]) -> float:
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must align")
+    if not y_true:
+        return 0.0
+    return sum(t == p for t, p in zip(y_true, y_pred)) / len(y_true)

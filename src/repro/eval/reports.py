@@ -1,0 +1,69 @@
+"""ASCII table renderers that mirror the paper's table layouts."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a simple aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_confusion(
+    matrix,
+    classes: Sequence[object],
+    title: str | None = None,
+    max_label: int = 10,
+) -> str:
+    """Render a confusion matrix (rows = true class, columns = predicted).
+
+    Class labels are truncated to ``max_label`` characters so the 19-type
+    matrix stays readable in a terminal.
+    """
+    labels = [str(c)[:max_label] for c in classes]
+    headers = ["true\\pred"] + labels
+    rows = []
+    for i, label in enumerate(labels):
+        rows.append([label] + [int(v) for v in matrix[i]])
+    return render_table(headers, rows, title=title)
+
+
+def render_stage_app_table(
+    stage_rows: dict[str, dict[str, tuple[float, float, float]]],
+    apps: Sequence[str],
+    title: str,
+) -> str:
+    """Tables III/IV layout: stages x apps with P/R/F1 sub-rows."""
+    headers = ["", ""] + list(apps)
+    rows: list[list[object]] = []
+    for stage, per_app in stage_rows.items():
+        for metric_index, metric_name in enumerate(("P", "R", "F1")):
+            row: list[object] = [stage if metric_index == 0 else "", metric_name]
+            for app in apps:
+                values = per_app.get(app)
+                row.append("-" if values is None else f"{values[metric_index]:.2f}")
+            rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,171 @@
+"""Corpus statistics: orphan variables, uncertain samples, and the
+same-type-variable clustering phenomenon (§II-B, Tables I and V).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.types import TypeName
+from repro.vuc.dataset import LabeledVuc, VucDataset, target_signature
+from repro.vuc.generalize import BLANK
+
+
+@dataclass(frozen=True)
+class OrphanStats:
+    """Table I's rows for one dataset."""
+
+    n_variables: int
+    n_vucs: int
+    variables_with_1_vuc: int
+    uncertain_1: int
+    variables_with_2_vucs: int
+    uncertain_2: int
+
+    @property
+    def orphan_fraction(self) -> float:
+        orphans = self.variables_with_1_vuc + self.variables_with_2_vucs
+        return orphans / self.n_variables if self.n_variables else 0.0
+
+    @property
+    def uncertain_fraction_of_orphans(self) -> float:
+        orphans = self.variables_with_1_vuc + self.variables_with_2_vucs
+        uncertain = self.uncertain_1 + self.uncertain_2
+        return uncertain / orphans if orphans else 0.0
+
+
+def orphan_stats(dataset: VucDataset) -> OrphanStats:
+    """Count orphan variables and uncertain samples (§II-B).
+
+    A variable is *uncertain* when every one of its generalized target
+    instructions also appears as the target instruction of some variable
+    of a *different* type — i.e. the target instructions alone cannot
+    decide the type (Fig. 1's same-instruction/different-type cases).
+    """
+    groups = dataset.by_variable()
+    instruction_types: dict[str, set[TypeName]] = defaultdict(set)
+    for sample in dataset:
+        instruction_types[target_signature(sample)].add(sample.label)
+
+    def is_uncertain(vucs: list[LabeledVuc]) -> bool:
+        return all(
+            len(instruction_types[target_signature(v)]) > 1 for v in vucs
+        )
+
+    with_1 = with_2 = uncertain_1 = uncertain_2 = 0
+    for vucs in groups.values():
+        count = len(vucs)
+        if count > 2:
+            continue
+        ambiguous = is_uncertain(vucs)
+        if count == 1:
+            with_1 += 1
+            uncertain_1 += ambiguous
+        else:
+            with_2 += 1
+            uncertain_2 += ambiguous
+    return OrphanStats(
+        n_variables=len(groups),
+        n_vucs=len(dataset),
+        variables_with_1_vuc=with_1,
+        uncertain_1=uncertain_1,
+        variables_with_2_vucs=with_2,
+        uncertain_2=uncertain_2,
+    )
+
+
+def find_uncertain_examples(dataset: VucDataset, limit: int = 4) -> list[tuple[str, TypeName, TypeName]]:
+    """Mine Fig. 1-style pairs: same target instruction, different types."""
+    by_signature: dict[str, set[TypeName]] = defaultdict(set)
+    for sample in dataset:
+        by_signature[target_signature(sample)].add(sample.label)
+    out = []
+    for signature, types in by_signature.items():
+        if len(types) >= 2:
+            ordered = sorted(types, key=str)
+            out.append((signature, ordered[0], ordered[1]))
+            if len(out) == limit:
+                break
+    return out
+
+
+# -- clustering phenomenon ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusteringStats:
+    """Table V columns 7-9 for one type (or overall)."""
+
+    cnt_same: float     # avg same-type variable-instructions per VUC
+    cnt_all: float      # avg variable-instructions per VUC
+    n_vucs: int
+
+    @property
+    def c_rate(self) -> float:
+        return self.cnt_same / self.cnt_all if self.cnt_all else 0.0
+
+
+def _is_variable_instruction(tokens: tuple[str, str, str]) -> bool:
+    """Heuristic mirror of the locator: does this (generalized)
+    instruction touch a frame slot?"""
+    return any("(%rbp)" in token or "(%rsp)" in token or
+               token.endswith("(%rbp") or "(%rsp," in token or "(%rbp," in token
+               for token in tokens[1:])
+
+
+def clustering_stats(
+    dataset: VucDataset,
+    context_labels: dict[tuple[str, int], TypeName] | None = None,
+) -> dict[TypeName | None, ClusteringStats]:
+    """Per-type clustering statistics over VUC windows.
+
+    Context instructions are matched to types via their generalized
+    window positions: we compare each context *variable instruction* in
+    the window against the target's type using a per-dataset map from
+    (variable_id, window position) — built from the dataset itself, since
+    every VUC in the corpus is some variable's target instruction.
+    Practically we approximate the paper's measurement by checking, for
+    every context position that is itself the *target position of some
+    other sample in the same function window overlap*, whether the types
+    agree.  The cheap and faithful proxy used here: count context
+    variable-instructions whose generalized form equals some target
+    instruction of a variable with the same/different type in the same
+    binary.
+    """
+    # Build: binary -> generalized target text -> set of types
+    by_binary: dict[str, dict[str, set[TypeName]]] = defaultdict(lambda: defaultdict(set))
+    for sample in dataset:
+        by_binary[sample.binary][target_signature(sample)].add(sample.label)
+
+    per_type_same: dict[TypeName | None, float] = defaultdict(float)
+    per_type_all: dict[TypeName | None, float] = defaultdict(float)
+    per_type_n: dict[TypeName | None, int] = defaultdict(int)
+
+    for sample in dataset:
+        center = len(sample.tokens) // 2
+        lookup = by_binary[sample.binary]
+        same = 0
+        total = 0
+        for position, tokens in enumerate(sample.tokens):
+            if position == center or tokens[0] == BLANK:
+                continue
+            if not _is_variable_instruction(tokens):
+                continue
+            total += 1
+            types = lookup.get(" ".join(tokens))
+            if types is not None and sample.label in types:
+                same += 1
+        for key in (sample.label, None):
+            per_type_same[key] += same
+            per_type_all[key] += total
+            per_type_n[key] += 1
+
+    out: dict[TypeName | None, ClusteringStats] = {}
+    for key, n in per_type_n.items():
+        out[key] = ClusteringStats(
+            cnt_same=per_type_same[key] / n,
+            cnt_all=per_type_all[key] / n,
+            n_vucs=n,
+        )
+    return out

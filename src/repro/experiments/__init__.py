@@ -1,0 +1,24 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(context) -> result`` where the result has a
+``render()`` method printing the paper-style table.  The shared trained
+context (corpus + CATI) comes from :func:`repro.experiments.common.get_context`
+and is cached on disk, so re-running individual experiments is cheap.
+
+| Paper artifact | Module |
+|---|---|
+| Table I + Fig. 1 | :mod:`repro.experiments.table1` |
+| Table III        | :mod:`repro.experiments.table3` |
+| Table IV         | :mod:`repro.experiments.table4` |
+| Table V + Fig. 2 | :mod:`repro.experiments.table5` |
+| Table VI         | :mod:`repro.experiments.table6` |
+| DEBIN comparison | :mod:`repro.experiments.debin_compare` |
+| Fig. 6 a/b       | :mod:`repro.experiments.fig6` |
+| Table VII (§VIII)| :mod:`repro.experiments.table7` |
+| Compiler ID      | :mod:`repro.experiments.compiler_id` |
+| Speed            | :mod:`repro.experiments.speed` |
+"""
+
+from repro.experiments.common import ExperimentContext, get_context
+
+__all__ = ["ExperimentContext", "get_context"]

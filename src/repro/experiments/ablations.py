@@ -1,0 +1,192 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Three studies, each isolating one mechanism of the system:
+
+* **Window size** — retrain with w in {0, 2, 5, 10}: how much does the
+  instruction context (the paper's central idea) buy over the bare
+  target instruction (w=0 ≈ what previous work sees per instruction)?
+* **Voting threshold** — sweep eq. (3)'s clipping threshold over a
+  trained model's cached confidences (the paper picked 0.9 empirically).
+* **Flat vs multi-stage** — one 19-way CNN vs the Fig. 5 tree at equal
+  feature budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import CatiConfig
+from repro.core.flat import FlatClassifier
+from repro.core.pipeline import Cati
+from repro.core.types import ALL_TYPES
+from repro.datasets.corpus import Corpus
+from repro.core.voting import clip_confidences
+from repro.eval.metrics import accuracy
+from repro.eval.reports import render_table
+from repro.experiments.common import ExperimentContext, PredictionCache, predictions_for
+
+
+# -- window-size ablation --------------------------------------------------------
+
+
+@dataclass
+class WindowAblation:
+    rows: list[tuple[int, float, float]]  # (w, vuc accuracy, variable accuracy)
+
+    def render(self) -> str:
+        table = render_table(
+            ["window w", "VUC acc", "Variable acc"],
+            [(w, f"{v:.3f}", f"{va:.3f}") for w, v, va in self.rows],
+            title="Ablation: context window size (w=0 is 'no context')",
+        )
+        return table
+
+
+def run_window_ablation(
+    build_corpus_fn,
+    windows: tuple[int, ...] = (0, 2, 5, 10),
+    epochs: int = 6,
+) -> WindowAblation:
+    """Retrain per window size on corpora extracted at that window.
+
+    ``build_corpus_fn(window)`` must return a :class:`Corpus`; tests pass
+    a small-corpus builder, benches a mid-sized one.
+    """
+    rows: list[tuple[int, float, float]] = []
+    for window in windows:
+        corpus = build_corpus_fn(window)
+        config = CatiConfig(window=window, epochs=epochs)
+        cati = Cati(config).train(corpus.train)
+        cache = PredictionCache.build(cati, corpus.test)
+        from repro.experiments.common import variable_leaf_predictions, vuc_leaf_predictions
+
+        y_true, y_pred = vuc_leaf_predictions(cache)
+        vy_true, vy_pred = variable_leaf_predictions(cache, config.confidence_threshold)
+        rows.append((window, accuracy(y_true, y_pred), accuracy(vy_true, vy_pred)))
+    return WindowAblation(rows=rows)
+
+
+# -- voting-threshold ablation ------------------------------------------------------
+
+
+@dataclass
+class ThresholdAblation:
+    rows: list[tuple[float, float]]  # (threshold, variable accuracy)
+
+    def render(self) -> str:
+        return render_table(
+            ["threshold", "Variable acc"],
+            [(f"{t:.2f}", f"{a:.3f}") for t, a in self.rows],
+            title="Ablation: confidence-clipping threshold (paper: 0.9)",
+        )
+
+    def best(self) -> tuple[float, float]:
+        return max(self.rows, key=lambda row: row[1])
+
+
+def run_threshold_ablation(
+    cache: PredictionCache,
+    thresholds: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0),
+) -> ThresholdAblation:
+    """Sweep eq. (3)'s threshold over cached leaf confidences (cheap)."""
+    groups: dict[str, list[int]] = {}
+    for index, variable_id in enumerate(cache.variable_ids):
+        groups.setdefault(variable_id, []).append(index)
+    rows = []
+    for threshold in thresholds:
+        hits = 0
+        for _vid, indices in groups.items():
+            matrix = cache.leaf_probs[indices]
+            totals = clip_confidences(matrix, threshold).sum(axis=0)
+            hits += ALL_TYPES[int(totals.argmax())] is cache.labels[indices[0]]
+        rows.append((threshold, hits / max(len(groups), 1)))
+    return ThresholdAblation(rows=rows)
+
+
+# -- flat vs multi-stage ---------------------------------------------------------------
+
+
+@dataclass
+class FlatAblation:
+    tree_vuc_accuracy: float
+    flat_vuc_accuracy: float
+
+    def render(self) -> str:
+        return render_table(
+            ["classifier", "VUC acc"],
+            [
+                ("multi-stage tree (Fig. 5)", f"{self.tree_vuc_accuracy:.3f}"),
+                ("flat 19-way CNN", f"{self.flat_vuc_accuracy:.3f}"),
+            ],
+            title="Ablation: multi-stage tree vs flat classifier",
+        )
+
+
+def run_flat_ablation(context: ExperimentContext, epochs: int | None = None) -> FlatAblation:
+    """Train a flat 19-way CNN on the context's training encodings and
+    compare VUC accuracy on the shared test cache."""
+    from repro.experiments.common import vuc_leaf_predictions
+
+    cache = predictions_for(context)
+    y_true, y_pred = vuc_leaf_predictions(cache)
+    tree_acc = accuracy(y_true, y_pred)
+
+    import dataclasses
+
+    config = dataclasses.replace(context.config)
+    if epochs is not None:
+        config.epochs = epochs
+    train = context.corpus.train
+    x = context.cati.encode([s.tokens for s in train.samples])
+    flat = FlatClassifier(config).train(x, [s.label for s in train.samples])
+
+    test = context.corpus.test
+    flat_preds: list = []
+    batch = 4096
+    for start in range(0, len(test.samples), batch):
+        chunk = test.samples[start:start + batch]
+        xt = context.cati.encode([s.tokens for s in chunk])
+        flat_preds.extend(flat.predict_leaf(xt))
+    flat_acc = accuracy([s.label for s in test.samples], flat_preds)
+    return FlatAblation(tree_vuc_accuracy=tree_acc, flat_vuc_accuracy=flat_acc)
+
+
+# -- optimization-level sensitivity (paper's stated future work, §VIII) -------------------
+
+
+@dataclass
+class OptLevelBreakdown:
+    rows: list[tuple[str, float, int]]  # (opt level, variable accuracy, support)
+
+    def render(self) -> str:
+        return render_table(
+            ["opt level", "Variable acc", "Variables"],
+            [(o, f"{a:.3f}", n) for o, a, n in self.rows],
+            title="Extension: accuracy by optimization level (paper §VIII future work)",
+        )
+
+
+def run_opt_level_breakdown(context: ExperimentContext) -> OptLevelBreakdown:
+    """Per-optimization-level variable accuracy over the test corpus.
+
+    The variable id embeds ``<compiler>-O<level>``, so cached predictions
+    can be sliced without re-running the model.
+    """
+    cache = predictions_for(context)
+    groups: dict[str, list[int]] = {}
+    for index, variable_id in enumerate(cache.variable_ids):
+        groups.setdefault(variable_id, []).append(index)
+    by_level: dict[str, list[bool]] = {}
+    for variable_id, indices in groups.items():
+        level = "-O" + variable_id.split("-O")[1][0]
+        matrix = cache.leaf_probs[indices]
+        totals = clip_confidences(matrix, context.config.confidence_threshold).sum(axis=0)
+        hit = ALL_TYPES[int(totals.argmax())] is cache.labels[indices[0]]
+        by_level.setdefault(level, []).append(hit)
+    rows = [
+        (level, sum(hits) / len(hits), len(hits))
+        for level, hits in sorted(by_level.items())
+    ]
+    return OptLevelBreakdown(rows=rows)

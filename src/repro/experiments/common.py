@@ -1,0 +1,221 @@
+"""Shared experiment context: one trained CATI per corpus, cached on disk.
+
+Every table/figure bench needs the same expensive artifacts — the
+compiled corpus and the trained pipeline.  ``get_context()`` builds them
+once and caches the trained models under ``.cache/`` at the repository
+root (corpora are deterministic and rebuild in seconds; model training
+is what gets cached).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.codegen.compilers import ClangCompiler, Compiler, GccCompiler
+from repro.core.config import CatiConfig
+from repro.core.pipeline import Cati
+from repro.core.types import STAGE_SPECS, Stage, TypeName, stage_label
+from repro.core.voting import clip_confidences
+from repro.datasets.corpus import Corpus, build_corpus
+from repro.datasets.projects import TEST_PROJECTS, TRAINING_PROJECTS
+from repro.eval.metrics import Report, evaluate
+from repro.vuc.dataset import LabeledVuc, VucDataset
+
+#: Cache directory for trained models (overridable for tests).
+CACHE_ROOT = Path(os.environ.get("REPRO_CACHE", Path(__file__).resolve().parents[3] / ".cache"))
+
+#: Training-set VUC budget; keeps a full context build to minutes on 1 CPU.
+TRAIN_BUDGET = 30_000
+
+
+@dataclass
+class ExperimentContext:
+    """Corpus + trained system, shared across experiments."""
+
+    corpus: Corpus
+    cati: Cati
+    config: CatiConfig
+    compiler_name: str
+
+
+_MEMORY_CACHE: dict[str, ExperimentContext] = {}
+
+
+def default_config() -> CatiConfig:
+    return CatiConfig(epochs=14, class_weighting=False)
+
+
+def _build_corpus(compiler: Compiler) -> Corpus:
+    corpus = build_corpus(compiler=compiler)
+    corpus.train = corpus.train.subsample(TRAIN_BUDGET, seed=7)
+    return corpus
+
+
+def get_context(compiler_name: str = "gcc", refresh: bool = False) -> ExperimentContext:
+    """The shared trained context for one compiler's corpus.
+
+    Training happens once; the trained embedding + stage models are
+    cached under ``.cache/cati-<compiler>/`` and reloaded afterwards.
+    """
+    cached = _MEMORY_CACHE.get(compiler_name)
+    if cached is not None and not refresh:
+        return cached
+    compiler: Compiler = GccCompiler() if compiler_name == "gcc" else ClangCompiler()
+    config = default_config()
+    corpus = _build_corpus(compiler)
+    cache_dir = CACHE_ROOT / f"cati-{compiler_name}"
+    marker = cache_dir / "stages" / "Stage1.npz"
+    if marker.exists() and not refresh:
+        cati = Cati.load(str(cache_dir), config)
+    else:
+        cati = Cati(config).train(corpus.train)
+        cati.save(str(cache_dir))
+    context = ExperimentContext(
+        corpus=corpus, cati=cati, config=config, compiler_name=compiler_name,
+    )
+    _MEMORY_CACHE[compiler_name] = context
+    return context
+
+
+# -- prediction cache shared by several tables -----------------------------------
+
+
+@dataclass
+class PredictionCache:
+    """All model outputs over one dataset, computed once.
+
+    Tables III-VI and Fig. 6 all need the same stage/leaf confidences over
+    the same test corpus; computing them once turns each table into pure
+    numpy selection.
+    """
+
+    labels: list[TypeName]
+    variable_ids: list[str]
+    apps: list[str]
+    stage_probs: dict[Stage, np.ndarray]    # [N, C_stage] each
+    leaf_probs: np.ndarray                  # [N, 19]
+
+    @classmethod
+    def build(cls, cati: Cati, dataset: VucDataset, batch: int = 4096) -> "PredictionCache":
+        samples = dataset.samples
+        stage_probs: dict[Stage, list[np.ndarray]] = {s: [] for s in STAGE_SPECS}
+        leaf_chunks: list[np.ndarray] = []
+        for start in range(0, len(samples), batch):
+            chunk = samples[start:start + batch]
+            x = cati.encode([s.tokens for s in chunk])
+            for stage in STAGE_SPECS:
+                stage_probs[stage].append(cati.classifier.stage_proba(stage, x))
+            leaf_chunks.append(cati.classifier.leaf_proba(x))
+        return cls(
+            labels=[s.label for s in samples],
+            variable_ids=[s.variable_id for s in samples],
+            apps=[s.app for s in samples],
+            stage_probs={s: np.concatenate(chunks) if chunks else np.zeros((0, 1))
+                         for s, chunks in stage_probs.items()},
+            leaf_probs=np.concatenate(leaf_chunks) if leaf_chunks else np.zeros((0, 19)),
+        )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def indices_for(self, app: str | None = None) -> list[int]:
+        if app is None:
+            return list(range(len(self.labels)))
+        return [i for i, a in enumerate(self.apps) if a == app]
+
+
+_PREDICTION_CACHE: dict[int, PredictionCache] = {}
+
+
+def predictions_for(context: ExperimentContext) -> PredictionCache:
+    """The (memoized) prediction cache over the context's test corpus."""
+    key = id(context)
+    cache = _PREDICTION_CACHE.get(key)
+    if cache is None:
+        cache = PredictionCache.build(context.cati, context.corpus.test)
+        _PREDICTION_CACHE[key] = cache
+    return cache
+
+
+# -- evaluation helpers shared by several tables --------------------------------
+
+
+def stage_vuc_metrics(
+    cache: PredictionCache,
+    stage: Stage,
+    app: str | None = None,
+) -> Report:
+    """VUC-granularity P/R/F1 for one stage on ground-truth-routed samples."""
+    spec = STAGE_SPECS[stage]
+    probs = cache.stage_probs[stage]
+    y_true = []
+    y_pred = []
+    for index in cache.indices_for(app):
+        label = stage_label(cache.labels[index], stage)
+        if label is None:
+            continue
+        y_true.append(label)
+        y_pred.append(spec.labels[int(probs[index].argmax())])
+    return evaluate(y_true, y_pred)
+
+
+def stage_variable_metrics(
+    cache: PredictionCache,
+    stage: Stage,
+    threshold: float = 0.9,
+    app: str | None = None,
+) -> Report:
+    """Variable-granularity P/R/F1 after per-stage voting (Table IV)."""
+    spec = STAGE_SPECS[stage]
+    probs = cache.stage_probs[stage]
+    groups: dict[str, list[int]] = {}
+    for index in cache.indices_for(app):
+        if stage_label(cache.labels[index], stage) is None:
+            continue
+        groups.setdefault(cache.variable_ids[index], []).append(index)
+    y_true = []
+    y_pred = []
+    for _variable_id, indices in groups.items():
+        matrix = probs[indices]
+        totals = clip_confidences(matrix, threshold).sum(axis=0)
+        y_true.append(stage_label(cache.labels[indices[0]], stage))
+        y_pred.append(spec.labels[int(totals.argmax())])
+    return evaluate(y_true, y_pred)
+
+
+def vuc_leaf_predictions(
+    cache: PredictionCache,
+    app: str | None = None,
+) -> tuple[list[TypeName], list[TypeName]]:
+    """(true, predicted) leaf types at VUC granularity."""
+    from repro.core.types import ALL_TYPES
+
+    indices = cache.indices_for(app)
+    y_true = [cache.labels[i] for i in indices]
+    y_pred = [ALL_TYPES[int(cache.leaf_probs[i].argmax())] for i in indices]
+    return y_true, y_pred
+
+
+def variable_leaf_predictions(
+    cache: PredictionCache,
+    threshold: float = 0.9,
+    app: str | None = None,
+) -> tuple[list[TypeName], list[TypeName]]:
+    """(true, predicted) leaf types at variable granularity (voting)."""
+    from repro.core.types import ALL_TYPES
+
+    groups: dict[str, list[int]] = {}
+    for index in cache.indices_for(app):
+        groups.setdefault(cache.variable_ids[index], []).append(index)
+    y_true = []
+    y_pred = []
+    for _variable_id, indices in groups.items():
+        matrix = cache.leaf_probs[indices]
+        totals = clip_confidences(matrix, threshold).sum(axis=0)
+        y_true.append(cache.labels[indices[0]])
+        y_pred.append(ALL_TYPES[int(totals.argmax())])
+    return y_true, y_pred

@@ -1,0 +1,62 @@
+"""Fig. 6 — occlusion importance: a per-instruction ε visualization for
+one struct VUC (6a) and the positional ε distribution heat map over the
+test data (6b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.occlusion import epsilon_distribution, occlusion_epsilons
+from repro.core.types import TypeName
+from repro.eval.reports import render_table
+from repro.experiments.common import ExperimentContext
+from repro.vuc.generalize import tokens_to_text
+
+THRESHOLDS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass
+class Fig6:
+    example_lines: list[tuple[float, str]]         # (epsilon, instruction text)
+    heatmap: np.ndarray                            # [L, len(THRESHOLDS)]
+    central_row_mass: float                        # heat at the central row
+
+    def render(self) -> str:
+        lines = ["Fig. 6a: per-instruction epsilon for one struct VUC"]
+        center = len(self.example_lines) // 2
+        for position, (eps, text) in enumerate(self.example_lines):
+            marker = " <= target" if position == center else ""
+            lines.append(f"  {eps:7.4f}  {text}{marker}")
+        lines.append("")
+        header = ["pos"] + [f">{t:.1f}" for t in THRESHOLDS]
+        rows = []
+        for position in range(self.heatmap.shape[0]):
+            rows.append([position - self.heatmap.shape[0] // 2]
+                        + [f"{v:.2%}" for v in self.heatmap[position]])
+        lines.append(render_table(header, rows, title="Fig. 6b: epsilon distribution by window position"))
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext, n_distribution_vucs: int = 150) -> Fig6:
+    test = context.corpus.test
+    # Pick a struct VUC (Fig. 2/6a's running example is a struct variable).
+    example = next(
+        (s for s in test if s.label is TypeName.STRUCT),
+        test.samples[0],
+    )
+    result = occlusion_epsilons(context.cati, example.tokens)
+    example_lines = [
+        (float(eps), tokens_to_text(tokens))
+        for eps, tokens in zip(result.epsilons, example.tokens)
+    ]
+    windows = [s.tokens for s in test.samples[:n_distribution_vucs]]
+    heatmap = epsilon_distribution(context.cati, windows, THRESHOLDS)
+    center = heatmap.shape[0] // 2
+    return Fig6(
+        example_lines=example_lines,
+        heatmap=heatmap,
+        central_row_mass=float(heatmap[center, len(THRESHOLDS) // 2]),
+    )

@@ -1,0 +1,77 @@
+"""§VII speed: per-binary extraction + prediction wall-clock
+(paper: ~6 seconds per typical binary on their hardware).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.codegen.binary import debug_variables
+from repro.codegen.strip import strip
+from repro.experiments.common import ExperimentContext
+from repro.vuc.dataflow import VariableExtent
+
+
+@dataclass
+class SpeedResult:
+    per_binary_extract_s: float
+    per_binary_predict_s: float
+    n_binaries: int
+    n_variables: int
+
+    @property
+    def per_binary_total_s(self) -> float:
+        return self.per_binary_extract_s + self.per_binary_predict_s
+
+    def render(self) -> str:
+        return (
+            f"Speed over {self.n_binaries} binaries ({self.n_variables} variables): "
+            f"extract {self.per_binary_extract_s * 1000:.0f} ms + "
+            f"predict {self.per_binary_predict_s * 1000:.0f} ms "
+            f"= {self.per_binary_total_s:.2f} s per binary "
+            f"(paper: ~6 s/binary incl. IDA)"
+        )
+
+
+def extents_from_debug(binary) -> list[list[VariableExtent]]:
+    """Ground-truth variable locations (the paper's §VII-B assumption)."""
+    records = debug_variables(binary)
+    by_function: dict[str, list[VariableExtent]] = {}
+    for record in records:
+        base = "rbp" if record.frame_offset < 0 else "rsp"
+        by_function.setdefault(record.function, []).append(VariableExtent(
+            name=record.name, base=base,
+            offset=record.frame_offset, size=max(record.size, 1),
+        ))
+    return [by_function.get(func.name, []) for func in binary.functions]
+
+
+def run(context: ExperimentContext, n_binaries: int = 8) -> SpeedResult:
+    binaries = context.corpus.test_binaries[:n_binaries]
+    extract_time = 0.0
+    predict_time = 0.0
+    n_variables = 0
+    from repro.vuc.dataset import extract_unlabeled_vucs
+
+    for binary in binaries:
+        extents = extents_from_debug(binary)
+        stripped = strip(binary)
+        t0 = time.perf_counter()
+        pairs = extract_unlabeled_vucs(stripped, extents, context.config.window)
+        extract_time += time.perf_counter() - t0
+        if not pairs:
+            continue
+        t0 = time.perf_counter()
+        predictions = context.cati.predict_variables(
+            [tokens for _vid, tokens in pairs],
+            [vid for vid, _tokens in pairs],
+        )
+        predict_time += time.perf_counter() - t0
+        n_variables += len(predictions)
+    return SpeedResult(
+        per_binary_extract_s=extract_time / max(len(binaries), 1),
+        per_binary_predict_s=predict_time / max(len(binaries), 1),
+        n_binaries=len(binaries),
+        n_variables=n_variables,
+    )

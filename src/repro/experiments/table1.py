@@ -1,0 +1,47 @@
+"""Table I — orphan variables and uncertain samples, plus the Fig. 1
+uncertain-sample examples mined from the corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.corpus import Corpus
+from repro.eval.reports import render_table
+from repro.eval.stats import OrphanStats, find_uncertain_examples, orphan_stats
+
+
+@dataclass
+class Table1:
+    train: OrphanStats
+    test: OrphanStats
+    examples: list[tuple[str, object, object]]
+
+    def render(self) -> str:
+        rows = [
+            ("Variables", self.train.n_variables, self.test.n_variables),
+            ("VUCs", self.train.n_vucs, self.test.n_vucs),
+            ("Variables with 1 VUC", self.train.variables_with_1_vuc, self.test.variables_with_1_vuc),
+            ("Uncertain Samples-1", self.train.uncertain_1, self.test.uncertain_1),
+            ("Variables with 2 VUCs", self.train.variables_with_2_vucs, self.test.variables_with_2_vucs),
+            ("Uncertain Samples-2", self.train.uncertain_2, self.test.uncertain_2),
+        ]
+        table = render_table(
+            ["", "Training Set", "Testing Set"], rows,
+            title="Table I: orphan variables and uncertain samples",
+        )
+        lines = [table, "", f"orphan fraction (train): {self.train.orphan_fraction:.2%}",
+                 f"uncertain fraction of orphans (train): {self.train.uncertain_fraction_of_orphans:.2%}",
+                 "", "Fig. 1-style uncertain samples (same instruction, different type):"]
+        for signature, type_a, type_b in self.examples:
+            lines.append(f"  {signature!r}: {type_a} vs {type_b}")
+        return "\n".join(lines)
+
+
+def run(corpus: Corpus) -> Table1:
+    """Compute Table I over a built corpus."""
+    return Table1(
+        train=orphan_stats(corpus.train),
+        test=orphan_stats(corpus.test),
+        examples=find_uncertain_examples(corpus.test, limit=4),
+    )

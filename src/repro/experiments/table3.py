@@ -1,0 +1,42 @@
+"""Table III — per-application, per-stage P/R/F1 at VUC granularity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import ALL_STAGES, Stage
+from repro.eval.reports import render_stage_app_table
+from repro.experiments.common import ExperimentContext, predictions_for, stage_vuc_metrics
+
+
+@dataclass
+class Table3:
+    #: stage name -> app -> (P, R, F1); apps with no samples at a stage
+    #: are absent (rendered as '-', like the paper's gzip/nano/sed rows).
+    cells: dict[str, dict[str, tuple[float, float, float]]]
+    apps: list[str]
+
+    def render(self) -> str:
+        return render_stage_app_table(
+            self.cells, self.apps,
+            title="Table III: VUC prediction per application and stage (P/R/F1)",
+        )
+
+
+def run(context: ExperimentContext) -> Table3:
+    apps = context.corpus.test.apps()
+    cache = predictions_for(context)
+    cells: dict[str, dict[str, tuple[float, float, float]]] = {}
+    for stage in ALL_STAGES:
+        per_app: dict[str, tuple[float, float, float]] = {}
+        for app in apps:
+            report = stage_vuc_metrics(cache, stage, app=app)
+            if report.n_samples == 0:
+                continue
+            per_app[app] = (
+                report.weighted_precision,
+                report.weighted_recall,
+                report.weighted_f1,
+            )
+        cells[stage.value] = per_app
+    return Table3(cells=cells, apps=apps)

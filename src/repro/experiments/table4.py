@@ -1,0 +1,43 @@
+"""Table IV — per-application, per-stage P/R/F1 after voting
+(variable granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import ALL_STAGES
+from repro.eval.reports import render_stage_app_table
+from repro.experiments.common import ExperimentContext, predictions_for, stage_variable_metrics
+
+
+@dataclass
+class Table4:
+    cells: dict[str, dict[str, tuple[float, float, float]]]
+    apps: list[str]
+
+    def render(self) -> str:
+        return render_stage_app_table(
+            self.cells, self.apps,
+            title="Table IV: variable prediction after voting (P/R/F1)",
+        )
+
+
+def run(context: ExperimentContext) -> Table4:
+    apps = context.corpus.test.apps()
+    cache = predictions_for(context)
+    threshold = context.config.confidence_threshold
+    cells: dict[str, dict[str, tuple[float, float, float]]] = {}
+    for stage in ALL_STAGES:
+        per_app: dict[str, tuple[float, float, float]] = {}
+        for app in apps:
+            report = stage_variable_metrics(cache, stage, threshold=threshold, app=app)
+            if report.n_samples == 0:
+                continue
+            per_app[app] = (
+                report.weighted_precision,
+                report.weighted_recall,
+                report.weighted_f1,
+            )
+        cells[stage.value] = per_app
+    return Table4(cells=cells, apps=apps)

@@ -1,0 +1,115 @@
+"""Table V — per-type stage recalls, final accuracy, support and the
+same-type-clustering statistics (cnt-same / cnt-all / c-rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import ALL_TYPES, Stage, TypeName, stage_path
+from repro.eval.metrics import accuracy
+from repro.eval.reports import render_table
+from repro.eval.stats import ClusteringStats, clustering_stats
+from repro.experiments.common import (
+    ExperimentContext,
+    predictions_for,
+    stage_vuc_metrics,
+    variable_leaf_predictions,
+)
+
+
+@dataclass
+class Table5Row:
+    type_name: TypeName
+    s1_recall: float
+    s2_recall: float
+    s3_recall: float | None     # None for types that end at stage 2
+    acc: float
+    support: int
+    cnt_same: float
+    cnt_all: float
+
+    @property
+    def c_rate(self) -> float:
+        return self.cnt_same / self.cnt_all if self.cnt_all else 0.0
+
+
+@dataclass
+class Table5:
+    rows: list[Table5Row]
+    overall_c_rate: float
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            table_rows.append((
+                str(row.type_name),
+                f"{row.s1_recall:.2f}",
+                f"{row.s2_recall:.2f}",
+                "-" if row.s3_recall is None else f"{row.s3_recall:.2f}",
+                f"{row.acc:.2f}",
+                row.support,
+                f"{row.cnt_same:.2f}",
+                f"{row.cnt_all:.2f}",
+                f"{row.c_rate:.2%}",
+            ))
+        table = render_table(
+            ["Type", "S1-R", "S2-R", "S3-R", "ACC", "Support", "cnt-same", "cnt-all", "c-rate"],
+            table_rows,
+            title="Table V: per-type stage recall, accuracy and clustering",
+        )
+        return table + f"\n\noverall clustering rate: {self.overall_c_rate:.2%}"
+
+
+def _stage_recall_for_type(predictions, stage: Stage, type_name: TypeName,
+                           cache: dict) -> float | None:
+    """Recall of ``type_name``'s label at ``stage``, over test VUCs."""
+    report = cache.get(stage)
+    if report is None:
+        report = stage_vuc_metrics(predictions, stage)
+        cache[stage] = report
+    from repro.core.types import stage_label
+
+    label = stage_label(type_name, stage)
+    if label is None or label not in report.per_class:
+        return None
+    return report.per_class[label].recall
+
+
+def run(context: ExperimentContext) -> Table5:
+    test = context.corpus.test
+    cluster = clustering_stats(test)
+    predictions = predictions_for(context)
+    y_true, y_pred = variable_leaf_predictions(
+        predictions, threshold=context.config.confidence_threshold,
+    )
+
+    stage_cache: dict = {}
+    rows: list[Table5Row] = []
+    variable_counts = test.variable_label_counts()
+    for type_name in ALL_TYPES:
+        support = variable_counts.get(type_name, 0)
+        if support == 0:
+            continue
+        path = stage_path(type_name)
+        recalls: list[float] = []
+        for stage, _label in path:
+            recall = _stage_recall_for_type(predictions, stage, type_name, stage_cache)
+            recalls.append(recall if recall is not None else 0.0)
+        while len(recalls) < 3:
+            recalls.append(1.0)  # types ending at stage 2 trivially "pass" stage 3
+        type_pairs = [(t, p) for t, p in zip(y_true, y_pred) if t is type_name]
+        acc = accuracy([t for t, _ in type_pairs], [p for _, p in type_pairs])
+        stats = cluster.get(type_name, ClusteringStats(0.0, 0.0, 0))
+        rows.append(Table5Row(
+            type_name=type_name,
+            s1_recall=recalls[0],
+            s2_recall=recalls[1],
+            s3_recall=recalls[2] if len(stage_path(type_name)) >= 3 else None,
+            acc=acc,
+            support=support,
+            cnt_same=stats.cnt_same,
+            cnt_all=stats.cnt_all,
+        ))
+    overall = cluster.get(None, ClusteringStats(0.0, 0.0, 0))
+    return Table5(rows=rows, overall_c_rate=overall.c_rate)

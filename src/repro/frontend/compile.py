@@ -1,0 +1,68 @@
+"""Drive the system toolchain: compile bundled C with ``gcc -g``, then
+disassemble with ``objdump`` and dump DWARF with ``readelf``.
+
+Everything degrades gracefully: :func:`toolchain_available` lets callers
+(tests, examples) skip when gcc/objdump/readelf are missing.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.frontend.csamples import SOURCES
+
+REQUIRED_TOOLS = ("gcc", "objdump", "readelf")
+
+
+def toolchain_available() -> bool:
+    """True when gcc, objdump and readelf are all on PATH."""
+    return all(shutil.which(tool) for tool in REQUIRED_TOOLS)
+
+
+@dataclass
+class CompiledArtifact:
+    """One real compiled binary plus its tool dumps."""
+
+    name: str
+    binary_path: Path
+    disassembly: str      # objdump -d output
+    dwarf_dump: str       # readelf --debug-dump=info output
+
+
+def compile_sample(
+    source_name: str = "sample_main.c",
+    opt_level: int = 0,
+    workdir: str | None = None,
+) -> CompiledArtifact:
+    """Compile one bundled sample and capture its tool dumps."""
+    if not toolchain_available():
+        raise RuntimeError("gcc/objdump/readelf not available")
+    source = dict(SOURCES)[source_name]
+    directory = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="repro-frontend-"))
+    directory.mkdir(parents=True, exist_ok=True)
+    source_path = directory / source_name
+    source_path.write_text(source)
+    binary_path = directory / source_name.replace(".c", "")
+    subprocess.run(
+        ["gcc", f"-O{opt_level}", "-g", "-fno-omit-frame-pointer",
+         "-o", str(binary_path), str(source_path)],
+        check=True, capture_output=True,
+    )
+    disassembly = subprocess.run(
+        ["objdump", "-d", str(binary_path)],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    dwarf_dump = subprocess.run(
+        ["readelf", "--debug-dump=info", str(binary_path)],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    return CompiledArtifact(
+        name=source_name.replace(".c", ""),
+        binary_path=binary_path,
+        disassembly=disassembly,
+        dwarf_dump=dwarf_dump,
+    )

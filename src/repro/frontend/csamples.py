@@ -1,0 +1,104 @@
+"""Bundled C sources for the real-binary frontend.
+
+Small but type-diverse programs: every leaf type of the taxonomy appears
+as a local variable with genuine uses, so one ``gcc -g -O0`` compile
+yields a labeled mini-corpus of real GCC codegen.
+"""
+
+SAMPLE_MAIN = r"""
+#include <stdlib.h>
+#include <string.h>
+#include <stdbool.h>
+
+struct point { int x; int y; };
+struct buffer { char *data; unsigned long len; unsigned long cap; };
+enum color { RED, GREEN, BLUE };
+typedef unsigned long usize;
+
+int process_ints(int seed) {
+    int total = seed;
+    int i = 0;
+    unsigned int mask = 0xff;
+    long big = 1000L;
+    for (i = 0; i < 16; i++) {
+        total += i;
+        mask = mask >> 1;
+        big += total;
+    }
+    if (mask > 3u) total -= 7;
+    return total + (int)(big & (long)mask);
+}
+
+double process_floats(double start) {
+    double acc = start;
+    float ratio = 0.5f;
+    long double precise = 1.25L;
+    int steps = 8;
+    while (steps-- > 0) {
+        acc = acc * 1.5 + (double)ratio;
+        precise = precise + (long double)acc;
+    }
+    return acc + (double)precise;
+}
+
+int process_chars(const char *input) {
+    char buf[64];
+    char c = 'a';
+    unsigned char raw = 0;
+    bool seen = false;
+    unsigned long n = strlen(input);
+    usize limit = n < 63 ? n : 63;
+    memcpy(buf, input, limit);
+    buf[limit] = 0;
+    for (usize k = 0; k < limit; k++) {
+        c = buf[k];
+        raw = (unsigned char)(raw + (unsigned char)c);
+        if (c == 'z') seen = true;
+    }
+    return seen ? (int)raw : (int)c;
+}
+
+int process_pointers(int count) {
+    struct point pts[4];
+    struct point *p = pts;
+    int *cursor = &pts[0].x;
+    void *blob = malloc(64);
+    enum color tone = GREEN;
+    int sum = 0;
+    for (int i = 0; i < 4 && i < count; i++) {
+        p->x = i;
+        p->y = i * 2;
+        sum += *cursor;
+        p++;
+        cursor += 2;
+    }
+    if (blob != NULL) { memset(blob, 0, 64); free(blob); }
+    if (tone == BLUE) sum = -sum;
+    return sum;
+}
+
+int process_struct(void) {
+    struct buffer buf;
+    struct point origin;
+    short int small = 3;
+    unsigned short tiny = 9;
+    buf.data = NULL;
+    buf.len = 0;
+    buf.cap = 128;
+    origin.x = (int)small;
+    origin.y = (int)tiny;
+    return origin.x + origin.y + (int)buf.cap;
+}
+
+int main(int argc, char **argv) {
+    int a = process_ints(argc);
+    double d = process_floats(1.0);
+    int b = process_chars(argc > 1 ? argv[1] : "hello");
+    int c = process_pointers(argc + 2);
+    int s = process_struct();
+    return (a + b + c + s + (int)d) & 0x7f;
+}
+"""
+
+#: (filename, source) pairs the frontend compiles.
+SOURCES: tuple[tuple[str, str], ...] = (("sample_main.c", SAMPLE_MAIN),)

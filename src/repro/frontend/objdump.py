@@ -1,0 +1,57 @@
+"""Parse ``objdump -d`` output into :class:`FunctionListing` IR.
+
+This gives the pipeline a real-GCC front door: the same locator, VUC
+extractor and generalizer run unchanged on genuine disassembly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.asm.instruction import FunctionListing
+from repro.asm.parser import parse_objdump_line
+
+_FUNC_HEADER_RE = re.compile(r"^([0-9a-fA-F]+)\s+<([^>]+)>:\s*$")
+
+
+def parse_disassembly(text: str) -> list[FunctionListing]:
+    """Split an objdump dump into per-function listings.
+
+    Unknown or exotic instructions are kept as mnemonic-only entries so
+    window positions stay aligned with the true instruction stream
+    (see :func:`repro.asm.parser.parse_objdump_line`).
+    """
+    functions: list[FunctionListing] = []
+    current: FunctionListing | None = None
+    for line in text.splitlines():
+        header = _FUNC_HEADER_RE.match(line)
+        if header:
+            if current is not None and current.instructions:
+                functions.append(current)
+            address, name = header.groups()
+            current = FunctionListing(name=name, address=int(address, 16))
+            continue
+        if current is None:
+            continue
+        instruction = parse_objdump_line(line)
+        if instruction is not None:
+            current.instructions.append(instruction)
+    if current is not None and current.instructions:
+        functions.append(current)
+    return functions
+
+
+def user_functions(functions: list[FunctionListing],
+                   names: set[str] | None = None) -> list[FunctionListing]:
+    """Filter out PLT stubs, runtime glue and other non-user code."""
+    glue_prefixes = ("_", "frame_dummy", "register_tm", "deregister_tm")
+    out = []
+    for func in functions:
+        if names is not None:
+            if func.name in names:
+                out.append(func)
+            continue
+        if "@plt" in func.name or func.name.startswith(glue_prefixes):
+            continue
+        out.append(func)
+    return out

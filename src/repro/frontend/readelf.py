@@ -1,0 +1,228 @@
+"""Parse ``readelf --debug-dump=info`` text into our DIE model.
+
+Real DWARF (as dumped by readelf) maps cleanly onto the
+:mod:`repro.dwarf.dies` subset: we keep the tags/attributes the resolver
+needs and drop the rest.  Variable locations arrive as
+``DW_OP_fbreg: N`` against a ``DW_OP_call_frame_cfa`` frame base; for
+rbp-framed gcc code the CFA sits at ``%rbp + 16``, so the instruction-
+level displacement is ``N + 16`` — the conversion
+:func:`cfa_to_rbp_offset` applies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.types import TypeName
+from repro.dwarf.dies import Attr, Die, Tag
+from repro.dwarf.resolver import UnresolvableType, resolve_type
+
+#: CFA = rbp + 16 in the standard gcc -O0 rbp-framed prologue.
+CFA_TO_RBP = 16
+
+_DIE_HEADER_RE = re.compile(
+    r"^\s*<(\d+)><([0-9a-fA-F]+)>:\s+Abbrev Number:\s+(\d+)(?:\s+\(DW_TAG_(\w+)\))?"
+)
+_ATTR_RE = re.compile(r"^\s*<[0-9a-fA-F]+>\s+DW_AT_(\w+)\s*:\s*(.*)$")
+_TYPE_REF_RE = re.compile(r"<0x([0-9a-fA-F]+)>")
+_FBREG_RE = re.compile(r"DW_OP_fbreg:\s*(-?\d+)")
+_INDIRECT_NAME_RE = re.compile(r"\(indirect(?: line)? string, offset: (?:0x)?[0-9a-fA-F]+\):\s*(.*)$")
+
+_TAG_MAP = {
+    "compile_unit": Tag.COMPILE_UNIT,
+    "subprogram": Tag.SUBPROGRAM,
+    "variable": Tag.VARIABLE,
+    "formal_parameter": Tag.FORMAL_PARAMETER,
+    "base_type": Tag.BASE_TYPE,
+    "pointer_type": Tag.POINTER_TYPE,
+    "structure_type": Tag.STRUCTURE_TYPE,
+    "union_type": Tag.UNION_TYPE,
+    "array_type": Tag.ARRAY_TYPE,
+    "enumeration_type": Tag.ENUMERATION_TYPE,
+    "typedef": Tag.TYPEDEF,
+    "const_type": Tag.CONST_TYPE,
+    "volatile_type": Tag.VOLATILE_TYPE,
+    "member": Tag.MEMBER,
+}
+
+
+@dataclass
+class RealVariable:
+    """One variable recovered from real DWARF."""
+
+    function: str
+    name: str
+    rbp_offset: int      # instruction-level displacement off %rbp
+    size: int
+    label: TypeName
+
+
+def cfa_to_rbp_offset(fbreg_offset: int) -> int:
+    """Convert a DW_OP_fbreg (CFA-relative) offset to an rbp displacement."""
+    return fbreg_offset + CFA_TO_RBP
+
+
+@dataclass
+class _RawDie:
+    depth: int
+    offset: int
+    tag: Tag | None
+    attrs: dict[str, str] = field(default_factory=dict)
+    die: Die | None = None
+    upper_bound: int | None = None
+
+
+def _clean_name(raw: str) -> str:
+    match = _INDIRECT_NAME_RE.search(raw)
+    if match:
+        return match.group(1).strip()
+    return raw.strip()
+
+
+def parse_dwarf_dump(text: str) -> list[_RawDie]:
+    """First pass: flat list of raw DIEs with their textual attributes."""
+    raw: list[_RawDie] = []
+    current: _RawDie | None = None
+    for line in text.splitlines():
+        header = _DIE_HEADER_RE.match(line)
+        if header:
+            depth_s, offset_s, abbrev_s, tag_name = header.groups()
+            if abbrev_s == "0":
+                current = None
+                continue
+            tag = _TAG_MAP.get(tag_name or "")
+            current = _RawDie(depth=int(depth_s), offset=int(offset_s, 16), tag=tag)
+            raw.append(current)
+            continue
+        if current is None:
+            continue
+        attr = _ATTR_RE.match(line)
+        if attr:
+            current.attrs[attr.group(1)] = attr.group(2).strip()
+    return raw
+
+
+def build_die_graph(raw: list[_RawDie]) -> dict[int, Die]:
+    """Second pass: materialize Die objects, resolve type references."""
+    by_offset: dict[int, _RawDie] = {}
+    for entry in raw:
+        if entry.tag is None:
+            continue
+        die = Die(entry.tag)
+        name = entry.attrs.get("name")
+        if name is not None:
+            die.attrs[Attr.NAME] = _clean_name(name)
+        size = entry.attrs.get("byte_size")
+        if size is not None:
+            try:
+                die.attrs[Attr.BYTE_SIZE] = int(size.split()[0], 0)
+            except ValueError:
+                pass
+        encoding = entry.attrs.get("encoding")
+        if encoding is not None:
+            try:
+                die.attrs[Attr.ENCODING] = int(encoding.split()[0], 0)
+            except ValueError:
+                pass
+        location = entry.attrs.get("location", "")
+        fbreg = _FBREG_RE.search(location)
+        if fbreg:
+            die.attrs[Attr.LOCATION] = int(fbreg.group(1))
+        entry.die = die
+        by_offset[entry.offset] = entry
+
+    # Wire DW_AT_type references and parent/child structure.
+    stack: list[_RawDie] = []
+    for entry in raw:
+        if entry.tag is None or entry.die is None:
+            continue
+        type_text = entry.attrs.get("type")
+        if type_text:
+            ref = _TYPE_REF_RE.search(type_text)
+            if ref:
+                target = by_offset.get(int(ref.group(1), 16))
+                if target is not None and target.die is not None:
+                    entry.die.attrs[Attr.TYPE] = target.die
+        while stack and stack[-1].depth >= entry.depth:
+            stack.pop()
+        if stack and stack[-1].die is not None:
+            stack[-1].die.children.append(entry.die)
+        stack.append(entry)
+
+    # Synthesize array byte sizes from subrange upper bounds.
+    for entry in raw:
+        if entry.tag is Tag.ARRAY_TYPE and entry.die is not None:
+            count = _array_count(entry, raw)
+            element = entry.die.type_ref
+            element_size = element.byte_size if element is not None and element.byte_size else 1
+            if count is not None:
+                entry.die.attrs[Attr.BYTE_SIZE] = count * element_size
+    return {offset: e.die for offset, e in by_offset.items() if e.die is not None}
+
+
+_UPPER_BOUND_RE = re.compile(r"^\s*<[0-9a-fA-F]+>\s+DW_AT_upper_bound\s*:\s*(\d+)")
+
+
+def _array_count(array_entry: _RawDie, raw: list[_RawDie]) -> int | None:
+    position = raw.index(array_entry)
+    for entry in raw[position + 1:position + 4]:
+        bound = entry.attrs.get("upper_bound")
+        if bound is not None:
+            try:
+                return int(bound.split()[0]) + 1
+            except ValueError:
+                return None
+        if entry.depth <= array_entry.depth:
+            break
+    return None
+
+
+def extract_real_variables(dwarf_dump: str) -> list[RealVariable]:
+    """End-to-end: readelf text → labeled, located variables.
+
+    Variables without an fbreg location or with types outside the
+    taxonomy are skipped (same exclusions as the synthetic path).
+    """
+    raw = parse_dwarf_dump(dwarf_dump)
+    build_die_graph(raw)
+    out: list[RealVariable] = []
+    current_function = "?"
+    for entry in raw:
+        if entry.tag is Tag.SUBPROGRAM and entry.die is not None:
+            current_function = entry.die.name or "?"
+            continue
+        if entry.tag not in (Tag.VARIABLE, Tag.FORMAL_PARAMETER) or entry.die is None:
+            continue
+        location = entry.die.location
+        if location is None:
+            continue
+        type_die = entry.die.type_ref
+        try:
+            label = resolve_type(type_die)
+        except UnresolvableType:
+            continue
+        size = _type_size(type_die)
+        out.append(RealVariable(
+            function=current_function,
+            name=entry.die.name or "?",
+            rbp_offset=cfa_to_rbp_offset(location),
+            size=size,
+            label=label,
+        ))
+    return out
+
+
+def _type_size(die: Die | None) -> int:
+    for _ in range(32):
+        if die is None:
+            return 8
+        if die.byte_size is not None:
+            return die.byte_size
+        if die.tag in (Tag.TYPEDEF, Tag.CONST_TYPE, Tag.VOLATILE_TYPE):
+            die = die.type_ref
+            continue
+        if die.tag is Tag.POINTER_TYPE:
+            return 8
+        return 8
+    return 8

@@ -1,0 +1,27 @@
+"""From-scratch numpy neural-network library (the paper's Keras stand-in):
+Conv1d/ReLU/MaxPool/Dense/Dropout layers, softmax cross-entropy, SGD and
+Adam, and the :func:`build_cati_cnn` stage architecture.
+"""
+
+from repro.nn.layers import Conv1d, Dense, Dropout, Flatten, Layer, MaxPool1d, ReLU
+from repro.nn.losses import cross_entropy, softmax
+from repro.nn.model import FitResult, Sequential, build_cati_cnn
+from repro.nn.optimizers import Adam, Optimizer, SGD
+
+__all__ = [
+    "Conv1d",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "MaxPool1d",
+    "ReLU",
+    "cross_entropy",
+    "softmax",
+    "FitResult",
+    "Sequential",
+    "build_cati_cnn",
+    "Adam",
+    "Optimizer",
+    "SGD",
+]

@@ -1,0 +1,22 @@
+"""Weight initializers for the numpy NN library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_uniform(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform init — the right scale for ReLU stacks."""
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-limit, limit, shape).astype(np.float32)
+
+
+def glorot_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init for linear output layers."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)

@@ -1,0 +1,180 @@
+"""Layers of the from-scratch numpy neural-network library.
+
+Implements exactly what CATI's classifier needs (§V-A): 1-D convolutions
+over the 21-instruction axis, ReLU, max-pooling, dense layers and
+dropout.  Every layer exposes ``forward(x, training)`` and
+``backward(grad)`` with internal caches, plus ``params()`` returning
+(name, value, gradient) triples for the optimizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, he_uniform, zeros
+
+
+class Layer:
+    """Base layer: stateless by default."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
+        return []
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Serializable parameter dict (empty for stateless layers)."""
+        return {name: value for name, value, _grad in self.params()}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        for name, value, _grad in self.params():
+            value[...] = state[name]
+
+
+class Conv1d(Layer):
+    """1-D convolution over [B, L, C_in] with 'same' zero padding."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 rng: np.random.Generator | None = None) -> None:
+        if kernel_size % 2 != 1:
+            raise ValueError("kernel_size must be odd for 'same' padding")
+        rng = rng or np.random.default_rng(0)
+        self.kernel_size = kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        fan_in = kernel_size * in_channels
+        self.weight = he_uniform((fan_in, out_channels), fan_in, rng)
+        self.bias = zeros((out_channels,))
+        self.d_weight = np.zeros_like(self.weight)
+        self.d_bias = np.zeros_like(self.bias)
+        self._cache: tuple | None = None
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        pad = self.kernel_size // 2
+        padded = np.pad(x, ((0, 0), (pad, pad), (0, 0)))
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, (self.kernel_size, x.shape[2]), axis=(1, 2)
+        )  # [B, L, 1, K, C]
+        batch, length = x.shape[0], x.shape[1]
+        return windows.reshape(batch, length, self.kernel_size * x.shape[2])
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        cols = self._im2col(x)                       # [B, L, K*C]
+        out = cols @ self.weight + self.bias         # [B, L, C_out]
+        self._cache = (x.shape, cols)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        x_shape, cols = self._cache
+        batch, length, channels = x_shape
+        self.d_weight[...] = np.einsum("blk,blo->ko", cols, grad)
+        self.d_bias[...] = grad.sum(axis=(0, 1))
+        d_cols = grad @ self.weight.T                # [B, L, K*C]
+        d_cols = d_cols.reshape(batch, length, self.kernel_size, channels)
+        pad = self.kernel_size // 2
+        d_padded = np.zeros((batch, length + 2 * pad, channels), dtype=grad.dtype)
+        for k in range(self.kernel_size):
+            d_padded[:, k:k + length, :] += d_cols[:, :, k, :]
+        return d_padded[:, pad:pad + length, :]
+
+    def params(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
+        return [("weight", self.weight, self.d_weight), ("bias", self.bias, self.d_bias)]
+
+
+class ReLU(Layer):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class MaxPool1d(Layer):
+    """Max pooling over the length axis of [B, L, C] (stride = pool size)."""
+
+    def __init__(self, pool: int = 2) -> None:
+        self.pool = pool
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        batch, length, channels = x.shape
+        out_len = length // self.pool
+        trimmed = x[:, :out_len * self.pool, :]
+        reshaped = trimmed.reshape(batch, out_len, self.pool, channels)
+        out = reshaped.max(axis=2)
+        self._cache = (x.shape, reshaped, out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, reshaped, out = self._cache
+        mask = reshaped == out[:, :, None, :]
+        # Break ties by normalizing so gradient mass is conserved.
+        mask = mask / np.maximum(mask.sum(axis=2, keepdims=True), 1)
+        d_reshaped = mask * grad[:, :, None, :]
+        batch, length, channels = x_shape
+        out_len = d_reshaped.shape[1]
+        dx = np.zeros(x_shape, dtype=grad.dtype)
+        dx[:, :out_len * self.pool, :] = d_reshaped.reshape(batch, out_len * self.pool, channels)
+        return dx
+
+
+class Flatten(Layer):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+class Dense(Layer):
+    """Fully connected layer on [B, F_in] → [B, F_out]."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.weight = glorot_uniform((in_features, out_features), in_features, out_features, rng)
+        self.bias = zeros((out_features,))
+        self.d_weight = np.zeros_like(self.weight)
+        self.d_bias = np.zeros_like(self.bias)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.d_weight[...] = self._x.T @ grad
+        self.d_bias[...] = grad.sum(axis=0)
+        return grad @ self.weight.T
+
+    def params(self) -> list[tuple[str, np.ndarray, np.ndarray]]:
+        return [("weight", self.weight, self.d_weight), ("bias", self.bias, self.d_bias)]
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask

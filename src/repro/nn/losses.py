@@ -1,0 +1,31 @@
+"""Loss functions (softmax cross-entropy) for the numpy NN library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray,
+                  class_weights: np.ndarray | None = None) -> tuple[float, np.ndarray]:
+    """Softmax cross-entropy loss and its gradient w.r.t. logits.
+
+    ``labels`` are integer class ids.  ``class_weights`` (optional,
+    per-class) reweight the loss — used to soften the heavy class skew in
+    the type distribution (int and struct* dominate, Table V).
+    """
+    probs = softmax(logits)
+    batch = len(labels)
+    picked = probs[np.arange(batch), labels]
+    weights = np.ones(batch, dtype=np.float64) if class_weights is None else class_weights[labels]
+    loss = float(-(weights * np.log(np.clip(picked, 1e-12, None))).mean())
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    grad *= (weights / weights.sum() )[:, None] if class_weights is not None else 1.0 / batch
+    return loss, grad.astype(np.float32)

@@ -1,0 +1,56 @@
+"""Optimizers (SGD with momentum, Adam) for the numpy NN library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer over (key, param, grad) triples."""
+
+    def step(self, params: list[tuple[str, np.ndarray, np.ndarray]]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.9) -> None:
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self, params: list[tuple[str, np.ndarray, np.ndarray]]) -> None:
+        for key, value, grad in params:
+            velocity = self._velocity.setdefault(key, np.zeros_like(value))
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            value += velocity
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; the default trainer for CATI stages."""
+
+    def __init__(self, learning_rate: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[tuple[str, np.ndarray, np.ndarray]]) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for key, value, grad in params:
+            m = self._m.setdefault(key, np.zeros_like(value))
+            v = self._v.setdefault(key, np.zeros_like(value))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            value -= self.learning_rate * update

@@ -1,0 +1,77 @@
+"""Group target instructions into variables.
+
+The paper assumes variable *locations* are given (§VII-B: either from
+IDA/DEBIN-style variable recovery or, during evaluation, from ground
+truth) and concentrates on typing them.  Accordingly, this module takes
+a list of frame extents — one per variable — and assigns every located
+:class:`~repro.vuc.locate.Target` to the variable whose extent contains
+its displacement.  Targets falling outside every extent (spill slots,
+compiler temporaries) are dropped, as they are in the paper's corpus
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vuc.locate import Target
+
+
+@dataclass(frozen=True, slots=True)
+class VariableExtent:
+    """One variable's frame location: [offset, offset+size) on a base."""
+
+    name: str
+    base: str       # "rbp" or "rsp"
+    offset: int
+    size: int
+
+    def contains(self, base: str, disp: int) -> bool:
+        return base == self.base and self.offset <= disp < self.offset + self.size
+
+
+@dataclass
+class VariableGroup:
+    """All target instructions attributed to one variable."""
+
+    variable_id: str
+    extent: VariableExtent
+    targets: list[Target] = field(default_factory=list)
+
+    @property
+    def n_targets(self) -> int:
+        return len(self.targets)
+
+    @property
+    def is_orphan(self) -> bool:
+        """Orphan variables have only 1-2 related instructions (§II-B)."""
+        return self.n_targets <= 2
+
+
+def group_targets(
+    targets: list[Target],
+    extents: list[VariableExtent],
+    scope: str,
+) -> list[VariableGroup]:
+    """Assign targets to variables by frame extent.
+
+    ``scope`` (binary/function identifier) is prefixed onto variable ids
+    so ids stay globally unique across a corpus.  Extents are assumed
+    non-overlapping; the first containing extent wins.  Variables with no
+    targets at all are omitted (they produce no VUCs, hence no
+    prediction — the paper's corpora count only variables with ≥1 VUC).
+    """
+    groups: dict[str, VariableGroup] = {}
+    # Sort extents so interval lookup is a bisect; linear scan is fine for
+    # per-function variable counts (≤ dozens).
+    for target in targets:
+        for extent in extents:
+            if extent.contains(target.base, target.offset):
+                variable_id = f"{scope}::{extent.base}{extent.offset:+d}"
+                group = groups.get(variable_id)
+                if group is None:
+                    group = VariableGroup(variable_id=variable_id, extent=extent)
+                    groups[variable_id] = group
+                group.targets.append(target)
+                break
+    return list(groups.values())

@@ -1,0 +1,185 @@
+"""Labeled VUC corpus assembly.
+
+Reproduces the paper's data pipeline (§IV-A): disassemble, locate
+variables, extract per-target VUCs from the *stripped* view, and pair
+each VUC with the ground-truth type recovered from the unstripped twin's
+DWARF blob.  VUCs of the same variable share a ``variable_id`` so the
+voting stage (§V-B) can aggregate them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.codegen.binary import Binary, debug_variables
+from repro.codegen.strip import strip
+from repro.core.types import TypeName
+from repro.vuc.context import DEFAULT_WINDOW, extract_vuc
+from repro.vuc.dataflow import VariableExtent, group_targets
+from repro.vuc.generalize import Tokens, generalize_instruction, generalize_window
+from repro.vuc.locate import locate_targets
+
+
+@dataclass(frozen=True)
+class LabeledVuc:
+    """One training/evaluation sample: a generalized VUC and its label."""
+
+    tokens: tuple[Tokens, ...]      # 2w+1 token triples
+    label: TypeName
+    variable_id: str
+    binary: str
+    app: str
+    compiler: str
+
+    @property
+    def target_tokens(self) -> Tokens:
+        return self.tokens[len(self.tokens) // 2]
+
+
+@dataclass
+class VucDataset:
+    """A corpus of labeled VUCs with per-variable grouping."""
+
+    samples: list[LabeledVuc] = field(default_factory=list)
+    window: int = DEFAULT_WINDOW
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def extend(self, other: "VucDataset") -> None:
+        if other.window != self.window:
+            raise ValueError("cannot merge datasets with different window sizes")
+        self.samples.extend(other.samples)
+
+    def by_variable(self) -> dict[str, list[LabeledVuc]]:
+        """Group samples by variable id (insertion order preserved)."""
+        groups: dict[str, list[LabeledVuc]] = defaultdict(list)
+        for sample in self.samples:
+            groups[sample.variable_id].append(sample)
+        return dict(groups)
+
+    def n_variables(self) -> int:
+        return len({s.variable_id for s in self.samples})
+
+    def label_counts(self) -> Counter:
+        """VUC-granularity label histogram."""
+        return Counter(s.label for s in self.samples)
+
+    def variable_label_counts(self) -> Counter:
+        """Variable-granularity label histogram."""
+        return Counter(vucs[0].label for vucs in self.by_variable().values())
+
+    def apps(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for sample in self.samples:
+            seen.setdefault(sample.app, None)
+        return list(seen)
+
+    def filter_app(self, app: str) -> "VucDataset":
+        return VucDataset(
+            samples=[s for s in self.samples if s.app == app],
+            window=self.window,
+        )
+
+    def subsample(self, limit: int, seed: int = 0) -> "VucDataset":
+        """Deterministically subsample whole variables down to ~limit VUCs."""
+        import random
+
+        if len(self.samples) <= limit:
+            return self
+        rng = random.Random(seed)
+        groups = list(self.by_variable().items())
+        rng.shuffle(groups)
+        kept: list[LabeledVuc] = []
+        for _, vucs in groups:
+            if len(kept) + len(vucs) > limit and kept:
+                break
+            kept.extend(vucs)
+        return VucDataset(samples=kept, window=self.window)
+
+
+def extract_labeled_vucs(
+    binary: Binary,
+    app: str | None = None,
+    window: int = DEFAULT_WINDOW,
+) -> VucDataset:
+    """Build the labeled corpus for one (unstripped) binary.
+
+    Features come from the stripped twin — local symbols gone, PLT import
+    names kept — while labels come from the debug blob, exactly as the
+    paper labels VUCs from DWARF while training on stripped-equivalent
+    disassembly.
+    """
+    if binary.is_stripped:
+        raise ValueError("need an unstripped binary to label VUCs")
+    app = app or binary.name
+    records = debug_variables(binary)
+    records_by_function: dict[str, list] = defaultdict(list)
+    for record in records:
+        records_by_function[record.function].append(record)
+
+    stripped = strip(binary)
+    samples: list[LabeledVuc] = []
+    for func_index, (orig_func, stripped_func) in enumerate(
+            zip(binary.functions, stripped.functions)):
+        func_records = records_by_function.get(orig_func.name, [])
+        if not func_records:
+            continue
+        extents = []
+        labels_by_extent: dict[tuple[str, int], TypeName] = {}
+        for record in func_records:
+            base = "rbp" if record.frame_offset < 0 else "rsp"
+            extents.append(VariableExtent(
+                name=record.name, base=base,
+                offset=record.frame_offset, size=max(record.size, 1),
+            ))
+            labels_by_extent[(base, record.frame_offset)] = record.type_label  # type: ignore[assignment]
+
+        targets = locate_targets(stripped_func)
+        scope = f"{binary.name}/{binary.compiler}-O{binary.opt_level}/{func_index}"
+        for group in group_targets(targets, extents, scope):
+            label = labels_by_extent[(group.extent.base, group.extent.offset)]
+            for target in group.targets:
+                vuc = extract_vuc(stripped_func, target.index, window)
+                samples.append(LabeledVuc(
+                    tokens=generalize_window(vuc.window),
+                    label=label,
+                    variable_id=group.variable_id,
+                    binary=f"{binary.name}/{binary.compiler}-O{binary.opt_level}",
+                    app=app,
+                    compiler=binary.compiler,
+                ))
+    return VucDataset(samples=samples, window=window)
+
+
+def extract_unlabeled_vucs(
+    stripped: Binary,
+    extents_by_function: list[list[VariableExtent]],
+    window: int = DEFAULT_WINDOW,
+) -> list[tuple[str, tuple[Tokens, ...]]]:
+    """Inference-side extraction: (variable_id, tokens) pairs.
+
+    ``extents_by_function`` supplies the given variable locations
+    (§VII-B's assumption); inference has no labels.
+    """
+    out: list[tuple[str, tuple[Tokens, ...]]] = []
+    for func_index, func in enumerate(stripped.functions):
+        extents = extents_by_function[func_index] if func_index < len(extents_by_function) else []
+        if not extents:
+            continue
+        targets = locate_targets(func)
+        scope = f"{stripped.name}/{func_index}"
+        for group in group_targets(targets, extents, scope):
+            for target in group.targets:
+                vuc = extract_vuc(func, target.index, window)
+                out.append((group.variable_id, generalize_window(vuc.window)))
+    return out
+
+
+def target_signature(sample: LabeledVuc) -> str:
+    """The generalized target-instruction text (uncertain-sample key)."""
+    return " ".join(sample.target_tokens)

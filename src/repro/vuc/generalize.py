@@ -1,0 +1,84 @@
+"""Operand generalization (§IV-B, Table II).
+
+Binary-specific values are replaced with unified elements so the
+embedding vocabulary stays small and transfers across binaries:
+
+* immediate values → ``$IMM`` (displacements keep their sign:
+  ``-0x300(%rbp,%r9,4)`` → ``-IMM(%rbp,%r9,4)``; the scale factor is
+  *kept* because it correlates with element width),
+* jump/call target addresses → ``ADDR``,
+* resolvable callee names → ``FUNC`` (unresolved ones → ``BLANK``),
+* missing operands → ``BLANK`` padding so every instruction has exactly
+  one mnemonic and two operand tokens.
+
+The output of :func:`generalize_instruction` is the 3-token tuple the
+Word2Vec embedding consumes.
+"""
+
+from __future__ import annotations
+
+from repro.asm.instruction import Instruction
+from repro.asm.operands import Imm, Label, Mem, Operand, Reg
+
+#: Padding token (missing operands, window padding, occlusion).
+BLANK = "BLANK"
+IMM = "$IMM"
+ADDR = "ADDR"
+FUNC = "FUNC"
+
+#: Token triple type: (mnemonic, operand1, operand2).
+Tokens = tuple[str, str, str]
+
+#: The tokens of a fully padded (occluded / out-of-function) instruction.
+BLANK_TOKENS: Tokens = (BLANK, BLANK, BLANK)
+
+
+def generalize_operand(op: Operand) -> str:
+    """Generalize one operand to its unified token."""
+    if isinstance(op, Imm):
+        return IMM
+    if isinstance(op, Reg):
+        return f"%{op.name}"
+    if isinstance(op, Mem):
+        return _generalize_mem(op)
+    if isinstance(op, Label):
+        return ADDR
+    raise TypeError(f"unknown operand {op!r}")
+
+
+def _generalize_mem(op: Mem) -> str:
+    sign = "-" if op.disp < 0 else ""
+    disp = f"{sign}IMM" if (op.disp != 0 or (op.base is None and op.index is None)) else ""
+    if op.base is None and op.index is None:
+        return disp
+    inner = f"%{op.base}" if op.base is not None else ""
+    if op.index is not None:
+        inner += f",%{op.index},{op.scale}"
+    return f"{disp}({inner})"
+
+
+def generalize_instruction(ins: Instruction | None) -> Tokens:
+    """Generalize an instruction to (mnemonic, op1, op2); None → BLANK."""
+    if ins is None:
+        return BLANK_TOKENS
+    if ins.is_control_flow:
+        # Table II rows 3-4: `jmp ADDR BLANK`, `callq ADDR <FUNC>`.
+        target = ins.operands[0] if ins.operands else None
+        second = BLANK
+        if ins.is_call and isinstance(target, Label) and target.symbol is not None:
+            second = FUNC
+        return (ins.mnemonic, ADDR if target is not None else BLANK, second)
+    tokens = [generalize_operand(op) for op in ins.operands[:2]]
+    while len(tokens) < 2:
+        tokens.append(BLANK)
+    return (ins.mnemonic, tokens[0], tokens[1])
+
+
+def generalize_window(window: tuple[Instruction | None, ...]) -> tuple[Tokens, ...]:
+    """Generalize a whole VUC window to its token-triple sequence."""
+    return tuple(generalize_instruction(ins) for ins in window)
+
+
+def tokens_to_text(tokens: Tokens) -> str:
+    """Render a token triple as one space-joined 'word sequence' line."""
+    return " ".join(tokens)

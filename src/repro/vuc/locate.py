@@ -1,0 +1,132 @@
+"""Locate variables' *target instructions* in a disassembled function.
+
+The paper's target instructions are memory-access instructions and
+dereference instructions (§I) — the instructions that operate exactly one
+variable.  Two locator rules reproduce what IDA's stack-frame analysis
+plus light def-use tracking give the authors:
+
+1. **Slot access** — any operand of the form ``disp(%rbp)`` /
+   ``disp(%rsp)`` (optionally indexed) touches the local whose frame
+   extent contains ``disp``.
+2. **Dereference** — a memory operand based on a register that was
+   recently loaded (``mov``/``lea``) from a stack slot is a dereference
+   *of the pointer variable in that slot*.  The tracking is invalidated
+   when the register family is overwritten, and ages out after a small
+   window, which is exactly the locality real pointer uses exhibit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.asm.instruction import FunctionListing, Instruction
+from repro.asm.operands import Mem, Reg
+from repro.asm.registers import register_family
+
+#: How many instructions a slot-loaded register stays a valid pointer base.
+DEREF_WINDOW = 12
+
+#: Frame-base register families the locator recognises.
+FRAME_BASES = ("rbp", "rsp")
+
+
+class TargetKind(enum.Enum):
+    """How the target instruction touches its variable."""
+
+    SLOT = "slot"        # direct frame-slot access
+    DEREF = "deref"      # memory access through a slot-loaded pointer
+
+
+@dataclass(frozen=True, slots=True)
+class Target:
+    """One target instruction inside a function listing."""
+
+    index: int                  # instruction index within the function
+    kind: TargetKind
+    base: str                   # frame base register ("rbp"/"rsp")
+    offset: int                 # frame displacement identifying the slot
+    instruction: Instruction
+
+
+def _slot_operand(ins: Instruction) -> Mem | None:
+    """The frame-slot memory operand of an instruction, if it has one."""
+    for op in ins.operands:
+        if isinstance(op, Mem) and op.base in FRAME_BASES:
+            return op
+    return None
+
+
+def _written_families(ins: Instruction) -> frozenset[str]:
+    """Register families an instruction (potentially) overwrites."""
+    dest = ins.operands[-1] if ins.operands else None
+    if isinstance(dest, Reg) and dest.name != "rip":
+        try:
+            return frozenset((register_family(dest.name),))
+        except KeyError:
+            return frozenset()
+    if ins.is_call:
+        # Calls clobber all caller-saved registers.
+        return frozenset(("rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r11"))
+    return frozenset()
+
+
+def locate_targets(listing: FunctionListing) -> list[Target]:
+    """Find every target instruction in a function, in listing order.
+
+    Prologue/epilogue stack adjustments (``push``, ``pop``, ``sub
+    $N,%rsp``) never carry slot operands in our IR, so no special-casing
+    is needed; ``(%rsp)`` bare pushes do not match because they have no
+    Mem operand.
+    """
+    targets: list[Target] = []
+    # family -> (base, offset, index where it was loaded)
+    pointer_regs: dict[str, tuple[str, int, int]] = {}
+
+    for index, ins in enumerate(listing.instructions):
+        slot = _slot_operand(ins)
+        if slot is not None:
+            assert slot.base is not None
+            targets.append(Target(
+                index=index, kind=TargetKind.SLOT,
+                base=slot.base, offset=slot.disp, instruction=ins,
+            ))
+            # A register loaded from the slot (pointer value via mov, or
+            # the slot's own address via lea) becomes a tracked pointer.
+            dest = ins.operands[-1] if ins.operands else None
+            if (ins.mnemonic in ("mov", "movq", "lea") and isinstance(dest, Reg)
+                    and dest.width == 8):
+                pointer_regs[dest.family] = (slot.base, slot.disp, index)
+        else:
+            # Dereference through a tracked pointer register?
+            for op in ins.operands:
+                if not isinstance(op, Mem) or op.base is None:
+                    continue
+                if op.base in FRAME_BASES or op.base == "rip":
+                    continue
+                family = register_family(op.base)
+                tracked = pointer_regs.get(family)
+                if tracked is not None and index - tracked[2] <= DEREF_WINDOW:
+                    targets.append(Target(
+                        index=index, kind=TargetKind.DEREF,
+                        base=tracked[0], offset=tracked[1], instruction=ins,
+                    ))
+                    break
+
+        # Invalidate pointer tracking on overwrites (after use above, so a
+        # self-reload `mov slot,%rax` both targets the slot and re-tracks).
+        written = _written_families(ins)
+        if written:
+            dest = ins.operands[-1] if ins.operands else None
+            reloaded = (slot is not None and isinstance(dest, Reg)
+                        and dest.width == 8 and ins.mnemonic in ("mov", "movq", "lea"))
+            for family in written:
+                if reloaded and isinstance(dest, Reg) and family == dest.family:
+                    continue
+                pointer_regs.pop(family, None)
+    return targets
+
+
+def count_targets(listing: FunctionListing) -> int:
+    """Number of target instructions in a function (cheap summary)."""
+    return len(locate_targets(listing))

@@ -1,0 +1,121 @@
+"""Tests for the ablation harness, the flat classifier and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.flat import FlatClassifier
+from repro.experiments.ablations import (
+    run_flat_ablation,
+    run_opt_level_breakdown,
+    run_threshold_ablation,
+)
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def mini_context(small_corpus, mini_cati, mini_config):
+    return ExperimentContext(
+        corpus=small_corpus, cati=mini_cati, config=mini_config, compiler_name="gcc",
+    )
+
+
+class TestFlatClassifier:
+    def test_train_and_predict(self, mini_cati, small_corpus, mini_config):
+        samples = small_corpus.train.samples[:400]
+        x = mini_cati.encode([s.tokens for s in samples])
+        import dataclasses
+
+        config = dataclasses.replace(mini_config, epochs=3)
+        flat = FlatClassifier(config).train(x, [s.label for s in samples])
+        probs = flat.leaf_proba(x[:10])
+        assert probs.shape == (10, 19)
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_untrained_raises(self, mini_config):
+        with pytest.raises(RuntimeError):
+            FlatClassifier(mini_config).leaf_proba(np.zeros((1, 21, 96), dtype=np.float32))
+
+
+class TestThresholdAblation:
+    def test_sweep_shape(self, mini_cache):
+        result = run_threshold_ablation(mini_cache)
+        assert len(result.rows) == 7
+        for threshold, acc in result.rows:
+            assert 0.0 <= acc <= 1.0
+        assert "threshold" in result.render()
+
+    def test_best_is_max(self, mini_cache):
+        result = run_threshold_ablation(mini_cache)
+        _t, best = result.best()
+        assert best == max(a for _t2, a in result.rows)
+
+    def test_threshold_one_equals_plain_sum(self, mini_cache):
+        """At threshold 1.0 clipping is a no-op, so the result equals
+        plain confidence summation."""
+        from repro.core.types import ALL_TYPES
+
+        result = run_threshold_ablation(mini_cache, thresholds=(1.0,))
+        groups: dict[str, list[int]] = {}
+        for i, vid in enumerate(mini_cache.variable_ids):
+            groups.setdefault(vid, []).append(i)
+        hits = 0
+        for _vid, idx in groups.items():
+            totals = mini_cache.leaf_probs[idx].sum(axis=0)
+            hits += ALL_TYPES[int(totals.argmax())] is mini_cache.labels[idx[0]]
+        assert result.rows[0][1] == pytest.approx(hits / len(groups))
+
+
+class TestOptLevelBreakdown:
+    def test_levels_present(self, mini_context, mini_cache):
+        # seed the memoized cache with the mini one
+        from repro.experiments import common
+
+        common._PREDICTION_CACHE[id(mini_context)] = mini_cache
+        result = run_opt_level_breakdown(mini_context)
+        levels = {level for level, _a, _n in result.rows}
+        assert levels == {"-O0", "-O2"}  # the small corpus builds O0+O2
+        assert sum(n for _l, _a, n in result.rows) == mini_context.corpus.test.n_variables()
+
+
+class TestFlatAblation:
+    def test_runs_on_mini_context(self, mini_context, mini_cache):
+        from repro.experiments import common
+
+        common._PREDICTION_CACHE[id(mini_context)] = mini_cache
+        result = run_flat_ablation(mini_context, epochs=2)
+        assert 0.0 <= result.flat_vuc_accuracy <= 1.0
+        assert 0.0 <= result.tree_vuc_accuracy <= 1.0
+        assert "flat" in result.render()
+
+
+class TestCli:
+    def test_parser_commands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["train", "--small", "--epochs", "2"])
+        assert args.command == "train"
+        args = parser.parse_args(["experiment", "table6"])
+        assert args.name == "table6"
+
+    def test_unknown_experiment_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_train_then_infer_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        model_dir = str(tmp_path / "model")
+        assert main(["train", "--small", "--epochs", "2", "--model-dir", model_dir]) == 0
+        assert main(["infer", "--model-dir", model_dir, "--seed", "55"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy:" in out
+        assert "->" in out
+
+    def test_corpus_stats_small(self, capsys):
+        from repro.cli import main
+
+        assert main(["corpus-stats", "--small"]) == 0
+        assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Unit tests for the Instruction IR and mnemonic metadata."""
+
+import pytest
+
+from repro.asm.instruction import FunctionListing, Instruction, make
+from repro.asm.mnemonics import access_width, is_control_flow, is_sse, is_x87
+from repro.asm.operands import Imm, Label, Mem, Reg
+
+
+class TestInstruction:
+    def test_str_no_operands(self):
+        assert str(make("nop")) == "nop"
+
+    def test_str_two_operands(self):
+        ins = make("movl", Imm(0x100), Mem(disp=0xB8, base="rsp"))
+        assert str(ins) == "movl $0x100,0xb8(%rsp)"
+
+    def test_too_many_operands_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("imul", (Imm(1), Reg("rax"), Reg("rbx"), Reg("rcx")))
+
+    def test_source_and_dest(self):
+        ins = make("mov", Reg("rax"), Reg("rbx"))
+        assert ins.source == Reg("rax")
+        assert ins.dest == Reg("rbx")
+
+    def test_dest_none_for_single_operand(self):
+        assert make("push", Reg("rbp")).dest is None
+
+    def test_memory_operands(self):
+        ins = make("mov", Mem(disp=-8, base="rbp"), Reg("rax"))
+        assert ins.memory_operands() == (Mem(disp=-8, base="rbp"),)
+
+    def test_stack_slots_filters_non_frame(self):
+        ins = make("mov", Mem(disp=8, base="rax"), Reg("rbx"))
+        assert ins.stack_slots() == ()
+
+    def test_register_families_include_mem_bases(self):
+        ins = make("mov", Mem(disp=0, base="rax", index="r9"), Reg("edx"))
+        assert ins.register_families() == {"rax", "r9", "rdx"}
+
+    def test_lea_accesses_memory(self):
+        assert make("lea", Mem(disp=-16, base="rbp"), Reg("rax")).accesses_memory()
+
+    def test_float_predicate(self):
+        assert make("movsd", Mem(disp=-8, base="rbp"), Reg("xmm0")).is_float
+        assert make("fldt", Mem(disp=-16, base="rbp")).is_float
+        assert not make("movq", Imm(0), Mem(disp=-8, base="rbp")).is_float
+
+
+class TestMnemonicMetadata:
+    @pytest.mark.parametrize("mnemonic,width", [
+        ("movb", 1), ("movw", 2), ("movl", 4), ("movq", 8),
+        ("addl", 4), ("cmpq", 8), ("movss", 4), ("movsd", 8),
+        ("movzbl", 1), ("movswl", 2), ("sete", 1),
+    ])
+    def test_access_width(self, mnemonic, width):
+        assert access_width(mnemonic) == width
+
+    def test_unsuffixed_mov_has_no_width(self):
+        assert access_width("mov") is None
+
+    def test_control_flow(self):
+        assert is_control_flow("jmp")
+        assert is_control_flow("je")
+        assert is_control_flow("callq")
+        assert not is_control_flow("mov")
+
+    def test_sse_and_x87_disjoint(self):
+        assert is_sse("mulsd") and not is_x87("mulsd")
+        assert is_x87("fstpt") and not is_sse("fstpt")
+
+
+class TestFunctionListing:
+    def test_render_contains_header_and_instructions(self):
+        listing = FunctionListing(
+            name="f", address=0x401000,
+            instructions=[make("push", Reg("rbp"), address=0x401000)],
+        )
+        text = listing.render()
+        assert "<f>:" in text
+        assert "push %rbp" in text
+
+    def test_len(self):
+        listing = FunctionListing(name="f", address=0, instructions=[make("nop")] * 3)
+        assert len(listing) == 3

@@ -1,0 +1,67 @@
+"""Unit tests for operand AST rendering and predicates."""
+
+import pytest
+
+from repro.asm.operands import Imm, Label, Mem, Reg
+
+
+class TestImm:
+    def test_renders_hex_with_dollar(self):
+        assert str(Imm(0x100)) == "$0x100"
+
+    def test_renders_negative(self):
+        assert str(Imm(-0xD0)) == "$-0xd0"
+
+    def test_zero(self):
+        assert str(Imm(0)) == "$0x0"
+
+
+class TestReg:
+    def test_renders_with_percent(self):
+        assert str(Reg("rax")) == "%rax"
+
+    def test_family_and_width(self):
+        reg = Reg("esi")
+        assert reg.family == "rsi"
+        assert reg.width == 4
+
+
+class TestMem:
+    def test_simple_base(self):
+        assert str(Mem(disp=-4, base="rbp")) == "-0x4(%rbp)"
+
+    def test_positive_disp_rsp(self):
+        assert str(Mem(disp=0xA8, base="rsp")) == "0xa8(%rsp)"
+
+    def test_full_effective_address(self):
+        mem = Mem(disp=-0x300, base="rbp", index="r9", scale=4)
+        assert str(mem) == "-0x300(%rbp,%r9,4)"
+
+    def test_zero_disp_omitted_with_base(self):
+        assert str(Mem(disp=0, base="rax")) == "(%rax)"
+
+    def test_index_without_base(self):
+        mem = Mem(disp=0x10, base=None, index="rcx", scale=8)
+        assert str(mem) == "0x10(,%rcx,8)"
+
+    def test_bare_displacement(self):
+        assert str(Mem(disp=0x601040)) == "0x601040"
+
+    @pytest.mark.parametrize("base,expected", [("rbp", True), ("rsp", True), ("rax", False), (None, False)])
+    def test_is_stack_slot(self, base, expected):
+        assert Mem(disp=-8, base=base).is_stack_slot is expected
+
+    def test_indexed_stack_access_is_not_plain_slot(self):
+        assert not Mem(disp=-8, base="rbp", index="rax", scale=4).is_stack_slot
+
+    def test_rip_relative(self):
+        assert Mem(disp=0x2000, base="rip").is_rip_relative
+        assert not Mem(disp=0x2000, base="rbp").is_rip_relative
+
+
+class TestLabel:
+    def test_renders_bare_address(self):
+        assert str(Label(0x3BC59)) == "3bc59"
+
+    def test_renders_symbol(self):
+        assert str(Label(0x3BC59, "bfd_zalloc")) == "3bc59 <bfd_zalloc>"

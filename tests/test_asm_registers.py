@@ -1,0 +1,83 @@
+"""Unit tests for the x86-64 register model."""
+
+import pytest
+
+from repro.asm.registers import (
+    GP_ARG_REGISTERS,
+    all_register_names,
+    gp_name,
+    is_register,
+    register_family,
+    register_info,
+    register_width,
+)
+
+
+class TestFamilies:
+    def test_rax_family_views(self):
+        assert register_family("rax") == "rax"
+        assert register_family("eax") == "rax"
+        assert register_family("ax") == "rax"
+        assert register_family("al") == "rax"
+
+    def test_extended_register_views(self):
+        assert register_family("r9d") == "r9"
+        assert register_family("r15b") == "r15"
+        assert register_family("r10w") == "r10"
+
+    def test_high_byte_registers_map_to_family(self):
+        assert register_family("ah") == "rax"
+        assert register_family("dh") == "rdx"
+
+    def test_sse_registers_are_their_own_family(self):
+        assert register_family("xmm3") == "xmm3"
+
+    def test_x87_registers_share_st_family(self):
+        assert register_family("st") == "st"
+        assert register_family("st(3)") == "st"
+
+
+class TestWidths:
+    @pytest.mark.parametrize("name,width", [
+        ("rax", 8), ("eax", 4), ("ax", 2), ("al", 1),
+        ("r8", 8), ("r8d", 4), ("r8w", 2), ("r8b", 1),
+        ("xmm0", 16), ("rip", 8),
+    ])
+    def test_width(self, name, width):
+        assert register_width(name) == width
+
+    def test_gp_name_round_trips_widths(self):
+        for family in ("rax", "rsi", "r12"):
+            for width in (8, 4, 2, 1):
+                name = gp_name(family, width)
+                assert register_family(name) == family
+                assert register_width(name) == width
+
+
+class TestLookup:
+    def test_is_register_accepts_known(self):
+        assert is_register("rbp")
+        assert is_register("sil")
+
+    def test_is_register_rejects_unknown(self):
+        assert not is_register("rax2")
+        assert not is_register("")
+        assert not is_register("eaxx")
+
+    def test_register_info_fields(self):
+        info = register_info("edi")
+        assert info.family == "rdi"
+        assert info.width == 4
+        assert info.kind == "gp"
+
+    def test_register_info_raises_for_unknown(self):
+        with pytest.raises(KeyError):
+            register_info("bogus")
+
+    def test_arg_registers_are_sysv_order(self):
+        assert GP_ARG_REGISTERS == ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+
+    def test_all_names_cover_every_gp_width(self):
+        names = all_register_names()
+        assert {"rax", "eax", "ax", "al"} <= names
+        assert len(names) > 80

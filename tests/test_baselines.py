@@ -1,0 +1,176 @@
+"""Baseline tests: features, linear model, DEBIN/TypeMiner stand-ins,
+rule ladder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.debin import DebinConfig, DebinModel
+from repro.baselines.features import variable_feature_vector, variable_features
+from repro.baselines.linear import SoftmaxRegression
+from repro.baselines.rules import classify_variable
+from repro.baselines.typeminer import TypeMinerConfig, TypeMinerModel
+from repro.core.types import TypeName
+from repro.vuc.dataset import LabeledVuc, VucDataset
+
+
+def _vuc(target, label, vid):
+    pad = ("nop", "BLANK", "BLANK")
+    return LabeledVuc(tokens=(pad, target, pad), label=label, variable_id=vid,
+                      binary="b", app="a", compiler="gcc")
+
+
+class TestFeatures:
+    def test_vector_normalized(self):
+        vec = variable_feature_vector([_vuc(("movl", "$IMM", "-IMM(%rbp)"), TypeName.INT, "v")])
+        assert vec.shape == (512,)
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_deterministic(self):
+        vucs = [_vuc(("movl", "$IMM", "-IMM(%rbp)"), TypeName.INT, "v")]
+        assert np.array_equal(variable_feature_vector(vucs), variable_feature_vector(vucs))
+
+    def test_different_instructions_differ(self):
+        a = variable_feature_vector([_vuc(("movl", "$IMM", "-IMM(%rbp)"), TypeName.INT, "v")])
+        b = variable_feature_vector([_vuc(("fldt", "BLANK", "-IMM(%rbp)"), TypeName.LONG_DOUBLE, "v")])
+        assert not np.array_equal(a, b)
+
+    def test_matrix_shape(self):
+        groups = {
+            "v1": [_vuc(("movl", "$IMM", "-IMM(%rbp)"), TypeName.INT, "v1")],
+            "v2": [_vuc(("movsd", "%xmm0", "-IMM(%rbp)"), TypeName.DOUBLE, "v2")],
+        }
+        ids, matrix = variable_features(groups, dim=128)
+        assert ids == ["v1", "v2"]
+        assert matrix.shape == (2, 128)
+
+
+class TestSoftmaxRegression:
+    def test_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 10)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        model = SoftmaxRegression(10, 2)
+        model.fit(x, y, epochs=60)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_proba_normalized(self):
+        model = SoftmaxRegression(4, 3)
+        probs = model.predict_proba(np.zeros((5, 4), dtype=np.float32))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+def _toy_corpus():
+    """Two separable types + per-function grouping for pairwise factors."""
+    int_row = ("movl", "$IMM", "-IMM(%rbp)")
+    dbl_row = ("movsd", "%xmm0", "-IMM(%rbp)")
+    samples = []
+    for f in range(12):
+        for v in range(2):
+            vid = f"b/f{f}::rbp-{v * 8 + 4}"
+            row, label = (int_row, "int") if v == 0 else (dbl_row, "double")
+            for _ in range(2):
+                samples.append(_vuc(row, TypeName.INT if v == 0 else TypeName.DOUBLE, vid))
+    ds = VucDataset(window=1, samples=samples)
+    groups = ds.by_variable()
+    labels = {vid: ("int" if "rbp-4" in vid else "double") for vid in groups}
+    return groups, labels
+
+
+class TestDebin:
+    def test_learns_toy_task(self):
+        groups, labels = _toy_corpus()
+        model = DebinModel(["int", "double"], DebinConfig(epochs=80))
+        model.train(groups, labels)
+        predictions = model.predict(groups)
+        acc = sum(predictions[vid] == labels[vid] for vid in groups) / len(groups)
+        assert acc > 0.9
+
+    def test_predict_before_train_raises(self):
+        model = DebinModel(["int"])
+        with pytest.raises(RuntimeError):
+            model.predict({})
+
+    def test_pairwise_matrix_is_stochastic(self):
+        groups, labels = _toy_corpus()
+        model = DebinModel(["int", "double"], DebinConfig(epochs=10))
+        model.train(groups, labels)
+        rows = np.exp(model.log_pairwise).sum(axis=1)
+        assert np.allclose(rows, 1.0)
+
+    def test_empty_predict(self):
+        groups, labels = _toy_corpus()
+        model = DebinModel(["int", "double"], DebinConfig(epochs=5)).train(groups, labels)
+        assert model.predict({}) == {}
+
+
+class TestTypeMiner:
+    def test_learns_toy_task(self):
+        groups, labels = _toy_corpus()
+        model = TypeMinerModel(["int", "double"], TypeMinerConfig(epochs=80))
+        model.train(groups, labels)
+        predictions = model.predict(groups)
+        acc = sum(predictions[vid] == labels[vid] for vid in groups) / len(groups)
+        assert acc > 0.9
+
+    def test_min_trace_drops_short_traces(self):
+        groups, labels = _toy_corpus()
+        model = TypeMinerModel(["int", "double"], TypeMinerConfig(epochs=5, min_trace=3))
+        model.train(groups, labels)
+        predictions = model.predict(groups)
+        assert predictions == {}  # every toy variable has only 2 VUCs
+
+
+class TestRules:
+    def _classify(self, *targets, label=TypeName.INT):
+        vucs = [_vuc(t, label, "v") for t in targets]
+        return classify_variable(vucs)
+
+    def test_long_double(self):
+        assert self._classify(("fldt", "-IMM(%rbp)", "BLANK")) is TypeName.LONG_DOUBLE
+
+    def test_double(self):
+        assert self._classify(("movsd", "%xmm0", "-IMM(%rbp)")) is TypeName.DOUBLE
+
+    def test_float(self):
+        assert self._classify(("movss", "%xmm0", "-IMM(%rbp)")) is TypeName.FLOAT
+
+    def test_char_via_sign_extension(self):
+        assert self._classify(("movsbl", "-IMM(%rbp)", "%eax")) is TypeName.CHAR
+
+    def test_uchar_via_zero_extension(self):
+        assert self._classify(("movzbl", "-IMM(%rbp)", "%eax")) is TypeName.UNSIGNED_CHAR
+
+    def test_bool_via_setcc(self):
+        result = self._classify(
+            ("movb", "%al", "-IMM(%rbp)"),
+            ("sete", "%al", "BLANK"),
+        )
+        assert result is TypeName.BOOL
+
+    def test_int_default(self):
+        assert self._classify(("movl", "$IMM", "-IMM(%rbp)")) is TypeName.INT
+
+    def test_pointer_via_deref(self):
+        result = self._classify(
+            ("mov", "-IMM(%rbp)", "%rax"),
+            ("mov", "(%rax)", "%rdx"),
+        )
+        assert result in (TypeName.ARITH_POINTER, TypeName.STRUCT_POINTER)
+
+    def test_struct_pointer_via_member_offset(self):
+        result = self._classify(
+            ("mov", "-IMM(%rbp)", "%rax"),
+            ("mov", "IMM(%rax)", "%rdx"),
+        )
+        assert result is TypeName.STRUCT_POINTER
+
+    def test_rules_beat_chance_on_corpus(self, small_corpus):
+        from repro.baselines.rules import predict
+        from repro.eval.metrics import accuracy
+
+        groups = small_corpus.test.by_variable()
+        predictions = predict(groups)
+        truth = {vid: vucs[0].label for vid, vucs in groups.items()}
+        acc = accuracy([truth[v] for v in predictions], [predictions[v] for v in predictions])
+        assert acc > 0.15  # well above 1/19 chance

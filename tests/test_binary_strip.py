@@ -1,0 +1,133 @@
+"""Binary artifact and stripping tests."""
+
+import pytest
+
+from repro.codegen import GccCompiler, debug_variables, strip
+from repro.core.types import TypeName
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return GccCompiler().compile_fresh(seed=11, name="bin", opt_level=0)
+
+
+class TestBinary:
+    def test_has_debug_blob(self, binary):
+        assert not binary.is_stripped
+        assert binary.debug.info
+        assert binary.debug.abbrev
+
+    def test_symtab_matches_functions(self, binary):
+        assert set(binary.symtab) == {f.name for f in binary.functions}
+        for func in binary.functions:
+            assert binary.symtab[func.name] == func.address
+
+    def test_render_contains_all_functions(self, binary):
+        text = binary.render()
+        for func in binary.functions:
+            assert f"<{func.name}>:" in text
+
+    def test_instruction_count(self, binary):
+        assert binary.instruction_count() == sum(len(f) for f in binary.functions)
+        assert binary.instruction_count() == len(binary.all_instructions())
+
+
+class TestDebugVariables:
+    def test_records_match_lowered_slots(self, binary):
+        records = debug_variables(binary)
+        by_function = {}
+        for record in records:
+            by_function.setdefault(record.function, []).append(record)
+        for lowered in binary.lowered:
+            recs = by_function[lowered.listing.name]
+            slots = {s.offset: s for s in lowered.slots.values()}
+            assert len(recs) == len(slots)
+            for record in recs:
+                slot = slots[record.frame_offset]
+                assert record.size == slot.size
+                assert record.type_label is slot.var.label
+
+    def test_every_leaf_type_appears_somewhere(self):
+        """Across enough binaries the corpus covers the full taxonomy."""
+        seen = set()
+        compiler = GccCompiler()
+        for seed in range(12):
+            b = compiler.compile_fresh(seed=seed, name=f"b{seed}", opt_level=0)
+            seen.update(r.type_label for r in debug_variables(b))
+        # rare types (short, long long) may need many seeds; require most
+        assert len(seen) >= 15
+
+    def test_raises_on_stripped(self, binary):
+        with pytest.raises(ValueError):
+            debug_variables(strip(binary))
+
+
+class TestStrip:
+    def test_strip_removes_debug_and_symbols(self, binary):
+        stripped = strip(binary)
+        assert stripped.is_stripped
+        assert stripped.symtab == {}
+        assert stripped.lowered == []
+
+    def test_function_names_become_sub_addresses(self, binary):
+        stripped = strip(binary)
+        for func in stripped.functions:
+            assert func.name.startswith("sub_")
+
+    def test_instruction_stream_preserved(self, binary):
+        stripped = strip(binary)
+        assert stripped.instruction_count() == binary.instruction_count()
+        for orig, strip_f in zip(binary.functions, stripped.functions):
+            for a, b in zip(orig.instructions, strip_f.instructions):
+                assert a.mnemonic == b.mnemonic
+                assert a.address == b.address
+
+    def test_plt_symbols_survive_local_symbols_do_not(self, binary):
+        from repro.asm.operands import Label
+
+        stripped = strip(binary)
+        for ins in stripped.all_instructions():
+            for op in ins.operands:
+                if isinstance(op, Label) and op.symbol is not None:
+                    assert "@plt" in op.symbol
+
+    def test_original_unmodified(self, binary):
+        before = binary.instruction_count()
+        strip(binary)
+        assert not binary.is_stripped
+        assert binary.instruction_count() == before
+
+
+class TestCompilerDrivers:
+    def test_invalid_opt_level_rejected(self):
+        from repro.codegen.progen import generate_program
+
+        program = generate_program(1, "p")
+        with pytest.raises(ValueError):
+            GccCompiler().compile(program, opt_level=5)
+
+    def test_compiler_by_name(self):
+        from repro.codegen import compiler_by_name
+
+        assert compiler_by_name("gcc").name == "gcc"
+        assert compiler_by_name("clang").name == "clang"
+        with pytest.raises(ValueError):
+            compiler_by_name("msvc")
+
+    def test_deterministic_compilation(self):
+        a = GccCompiler().compile_fresh(seed=3, name="x", opt_level=1)
+        b = GccCompiler().compile_fresh(seed=3, name="x", opt_level=1)
+        assert a.render() == b.render()
+        assert a.debug.info == b.debug.info
+
+    def test_opt_levels_differ(self):
+        a = GccCompiler().compile_fresh(seed=3, name="x", opt_level=0)
+        b = GccCompiler().compile_fresh(seed=3, name="x", opt_level=3)
+        assert a.render() != b.render()
+
+    def test_compilers_differ(self):
+        from repro.codegen import ClangCompiler
+
+        a = GccCompiler().compile_fresh(seed=3, name="x", opt_level=0)
+        b = ClangCompiler().compile_fresh(seed=3, name="x", opt_level=0)
+        assert a.render() != b.render()

@@ -1,0 +1,179 @@
+"""Multi-stage classifier + pipeline integration tests (use the
+session-scoped mini-trained CATI).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.types import ALL_TYPES, STAGE_SPECS, Stage, TypeName, stage_label
+from repro.core.pipeline import Cati
+
+
+class TestClassifier:
+    def test_all_six_stages_trained(self, mini_cati):
+        assert set(mini_cati.classifier.stages) == set(STAGE_SPECS)
+
+    def test_leaf_proba_shape_and_normalization(self, mini_cati, small_corpus):
+        windows = [s.tokens for s in small_corpus.test.samples[:20]]
+        probs = mini_cati.predict_vuc_proba(windows)
+        assert probs.shape == (20, 19)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_stage_proba_rows_normalized(self, mini_cati, small_corpus):
+        x = mini_cati.encode([s.tokens for s in small_corpus.test.samples[:10]])
+        for stage in STAGE_SPECS:
+            probs = mini_cati.classifier.stage_proba(stage, x)
+            assert probs.shape == (10, len(STAGE_SPECS[stage].labels))
+            assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_leaf_proba_consistent_with_stage_product(self, mini_cati, small_corpus):
+        """Leaf column = normalized product of its path's stage confidences."""
+        from repro.core.types import stage_path
+
+        x = mini_cati.encode([s.tokens for s in small_corpus.test.samples[:5]])
+        stage_probs = {s: mini_cati.classifier.stage_proba(s, x) for s in STAGE_SPECS}
+        leaf = mini_cati.classifier.leaf_proba(x)
+        raw = np.zeros_like(leaf)
+        for col, t in enumerate(ALL_TYPES):
+            factor = np.ones(len(x))
+            for stage, label in stage_path(t):
+                factor *= stage_probs[stage][:, STAGE_SPECS[stage].label_index(label)]
+            raw[:, col] = factor
+        raw /= raw.sum(axis=1, keepdims=True)
+        assert np.allclose(leaf, raw, atol=1e-9)
+
+    def test_predict_leaf_returns_typenames(self, mini_cati, small_corpus):
+        x = mini_cati.encode([s.tokens for s in small_corpus.test.samples[:5]])
+        preds = mini_cati.classifier.predict_leaf(x)
+        assert all(isinstance(p, TypeName) for p in preds)
+
+    def test_hierarchical_vote_returns_leaf(self, mini_cache, mini_cati):
+        """vote_variable routes clipped stage votes down to a leaf type."""
+        groups: dict[str, list[int]] = {}
+        for i, vid in enumerate(mini_cache.variable_ids):
+            groups.setdefault(vid, []).append(i)
+        some = list(groups.items())[:20]
+        for _vid, indices in some:
+            leaf = mini_cati.classifier.vote_variable(mini_cache.stage_probs, indices)
+            assert isinstance(leaf, TypeName)
+
+    def test_hierarchical_vote_agrees_with_certain_stages(self, mini_cache, mini_cati):
+        """When stage 1 is unanimous for 'pointer', the hierarchical vote
+        must land on a pointer leaf."""
+        import numpy as np
+
+        from repro.core.types import POINTER_TYPES, STAGE_SPECS, Stage
+
+        groups: dict[str, list[int]] = {}
+        for i, vid in enumerate(mini_cache.variable_ids):
+            groups.setdefault(vid, []).append(i)
+        pointer_col = STAGE_SPECS[Stage.STAGE1].label_index("pointer")
+        checked = 0
+        for _vid, indices in groups.items():
+            stage1 = mini_cache.stage_probs[Stage.STAGE1][indices]
+            if (stage1[:, pointer_col] > 0.8).all():
+                leaf = mini_cati.classifier.vote_variable(mini_cache.stage_probs, indices)
+                assert leaf in POINTER_TYPES
+                checked += 1
+            if checked >= 10:
+                break
+        if checked == 0:
+            pytest.skip("mini model produced no confidently-pointer variables")
+
+
+class TestPipeline:
+    def test_training_beats_chance_on_unseen_apps(self, mini_cati, small_corpus):
+        samples = small_corpus.test.samples
+        preds = mini_cati.predict_vucs([s.tokens for s in samples])
+        acc = sum(p is s.label for p, s in zip(preds, samples)) / len(samples)
+        assert acc > 0.25, f"VUC accuracy {acc:.3f} barely above chance (1/19)"
+
+    def test_variable_predictions_cover_all_variables(self, mini_cati, small_corpus):
+        samples = small_corpus.test.samples
+        predictions = mini_cati.predict_variables(
+            [s.tokens for s in samples], [s.variable_id for s in samples],
+        )
+        assert {p.variable_id for p in predictions} == {s.variable_id for s in samples}
+
+    def test_vote_scores_nonnegative(self, mini_cati, small_corpus):
+        samples = small_corpus.test.samples[:50]
+        predictions = mini_cati.predict_variables(
+            [s.tokens for s in samples], [s.variable_id for s in samples],
+        )
+        for p in predictions:
+            assert p.scores.shape == (19,)
+            assert (p.scores >= 0).all()
+            assert p.n_vucs >= 1
+
+    def test_misaligned_inputs_raise(self, mini_cati, small_corpus):
+        with pytest.raises(ValueError):
+            mini_cati.predict_variables([small_corpus.test.samples[0].tokens], [])
+
+    def test_untrained_raises(self, mini_config):
+        with pytest.raises(RuntimeError):
+            Cati(mini_config).predict_vucs([])
+
+    def test_train_empty_raises(self, mini_config):
+        from repro.vuc.dataset import VucDataset
+
+        with pytest.raises(ValueError):
+            Cati(mini_config).train(VucDataset())
+
+    def test_save_load_round_trip(self, mini_cati, small_corpus, tmp_path, mini_config):
+        directory = str(tmp_path / "model")
+        mini_cati.save(directory)
+        loaded = Cati.load(directory, mini_config)
+        windows = [s.tokens for s in small_corpus.test.samples[:10]]
+        assert np.allclose(
+            mini_cati.predict_vuc_proba(windows),
+            loaded.predict_vuc_proba(windows),
+            atol=1e-6,
+        )
+
+    def test_infer_binary_end_to_end(self, mini_cati):
+        from repro.codegen import GccCompiler, strip
+        from repro.experiments.speed import extents_from_debug
+
+        binary = GccCompiler().compile_fresh(seed=555, name="t", opt_level=0)
+        extents = extents_from_debug(binary)
+        predictions = mini_cati.infer_binary(strip(binary), extents)
+        assert len(predictions) > 5
+        assert all(isinstance(p.predicted, TypeName) for p in predictions)
+
+    def test_infer_binary_no_extents_returns_empty(self, mini_cati):
+        from repro.codegen import GccCompiler, strip
+
+        binary = GccCompiler().compile_fresh(seed=556, name="t2", opt_level=0)
+        assert mini_cati.infer_binary(strip(binary), []) == []
+
+
+class TestConfig:
+    def test_vuc_length(self, mini_config):
+        assert mini_config.vuc_length == 21
+        assert mini_config.instruction_dim == 96
+
+    def test_invalid_window_rejected(self):
+        from repro.core.config import CatiConfig
+
+        with pytest.raises(ValueError):
+            CatiConfig(window=-1)
+
+    def test_window_zero_allowed_for_ablation(self):
+        from repro.core.config import CatiConfig
+
+        config = CatiConfig(window=0)
+        assert config.vuc_length == 1
+
+    def test_invalid_threshold_rejected(self):
+        from repro.core.config import CatiConfig
+
+        with pytest.raises(ValueError):
+            CatiConfig(confidence_threshold=1.5)
+
+    def test_word2vec_dim_follows_token_dim(self):
+        from repro.core.config import CatiConfig
+
+        config = CatiConfig(token_dim=16)
+        assert config.word2vec.dim == 16
+        assert config.instruction_dim == 48

@@ -1,0 +1,91 @@
+"""C type model tests: sizes, layout, labels and DIE emission."""
+
+import pytest
+
+from repro.codegen import ctypes_model as ct
+from repro.codegen.ctypes_model import ArrayType, EnumType, PointerType, StructType, TypedefType
+from repro.core.types import ALL_TYPES, TypeName
+from repro.dwarf.resolver import resolve_type
+
+
+class TestSizes:
+    @pytest.mark.parametrize("ctype,size", [
+        (ct.BOOL, 1), (ct.CHAR, 1), (ct.SHORT, 2), (ct.INT, 4),
+        (ct.LONG, 8), (ct.FLOAT, 4), (ct.DOUBLE, 8), (ct.LONG_DOUBLE, 16),
+        (PointerType(None), 8), (EnumType("e"), 4),
+    ])
+    def test_base_sizes(self, ctype, size):
+        assert ctype.size == size
+
+    def test_array_size(self):
+        assert ArrayType(ct.CHAR, 64).size == 64
+        assert ArrayType(ct.INT, 8).size == 32
+
+    def test_typedef_size_follows_target(self):
+        assert ct.SIZE_T.size == 8
+        assert ct.BYTE_T.size == 1
+
+
+class TestStructLayout:
+    def test_member_offsets_respect_alignment(self):
+        s = StructType("s", (("c", ct.CHAR), ("i", ct.INT), ("p", PointerType(None))))
+        offsets = {name: off for name, _t, off in s.member_offsets()}
+        assert offsets == {"c": 0, "i": 4, "p": 8}
+        assert s.size == 16
+
+    def test_tail_padding(self):
+        s = StructType("s", (("p", PointerType(None)), ("c", ct.CHAR)))
+        assert s.size == 16  # padded to 8-byte alignment
+
+    def test_packed_scalars(self):
+        s = StructType("s", (("a", ct.SHORT), ("b", ct.SHORT)))
+        assert s.size == 4
+
+
+class TestLabels:
+    def test_every_leaf_label_has_representative(self):
+        for label in ALL_TYPES:
+            assert ct.representative(label).leaf_label() is label
+
+    def test_pointer_labels(self):
+        assert PointerType(None).leaf_label() is TypeName.VOID_POINTER
+        assert PointerType(StructType("s", ())).leaf_label() is TypeName.STRUCT_POINTER
+        assert PointerType(ct.INT).leaf_label() is TypeName.ARITH_POINTER
+        assert PointerType(EnumType("e")).leaf_label() is TypeName.ARITH_POINTER
+
+    def test_pointer_through_typedef(self):
+        alias = TypedefType("node_t", StructType("node", ()))
+        assert PointerType(alias).leaf_label() is TypeName.STRUCT_POINTER
+
+    def test_array_label_is_element(self):
+        assert ArrayType(ct.UCHAR, 16).leaf_label() is TypeName.UNSIGNED_CHAR
+
+    def test_pointer_stride(self):
+        assert PointerType(ct.INT).stride == 4
+        assert PointerType(None).stride == 1
+
+
+class TestDieEmission:
+    def test_die_round_trip_through_resolver(self):
+        cache = {}
+        for label in ALL_TYPES:
+            die = ct.representative(label).to_die(cache)
+            assert resolve_type(die) is label, label
+
+    def test_die_cache_is_shared(self):
+        cache = {}
+        a = ct.INT.to_die(cache)
+        b = ct.INT.to_die(cache)
+        assert a is b
+
+    def test_typedef_die_chain(self):
+        cache = {}
+        die = ct.BYTE_T.to_die(cache)  # byte -> uint8_t -> unsigned char
+        assert die.tag.name == "TYPEDEF"
+        assert die.type_ref.tag.name == "TYPEDEF"
+        assert die.type_ref.type_ref.name == "unsigned char"
+
+    def test_struct_zoo_resolves(self):
+        cache = {}
+        for struct in ct.make_struct_zoo():
+            assert resolve_type(struct.to_die(cache)) is TypeName.STRUCT

@@ -1,0 +1,109 @@
+"""Project profile and corpus-construction tests."""
+
+import pytest
+
+from repro.codegen import GccCompiler
+from repro.core.types import TypeName
+from repro.datasets.corpus import build_dataset, build_project_binaries
+from repro.datasets.projects import (
+    TEST_APP_NAMES,
+    TEST_PROJECTS,
+    TRAINING_PROJECTS,
+    ProjectProfile,
+    profile_by_name,
+)
+
+
+class TestProfiles:
+    def test_twelve_test_apps_match_paper(self):
+        assert TEST_APP_NAMES == (
+            "bash", "bison", "cflow", "gawk", "grep", "gzip",
+            "inetutils", "less", "nano", "R", "sed", "wget",
+        )
+
+    def test_train_and_test_disjoint(self):
+        assert not {p.name for p in TRAINING_PROJECTS} & {p.name for p in TEST_PROJECTS}
+
+    def test_seeds_unique(self):
+        seeds = [p.seed for p in TRAINING_PROJECTS + TEST_PROJECTS]
+        assert len(seeds) == len(set(seeds))
+
+    def test_profile_by_name(self):
+        assert profile_by_name("R").name == "R"
+        with pytest.raises(KeyError):
+            profile_by_name("notepad")
+
+    def test_gzip_nano_sed_have_no_float_family(self):
+        """The paper notes gzip/nano/sed lack float-family variables."""
+        for name in ("gzip", "nano", "sed"):
+            profile = profile_by_name(name)
+            weights = profile.generator_config().type_weights
+            assert weights[TypeName.FLOAT] == 0.0
+
+    def test_r_is_float_heavy(self):
+        r_weights = profile_by_name("R").generator_config().type_weights
+        base_weights = profile_by_name("bash").generator_config().type_weights
+        assert r_weights[TypeName.DOUBLE] > base_weights[TypeName.DOUBLE]
+
+    def test_size_scale_applies(self):
+        profile = profile_by_name("R")
+        config = profile.generator_config()
+        low, high = config.functions_per_binary
+        assert high > 14  # scaled above the default
+
+
+class TestCorpusBuild:
+    def test_binaries_per_project(self):
+        profile = ProjectProfile("p", seed=900, n_binaries=2)
+        binaries = build_project_binaries(profile, GccCompiler(), opt_levels=(0, 2))
+        assert len(binaries) == 4
+        assert {b.opt_level for b in binaries} == {0, 2}
+
+    def test_dataset_apps_labeled(self):
+        profile = ProjectProfile("p", seed=901, n_binaries=1)
+        dataset, binaries = build_dataset([profile], GccCompiler(), opt_levels=(0,))
+        assert dataset.apps() == ["p"]
+        assert len(binaries) == 1
+        assert len(dataset) > 0
+
+    def test_small_corpus_fixture_shape(self, small_corpus):
+        assert len(small_corpus.train) > 200
+        assert len(small_corpus.test) > 200
+        assert small_corpus.train.window == 10
+        train_apps = set(small_corpus.train.apps())
+        test_apps = set(small_corpus.test.apps())
+        assert not train_apps & test_apps
+
+    def test_summary_mentions_counts(self, small_corpus):
+        text = small_corpus.summary()
+        assert "train" in text and "test" in text
+
+    def test_corpus_determinism(self):
+        profile = ProjectProfile("p", seed=902, n_binaries=1)
+        a, _bins1 = build_dataset([profile], GccCompiler(), opt_levels=(0,))
+        b, _bins2 = build_dataset([profile], GccCompiler(), opt_levels=(0,))
+        assert len(a) == len(b)
+        assert [s.label for s in a.samples] == [s.label for s in b.samples]
+        assert [s.tokens for s in a.samples[:10]] == [s.tokens for s in b.samples[:10]]
+
+
+class TestCorpusPhenomena:
+    """The calibrated phenomena of DESIGN.md §5 must actually hold."""
+
+    def test_orphan_fraction_in_paper_range(self, small_corpus):
+        from repro.eval.stats import orphan_stats
+
+        stats = orphan_stats(small_corpus.train)
+        assert 0.15 < stats.orphan_fraction < 0.55
+
+    def test_uncertain_dominate_orphans(self, small_corpus):
+        from repro.eval.stats import orphan_stats
+
+        stats = orphan_stats(small_corpus.train)
+        # paper: >97%; small corpora have fewer collisions, require majority
+        assert stats.uncertain_fraction_of_orphans > 0.5
+
+    def test_type_distribution_shape(self, small_corpus):
+        counts = small_corpus.train.variable_label_counts()
+        assert counts[TypeName.INT] > counts.get(TypeName.SHORT_INT, 0)
+        assert counts[TypeName.STRUCT_POINTER] > counts.get(TypeName.FLOAT, 0)

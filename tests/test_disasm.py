@@ -1,0 +1,232 @@
+"""x86-64 decoder tests: hand-assembled vectors, objdump cross-
+validation on a real binary, and robustness under corruption.
+"""
+
+import pytest
+
+from repro.asm.operands import Imm, Label, Mem, Reg
+from repro.disasm.decoder import DecodeError, decode_function, decode_one
+from repro.frontend.compile import toolchain_available
+
+
+def _decode(hex_bytes: str, address: int = 0x1000):
+    data = bytes.fromhex(hex_bytes.replace(" ", ""))
+    instruction, length = decode_one(data, 0, address)
+    assert length == len(data), f"consumed {length} of {len(data)} bytes"
+    return instruction
+
+
+class TestHandAssembled:
+    """Byte sequences verified against the Intel SDM / gas output."""
+
+    def test_push_rbp(self):
+        ins = _decode("55")
+        assert str(ins) == "push %rbp"
+
+    def test_mov_rsp_rbp(self):
+        ins = _decode("48 89 e5")
+        assert str(ins) == "mov %rsp,%rbp"
+
+    def test_sub_imm_rsp(self):
+        ins = _decode("48 83 ec 20")
+        assert str(ins) == "sub $0x20,%rsp"
+
+    def test_movl_imm_to_slot(self):
+        ins = _decode("c7 45 fc 03 00 00 00")
+        assert str(ins) == "movl $0x3,-0x4(%rbp)"
+
+    def test_movb_imm_to_slot(self):
+        ins = _decode("c6 45 ff 78")
+        assert str(ins) == "movb $0x78,-0x1(%rbp)"
+
+    def test_mov_slot_to_eax(self):
+        ins = _decode("8b 45 fc")
+        assert str(ins) == "mov -0x4(%rbp),%eax"
+
+    def test_mov_rax_to_slot_rex(self):
+        ins = _decode("48 89 45 f0")
+        assert str(ins) == "mov %rax,-0x10(%rbp)"
+
+    def test_lea_rip_relative(self):
+        ins = _decode("48 8d 05 10 20 00 00", address=0x1000)
+        assert ins.mnemonic == "lea"
+        mem = ins.operands[0]
+        assert mem == Mem(disp=0x2010, base="rip")
+
+    def test_lea_sib_scale(self):
+        # lea (%rdi,%rsi,4),%rax = 48 8d 04 b7
+        ins = _decode("48 8d 04 b7")
+        assert str(ins) == "lea (%rdi,%rsi,4),%rax"
+
+    def test_movsbl(self):
+        ins = _decode("0f be 45 ff")
+        assert str(ins) == "movsbl -0x1(%rbp),%eax"
+
+    def test_movzbl(self):
+        ins = _decode("0f b6 45 ff")
+        assert str(ins) == "movzbl -0x1(%rbp),%eax"
+
+    def test_movslq(self):
+        ins = _decode("48 63 d0")
+        assert str(ins) == "movslq %eax,%rdx"
+
+    def test_extended_registers(self):
+        # mov %r15,%rdx = 4c 89 fa
+        ins = _decode("4c 89 fa")
+        assert str(ins) == "mov %r15,%rdx"
+
+    def test_movss_load(self):
+        ins = _decode("f3 0f 10 45 f8")
+        assert str(ins) == "movss -0x8(%rbp),%xmm0"
+
+    def test_movsd_store(self):
+        ins = _decode("f2 0f 11 45 f0")
+        assert str(ins) == "movsd %xmm0,-0x10(%rbp)"
+
+    def test_addsd(self):
+        ins = _decode("f2 0f 58 c1")
+        assert str(ins) == "addsd %xmm1,%xmm0"
+
+    def test_cvtsi2sd(self):
+        ins = _decode("f2 0f 2a c0")
+        assert str(ins) == "cvtsi2sd %eax,%xmm0"
+
+    def test_fldt(self):
+        ins = _decode("db 6d e0")
+        assert str(ins) == "fldt -0x20(%rbp)"
+
+    def test_fstpt(self):
+        ins = _decode("db 7d e0")
+        assert str(ins) == "fstpt -0x20(%rbp)"
+
+    def test_call_rel32(self):
+        ins = _decode("e8 fb 00 00 00", address=0x1000)
+        assert ins.mnemonic == "callq"
+        assert ins.operands[0] == Label(0x1000 + 5 + 0xFB)
+
+    def test_jle_rel8_backwards(self):
+        ins = _decode("7e e4", address=0x11bf)
+        assert ins.mnemonic == "jle"
+        assert ins.operands[0] == Label(0x11BF + 2 - 0x1C)
+
+    def test_sete(self):
+        ins = _decode("0f 94 c0")
+        assert str(ins) == "sete %al"
+
+    def test_test_al_al(self):
+        ins = _decode("84 c0")
+        assert str(ins) == "test %al,%al"
+
+    def test_shrl_mem(self):
+        ins = _decode("c1 6d fc 02")
+        assert str(ins) == "shrl $0x2,-0x4(%rbp)"
+
+    def test_endbr64(self):
+        assert str(_decode("f3 0f 1e fa")) == "endbr64"
+
+    def test_leave_ret(self):
+        assert str(_decode("c9")) == "leave"
+        assert str(_decode("c3")) == "retq"
+
+    def test_imul_three_operand(self):
+        # imul $0x8,%eax,%eax = 6b c0 08
+        ins = _decode("6b c0 08")
+        assert ins.mnemonic == "imul"
+        assert ins.operands[0] == Imm(8)
+
+    def test_addq_imm_slot(self):
+        ins = _decode("48 83 45 f0 04")
+        assert str(ins) == "addq $0x4,-0x10(%rbp)"
+
+    def test_deref_store(self):
+        # movl %edx,(%rax) = 89 10
+        assert str(_decode("89 10")) == "mov %edx,(%rax)"
+
+    def test_deref_load_member(self):
+        # mov 0x8(%rax),%rdx = 48 8b 50 08
+        assert str(_decode("48 8b 50 08")) == "mov 0x8(%rax),%rdx"
+
+    def test_movabs(self):
+        ins = _decode("48 b8 88 77 66 55 44 33 22 11")
+        assert ins.mnemonic == "movabs"
+        assert ins.operands[0] == Imm(0x1122334455667788)
+
+    def test_indexed_store(self):
+        # movb $0x0,-0x40(%rbp,%rax,1) = c6 44 05 c0 00
+        ins = _decode("c6 44 05 c0 00")
+        assert str(ins) == "movb $0x0,-0x40(%rbp,%rax,1)"
+
+    def test_cmpb_mem(self):
+        # cmpb $0x0,-0x5(%rbp) = 80 7d fb 00
+        assert str(_decode("80 7d fb 00")) == "cmpb $0x0,-0x5(%rbp)"
+
+    def test_nopl(self):
+        # nopl 0x0(%rax,%rax,1) = 0f 1f 44 00 00
+        ins = _decode("0f 1f 44 00 00")
+        assert ins.mnemonic == "nopl"
+
+
+class TestErrors:
+    def test_truncated_raises(self):
+        with pytest.raises(DecodeError):
+            decode_one(bytes.fromhex("48"), 0, 0)
+
+    def test_truncated_modrm_disp(self):
+        with pytest.raises(DecodeError):
+            decode_one(bytes.fromhex("8b 85 01"), 0, 0)  # needs disp32
+
+    def test_unknown_opcode(self):
+        with pytest.raises(DecodeError):
+            decode_one(b"\x06", 0, 0)  # invalid in 64-bit mode
+
+    def test_random_bytes_never_hang(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            blob = bytes(rng.integers(0, 256, size=15, dtype=np.uint8))
+            try:
+                decode_one(blob, 0, 0)
+            except DecodeError:
+                pass
+
+
+@pytest.mark.skipif(not toolchain_available(), reason="needs gcc/objdump")
+class TestObjdumpCrossValidation:
+    """The gold test: byte-exact agreement with objdump on a real binary."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, tmp_path_factory):
+        from repro.disasm.decoder import elf_symbolizer
+        from repro.elf.parser import ElfFile
+        from repro.frontend import compile_sample, parse_disassembly, user_functions
+
+        artifact = compile_sample(workdir=str(tmp_path_factory.mktemp("disasm")))
+        elf = ElfFile.load(artifact.binary_path)
+        objdump_funcs = {
+            f.name: f for f in user_functions(parse_disassembly(artifact.disassembly))
+        }
+        return elf, elf_symbolizer(elf), objdump_funcs
+
+    def test_every_instruction_matches_objdump_exactly(self, setup):
+        elf, symbolizer, objdump_funcs = setup
+        total = 0
+        for symbol in elf.function_symbols():
+            reference = objdump_funcs.get(symbol.name)
+            if reference is None:
+                continue
+            mine = decode_function(elf.text_bytes_for(symbol), symbol.value,
+                                   symbolizer=symbolizer)
+            assert len(mine) == len(reference.instructions), symbol.name
+            for a, b in zip(mine, reference.instructions):
+                assert a.address == b.address, f"{symbol.name}: desync at {a.address:x}"
+                assert str(a) == str(b), f"{symbol.name}: [{a}] != [{b}]"
+                total += 1
+        assert total > 150
+
+    def test_plt_names_resolved(self, setup):
+        elf, symbolizer, _objdump = setup
+        plt = elf.plt_map()
+        assert any("@plt" in name for name in plt.values())
+        names = set(plt.values())
+        assert "malloc@plt" in names or "strlen@plt" in names

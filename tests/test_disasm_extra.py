@@ -1,0 +1,141 @@
+"""Additional decoder vectors: ALU groups, cmov, xchg, conversions,
+group3/group5, SSE moves between register files, shift forms.
+"""
+
+import pytest
+
+from repro.asm.operands import Imm, Label, Mem, Reg
+from repro.disasm.decoder import decode_one
+
+
+def _decode(hex_bytes: str, address: int = 0):
+    data = bytes.fromhex(hex_bytes.replace(" ", ""))
+    ins, length = decode_one(data, 0, address)
+    assert length == len(data)
+    return ins
+
+
+class TestAluForms:
+    @pytest.mark.parametrize("hex_bytes,text", [
+        ("01 d0", "add %edx,%eax"),
+        ("29 d0", "sub %edx,%eax"),
+        ("31 c0", "xor %eax,%eax"),
+        ("21 d0", "and %edx,%eax"),
+        ("09 d0", "or %edx,%eax"),
+        ("39 c2", "cmp %eax,%edx"),
+        ("48 01 d0", "add %rdx,%rax"),
+        ("48 39 45 f8", "cmp %rax,-0x8(%rbp)"),
+        ("03 45 fc", "add -0x4(%rbp),%eax"),
+        ("2b 45 fc", "sub -0x4(%rbp),%eax"),
+    ])
+    def test_alu_rm(self, hex_bytes, text):
+        assert str(_decode(hex_bytes)) == text
+
+    @pytest.mark.parametrize("hex_bytes,text", [
+        ("83 c0 01", "add $0x1,%eax"),
+        ("83 e8 07", "sub $0x7,%eax"),
+        ("81 65 fc ff 00 00 00", "andl $0xff,-0x4(%rbp)"),
+        ("48 83 65 f0 1f", "andq $0x1f,-0x10(%rbp)"),
+        ("83 7d fc 0f", "cmpl $0xf,-0x4(%rbp)"),
+        ("80 7d ff 7a", "cmpb $0x7a,-0x1(%rbp)"),
+        ("3c 40", "cmp $0x40,%al"),
+        ("3d 00 01 00 00", "cmp $0x100,%eax"),
+    ])
+    def test_alu_imm(self, hex_bytes, text):
+        assert str(_decode(hex_bytes)) == text
+
+
+class TestGroups:
+    @pytest.mark.parametrize("hex_bytes,text", [
+        ("f7 d8", "neg %eax"),
+        ("48 f7 d8", "neg %rax"),
+        ("f7 65 fc", "mull -0x4(%rbp)"),
+        ("f7 7d fc", "idivl -0x4(%rbp)"),
+        ("f7 d0", "not %eax"),
+        ("f6 45 fb 01", "testb $0x1,-0x5(%rbp)"),
+    ])
+    def test_group3(self, hex_bytes, text):
+        assert str(_decode(hex_bytes)) == text
+
+    @pytest.mark.parametrize("hex_bytes,text", [
+        ("ff 45 fc", "incl -0x4(%rbp)"),
+        ("ff 4d fc", "decl -0x4(%rbp)"),
+        ("fe 45 ff", "incb -0x1(%rbp)"),
+        ("ff d0", "callq %rax"),
+    ])
+    def test_group5(self, hex_bytes, text):
+        assert str(_decode(hex_bytes)) == text
+
+    def test_call_indirect_memory(self):
+        # call *0x10(%rip)
+        ins = _decode("ff 15 10 00 00 00", address=0x1000)
+        assert ins.mnemonic == "callq"
+        assert ins.operands[0] == Mem(disp=0x10, base="rip")
+
+
+class TestMiscForms:
+    @pytest.mark.parametrize("hex_bytes,text", [
+        ("0f 44 c2", "cmove %edx,%eax"),
+        ("0f 4f c2", "cmovg %edx,%eax"),
+        ("48 0f 45 c1", "cmovne %rcx,%rax"),
+        ("87 d8", "xchg %ebx,%eax"),
+        ("48 98", "cltq"),
+        ("99", "cltd"),
+        ("48 99", "cqto"),
+        ("48 0f af c2", "imul %rdx,%rax"),
+        ("0f af 45 fc", "imul -0x4(%rbp),%eax"),
+        ("d1 65 fc", "shll -0x4(%rbp)"),
+        ("48 d3 e8", "shr %cl,%rax"),
+        ("c1 e0 04", "shl $0x4,%eax"),
+        ("48 c1 f8 3f", "sar $0x3f,%rax"),
+    ])
+    def test_misc(self, hex_bytes, text):
+        assert str(_decode(hex_bytes)) == text
+
+
+class TestSseExtra:
+    @pytest.mark.parametrize("hex_bytes,text", [
+        ("66 0f ef c0", "pxor %xmm0,%xmm0"),
+        ("0f 57 c0", "xorps %xmm0,%xmm0"),
+        ("f2 0f 5e c1", "divsd %xmm1,%xmm0"),
+        ("f3 0f 5c 45 f8", "subss -0x8(%rbp),%xmm0"),
+        ("66 0f 2e 45 f8", "ucomisd -0x8(%rbp),%xmm0"),
+        ("f2 48 0f 2a 45 f0", "cvtsi2sdq -0x10(%rbp),%xmm0"),
+        ("f3 0f 5a c0", "cvtss2sd %xmm0,%xmm0"),
+        ("66 48 0f 6e c0", "movq %rax,%xmm0"),
+        ("66 0f 7e c0", "movd %xmm0,%eax"),
+        ("f2 48 0f 2c c0", "cvttsd2si %xmm0,%rax"),
+    ])
+    def test_sse(self, hex_bytes, text):
+        assert str(_decode(hex_bytes)) == text
+
+
+class TestX87Extra:
+    @pytest.mark.parametrize("hex_bytes,text", [
+        ("d9 45 f8", "flds -0x8(%rbp)"),
+        ("dd 45 f0", "fldl -0x10(%rbp)"),
+        ("dd 5d f0", "fstpl -0x10(%rbp)"),
+        ("de c1", "faddp %st,%st(1)"),
+        ("de c9", "fmulp %st,%st(1)"),
+        ("d9 c0", "fld %st(0)"),
+        ("df e9", "fucomip"),
+        ("d9 e8", "fld1"),
+        ("d9 ee", "fldz"),
+    ])
+    def test_x87(self, hex_bytes, text):
+        assert str(_decode(hex_bytes)) == text
+
+
+class TestRelativeTargets:
+    def test_forward_rel8(self):
+        ins = _decode("eb 06", address=0x12cf)
+        assert ins.operands[0] == Label(0x12CF + 2 + 6)
+
+    def test_rel32_jcc(self):
+        ins = _decode("0f 84 84 00 00 00", address=0x2000)
+        assert ins.mnemonic == "je"
+        assert ins.operands[0] == Label(0x2000 + 6 + 0x84)
+
+    def test_negative_rel32_call(self):
+        ins = _decode("e8 d6 fd ff ff", address=0x1420)
+        assert ins.operands[0] == Label(0x1420 + 5 - 0x22A)

@@ -1,0 +1,84 @@
+"""LEB128 codec tests, including DWARF-standard vectors and property
+round trips.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dwarf.leb128 import decode_sleb128, decode_uleb128, encode_sleb128, encode_uleb128
+
+
+class TestKnownVectors:
+    """Vectors from the DWARF v4 specification, Appendix C."""
+
+    @pytest.mark.parametrize("value,encoded", [
+        (2, b"\x02"),
+        (127, b"\x7f"),
+        (128, b"\x80\x01"),
+        (129, b"\x81\x01"),
+        (130, b"\x82\x01"),
+        (12857, b"\xb9\x64"),
+    ])
+    def test_uleb_spec_vectors(self, value, encoded):
+        assert encode_uleb128(value) == encoded
+        assert decode_uleb128(encoded) == (value, len(encoded))
+
+    @pytest.mark.parametrize("value,encoded", [
+        (2, b"\x02"),
+        (-2, b"\x7e"),
+        (127, b"\xff\x00"),
+        (-127, b"\x81\x7f"),
+        (128, b"\x80\x01"),
+        (-128, b"\x80\x7f"),
+        (129, b"\x81\x01"),
+        (-129, b"\xff\x7e"),
+    ])
+    def test_sleb_spec_vectors(self, value, encoded):
+        assert encode_sleb128(value) == encoded
+        assert decode_sleb128(encoded) == (value, len(encoded))
+
+
+class TestErrors:
+    def test_uleb_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_uleb128(-1)
+
+    def test_truncated_uleb_raises(self):
+        with pytest.raises(ValueError):
+            decode_uleb128(b"\x80")
+
+    def test_truncated_sleb_raises(self):
+        with pytest.raises(ValueError):
+            decode_sleb128(b"\xff")
+
+    def test_decode_with_offset(self):
+        data = b"\x00\x02"
+        assert decode_uleb128(data, 1) == (2, 2)
+
+
+@given(st.integers(0, 2**64))
+def test_uleb_round_trip(value):
+    encoded = encode_uleb128(value)
+    decoded, offset = decode_uleb128(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+@given(st.integers(-2**63, 2**63))
+def test_sleb_round_trip(value):
+    encoded = encode_sleb128(value)
+    decoded, offset = decode_sleb128(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+@given(st.lists(st.integers(0, 2**32), min_size=1, max_size=10))
+def test_uleb_stream_round_trip(values):
+    stream = b"".join(encode_uleb128(v) for v in values)
+    offset = 0
+    decoded = []
+    for _ in values:
+        value, offset = decode_uleb128(stream, offset)
+        decoded.append(value)
+    assert decoded == values
+    assert offset == len(stream)

@@ -1,0 +1,132 @@
+"""Type-resolution tests: typedef chains, qualifiers, pointers, arrays,
+and the taxonomy exclusions (§IV-A, §V-A).
+"""
+
+import pytest
+
+from repro.core.types import TypeName
+from repro.dwarf import dies
+from repro.dwarf.dies import Die, Encoding, Tag
+from repro.dwarf.resolver import UnresolvableType, resolve_type, variables_with_types
+
+
+def _base(name, size, encoding):
+    return dies.base_type(name, size, encoding)
+
+
+class TestBaseTypes:
+    @pytest.mark.parametrize("name,size,encoding,expected", [
+        ("_Bool", 1, Encoding.BOOLEAN, TypeName.BOOL),
+        ("char", 1, Encoding.SIGNED_CHAR, TypeName.CHAR),
+        ("unsigned char", 1, Encoding.UNSIGNED_CHAR, TypeName.UNSIGNED_CHAR),
+        ("short int", 2, Encoding.SIGNED, TypeName.SHORT_INT),
+        ("int", 4, Encoding.SIGNED, TypeName.INT),
+        ("long int", 8, Encoding.SIGNED, TypeName.LONG_INT),
+        ("long long int", 8, Encoding.SIGNED, TypeName.LONG_LONG_INT),
+        ("unsigned int", 4, Encoding.UNSIGNED, TypeName.UNSIGNED_INT),
+        ("long unsigned int", 8, Encoding.UNSIGNED, TypeName.LONG_UNSIGNED_INT),
+        ("float", 4, Encoding.FLOAT, TypeName.FLOAT),
+        ("double", 8, Encoding.FLOAT, TypeName.DOUBLE),
+        ("long double", 16, Encoding.FLOAT, TypeName.LONG_DOUBLE),
+    ])
+    def test_named_base_types(self, name, size, encoding, expected):
+        assert resolve_type(_base(name, size, encoding)) is expected
+
+    def test_unnamed_base_type_falls_back_to_encoding(self):
+        die = Die(Tag.BASE_TYPE, {dies.Attr.BYTE_SIZE: 4, dies.Attr.ENCODING: int(Encoding.SIGNED)})
+        assert resolve_type(die) is TypeName.INT
+
+    def test_unknown_base_type_raises(self):
+        die = Die(Tag.BASE_TYPE, {dies.Attr.NAME: "__int128"})
+        with pytest.raises(UnresolvableType):
+            resolve_type(die)
+
+
+class TestChains:
+    def test_single_typedef(self):
+        t = dies.typedef("size_t", _base("long unsigned int", 8, Encoding.UNSIGNED))
+        assert resolve_type(t) is TypeName.LONG_UNSIGNED_INT
+
+    def test_nested_typedef_chain(self):
+        inner = dies.typedef("u8", _base("unsigned char", 1, Encoding.UNSIGNED_CHAR))
+        outer = dies.typedef("byte", inner)
+        assert resolve_type(outer) is TypeName.UNSIGNED_CHAR
+
+    def test_const_volatile_peeled(self):
+        t = dies.const_of(dies.volatile_of(_base("int", 4, Encoding.SIGNED)))
+        assert resolve_type(t) is TypeName.INT
+
+    def test_cycle_detected(self):
+        a = Die(Tag.TYPEDEF, {dies.Attr.NAME: "a"})
+        b = Die(Tag.TYPEDEF, {dies.Attr.NAME: "b", dies.Attr.TYPE: a})
+        a.attrs[dies.Attr.TYPE] = b
+        with pytest.raises(UnresolvableType):
+            resolve_type(a)
+
+    def test_typedef_without_target_raises(self):
+        with pytest.raises(UnresolvableType):
+            resolve_type(Die(Tag.TYPEDEF, {dies.Attr.NAME: "broken"}))
+
+
+class TestPointers:
+    def test_void_pointer(self):
+        assert resolve_type(dies.pointer_to(None)) is TypeName.VOID_POINTER
+
+    def test_struct_pointer(self):
+        node = dies.struct_type("node", 16)
+        assert resolve_type(dies.pointer_to(node)) is TypeName.STRUCT_POINTER
+
+    def test_arith_pointer_int(self):
+        assert resolve_type(dies.pointer_to(_base("int", 4, Encoding.SIGNED))) is TypeName.ARITH_POINTER
+
+    def test_arith_pointer_char(self):
+        assert resolve_type(dies.pointer_to(_base("char", 1, Encoding.SIGNED_CHAR))) is TypeName.ARITH_POINTER
+
+    def test_enum_pointer_is_arith(self):
+        assert resolve_type(dies.pointer_to(dies.enum_type("e"))) is TypeName.ARITH_POINTER
+
+    def test_pointer_to_typedef_struct(self):
+        node = dies.struct_type("node", 16)
+        alias = dies.typedef("node_t", node)
+        assert resolve_type(dies.pointer_to(alias)) is TypeName.STRUCT_POINTER
+
+    def test_pointer_to_pointer_folds_to_void(self):
+        pp = dies.pointer_to(dies.pointer_to(_base("char", 1, Encoding.SIGNED_CHAR)))
+        assert resolve_type(pp) is TypeName.VOID_POINTER
+
+
+class TestAggregates:
+    def test_struct(self):
+        assert resolve_type(dies.struct_type("s", 8)) is TypeName.STRUCT
+
+    def test_enum(self):
+        assert resolve_type(dies.enum_type("color")) is TypeName.ENUM
+
+    def test_array_labeled_by_element(self):
+        arr = dies.array_of(_base("char", 1, Encoding.SIGNED_CHAR), 64)
+        assert resolve_type(arr) is TypeName.CHAR
+
+    def test_struct_array_is_struct(self):
+        arr = dies.array_of(dies.struct_type("s", 8), 4)
+        assert resolve_type(arr) is TypeName.STRUCT
+
+    def test_union_excluded(self):
+        with pytest.raises(UnresolvableType):
+            resolve_type(Die(Tag.UNION_TYPE, {dies.Attr.NAME: "u", dies.Attr.BYTE_SIZE: 8}))
+
+    def test_none_raises(self):
+        with pytest.raises(UnresolvableType):
+            resolve_type(None)
+
+
+class TestVariablesWithTypes:
+    def test_extracts_resolvable_skips_union(self):
+        cu = dies.compile_unit("x.c")
+        sub = cu.add(dies.subprogram("f", 0))
+        sub.add(dies.variable("a", _base("int", 4, Encoding.SIGNED), -4))
+        union = Die(Tag.UNION_TYPE, {dies.Attr.BYTE_SIZE: 8})
+        sub.add(dies.variable("u", union, -16))
+        out = variables_with_types(cu)
+        assert len(out) == 1
+        assert out[0][1].name == "a"
+        assert out[0][2] is TypeName.INT

@@ -1,0 +1,143 @@
+"""ELF parser + native DWARF reader tests, cross-validated against the
+readelf text path on a freshly compiled real binary.
+"""
+
+import struct
+
+import pytest
+
+from repro.elf.parser import ElfFile, ElfParseError
+from repro.frontend.compile import toolchain_available
+
+
+class TestElfErrors:
+    def test_not_elf(self):
+        with pytest.raises(ElfParseError):
+            ElfFile(b"MZ" + b"\x00" * 100)
+
+    def test_too_short(self):
+        with pytest.raises(ElfParseError):
+            ElfFile(b"\x7fELF")
+
+    def test_elf32_rejected(self):
+        data = bytearray(b"\x7fELF" + bytes(60))
+        data[4] = 1  # ELFCLASS32
+        data[5] = 1
+        with pytest.raises(ElfParseError):
+            ElfFile(bytes(data))
+
+    def test_big_endian_rejected(self):
+        data = bytearray(b"\x7fELF" + bytes(60))
+        data[4] = 2
+        data[5] = 2  # ELFDATA2MSB
+        with pytest.raises(ElfParseError):
+            ElfFile(bytes(data))
+
+
+needs_toolchain = pytest.mark.skipif(
+    not toolchain_available(), reason="gcc/objdump/readelf not on PATH",
+)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    if not toolchain_available():
+        pytest.skip("no toolchain")
+    from repro.frontend.compile import compile_sample
+
+    return compile_sample(workdir=str(tmp_path_factory.mktemp("elf")))
+
+
+@pytest.fixture(scope="module")
+def elf(artifact):
+    return ElfFile.load(artifact.binary_path)
+
+
+@needs_toolchain
+class TestElfOnRealBinary:
+    def test_standard_sections_present(self, elf):
+        for name in (".text", ".symtab", ".strtab", ".debug_info", ".debug_abbrev"):
+            assert elf.section(name) is not None, name
+
+    def test_has_debug_info(self, elf):
+        assert elf.has_debug_info
+
+    def test_function_symbols_sorted_and_named(self, elf):
+        functions = elf.function_symbols()
+        names = {s.name for s in functions}
+        assert {"main", "process_ints", "process_floats"} <= names
+        addresses = [s.value for s in functions]
+        assert addresses == sorted(addresses)
+
+    def test_text_bytes_for_function(self, elf):
+        main = next(s for s in elf.function_symbols() if s.name == "main")
+        code = elf.text_bytes_for(main)
+        assert len(code) == main.size
+        # gcc rbp-framed prologue starts with endbr64 (f3 0f 1e fa) or push %rbp (55)
+        assert code[:4] == b"\xf3\x0f\x1e\xfa" or code[0] == 0x55
+
+    def test_section_data_absent_returns_empty(self, elf):
+        assert elf.section_data(".no_such_section") == b""
+
+
+@needs_toolchain
+class TestNativeDwarf:
+    def test_compile_units_parse(self, elf):
+        from repro.dwarf.native import load_compile_units
+
+        units = load_compile_units(elf)
+        assert len(units) >= 1
+        from repro.dwarf.dies import Tag
+
+        assert units[0].tag is Tag.COMPILE_UNIT
+
+    def test_cross_validates_against_readelf(self, artifact, elf):
+        """The native byte-level parser and the readelf text parser must
+        recover the identical variable set."""
+        from repro.dwarf.native import native_variables
+        from repro.frontend.readelf import extract_real_variables
+
+        native = {
+            (v.function, v.name): (v.rbp_offset, v.label)
+            for v in native_variables(elf)
+        }
+        via_readelf = {
+            (v.function, v.name): (v.rbp_offset, v.label)
+            for v in extract_real_variables(artifact.dwarf_dump)
+        }
+        assert native == via_readelf
+
+    def test_known_types_native(self, elf):
+        from repro.core.types import TypeName
+        from repro.dwarf.native import native_variables
+
+        by_key = {(v.function, v.name): v for v in native_variables(elf)}
+        assert by_key[("process_floats", "precise")].label is TypeName.LONG_DOUBLE
+        assert by_key[("process_pointers", "blob")].label is TypeName.VOID_POINTER
+        assert by_key[("process_chars", "buf")].label is TypeName.CHAR
+        assert by_key[("process_chars", "buf")].size == 64  # char[64]
+
+    def test_no_debug_info_raises(self, artifact, tmp_path):
+        import subprocess
+
+        from repro.dwarf.native import NativeDwarfError, load_compile_units
+
+        stripped_path = tmp_path / "stripped"
+        subprocess.run(
+            ["objcopy", "--strip-debug", str(artifact.binary_path), str(stripped_path)],
+            check=True, capture_output=True,
+        )
+        with pytest.raises(NativeDwarfError):
+            load_compile_units(ElfFile.load(stripped_path))
+
+
+@needs_toolchain
+class TestAbbrevParsing:
+    def test_abbrev_table_round(self, elf):
+        from repro.dwarf.native import parse_abbrev_table
+
+        table = parse_abbrev_table(elf.section_data(".debug_abbrev"), 0)
+        assert len(table) > 3
+        tags = {a.tag for a in table.values()}
+        assert 0x11 in tags  # DW_TAG_compile_unit
+        assert 0x34 in tags  # DW_TAG_variable

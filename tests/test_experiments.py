@@ -1,0 +1,138 @@
+"""Experiment-harness smoke tests on a mini context (no full training)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import table1, table3, table4, table5, table6, fig6, speed
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def mini_context(small_corpus, mini_cati, mini_config):
+    return ExperimentContext(
+        corpus=small_corpus, cati=mini_cati, config=mini_config, compiler_name="gcc",
+    )
+
+
+class TestTable1:
+    def test_runs_and_renders(self, small_corpus):
+        result = table1.run(small_corpus)
+        text = result.render()
+        assert "Table I" in text
+        assert result.train.n_vucs == len(small_corpus.train)
+        assert result.test.n_vucs == len(small_corpus.test)
+
+    def test_orphan_invariants(self, small_corpus):
+        result = table1.run(small_corpus)
+        assert result.train.uncertain_1 <= result.train.variables_with_1_vuc
+        assert result.train.uncertain_2 <= result.train.variables_with_2_vucs
+
+    def test_uncertain_examples_mined(self, small_corpus):
+        result = table1.run(small_corpus)
+        assert len(result.examples) >= 1
+        for _sig, a, b in result.examples:
+            assert a is not b
+
+
+class TestTable3And4:
+    def test_table3_cells(self, mini_context):
+        result = table3.run(mini_context)
+        assert set(result.cells) == {
+            "Stage1", "Stage2-1", "Stage2-2", "Stage3-1", "Stage3-2", "Stage3-3",
+        }
+        for per_app in result.cells.values():
+            for p, r, f1 in per_app.values():
+                assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0 and 0.0 <= f1 <= 1.0
+        assert "Table III" in result.render()
+
+    def test_table4_same_apps(self, mini_context):
+        result = table4.run(mini_context)
+        assert result.apps == mini_context.corpus.test.apps()
+        assert "voting" in result.render()
+
+    def test_stage1_outperforms_stage2_1(self, mini_context):
+        """The paper's robust ordering: pointer-vs-non-pointer is easier
+        than pointer-subkind classification."""
+        r3 = table3.run(mini_context)
+        stage1 = np.mean([f1 for _p, _r, f1 in r3.cells["Stage1"].values()])
+        stage21 = np.mean([f1 for _p, _r, f1 in r3.cells["Stage2-1"].values()])
+        assert stage1 > stage21
+
+
+class TestTable5:
+    def test_rows_and_clustering(self, mini_context):
+        result = table5.run(mini_context)
+        assert len(result.rows) >= 8
+        for row in result.rows:
+            assert 0.0 <= row.s1_recall <= 1.0
+            assert 0.0 <= row.acc <= 1.0
+            assert row.support > 0
+            assert row.cnt_same <= row.cnt_all + 1e-9
+        assert result.overall_c_rate > 0.3
+        assert "c-rate" in result.render()
+
+    def test_supports_sum_to_variables(self, mini_context):
+        result = table5.run(mini_context)
+        assert sum(r.support for r in result.rows) == mini_context.corpus.test.n_variables()
+
+
+class TestTable6:
+    def test_totals_weighted(self, mini_context):
+        result = table6.run(mini_context)
+        assert len(result.rows) == len(mini_context.corpus.test.apps())
+        assert result.total_vuc_support == len(mini_context.corpus.test)
+        assert result.total_variable_support == mini_context.corpus.test.n_variables()
+        assert 0.0 <= result.total_vuc_accuracy <= 1.0
+        assert "Total" in result.render()
+
+    def test_accuracy_above_chance(self, mini_context):
+        result = table6.run(mini_context)
+        assert result.total_variable_accuracy > 0.25
+
+
+class TestFig6:
+    def test_example_and_heatmap(self, mini_context):
+        result = fig6.run(mini_context, n_distribution_vucs=12)
+        assert len(result.example_lines) == 21
+        assert result.heatmap.shape == (21, 10)
+        text = result.render()
+        assert "Fig. 6a" in text and "Fig. 6b" in text
+
+
+class TestSpeed:
+    def test_speed_measured(self, mini_context):
+        result = speed.run(mini_context, n_binaries=2)
+        assert result.n_binaries == 2
+        assert result.per_binary_total_s > 0
+        assert result.n_variables > 0
+        assert "per binary" in result.render()
+
+
+class TestReports:
+    def test_render_table_alignment(self):
+        from repro.eval.reports import render_table
+
+        text = render_table(["a", "bb"], [(1, 2.5), ("x", "y")], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text
+
+    def test_stage_app_table_missing_cell_dash(self):
+        from repro.eval.reports import render_stage_app_table
+
+        text = render_stage_app_table(
+            {"Stage1": {"bash": (0.9, 0.8, 0.85)}}, ["bash", "gzip"], "X",
+        )
+        assert "-" in text
+        assert "0.90" in text
+
+    def test_render_confusion(self):
+        import numpy as np
+
+        from repro.eval.reports import render_confusion
+
+        matrix = np.array([[5, 1], [0, 7]])
+        text = render_confusion(matrix, ["int", "long unsigned int"], title="C")
+        assert "true\\pred" in text
+        assert "long unsi" in text  # truncated label
+        assert "7" in text

@@ -1,0 +1,120 @@
+"""Real-binary frontend tests (skipped without gcc/objdump/readelf)."""
+
+import pytest
+
+from repro.frontend.compile import toolchain_available
+
+pytestmark = pytest.mark.skipif(
+    not toolchain_available(), reason="gcc/objdump/readelf not on PATH",
+)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    from repro.frontend.compile import compile_sample
+
+    return compile_sample(workdir=str(tmp_path_factory.mktemp("frontend")))
+
+
+@pytest.fixture(scope="module")
+def functions(artifact):
+    from repro.frontend.objdump import parse_disassembly, user_functions
+
+    return user_functions(parse_disassembly(artifact.disassembly))
+
+
+@pytest.fixture(scope="module")
+def variables(artifact):
+    from repro.frontend.readelf import extract_real_variables
+
+    return extract_real_variables(artifact.dwarf_dump)
+
+
+class TestObjdumpParsing:
+    def test_user_functions_found(self, functions):
+        names = {f.name for f in functions}
+        assert {"main", "process_ints", "process_floats", "process_chars",
+                "process_pointers", "process_struct"} <= names
+
+    def test_instructions_nonempty_with_addresses(self, functions):
+        for func in functions:
+            assert len(func.instructions) > 5
+            addresses = [i.address for i in func.instructions]
+            assert all(a < b for a, b in zip(addresses, addresses[1:]))
+
+    def test_plt_and_glue_filtered(self, artifact):
+        from repro.frontend.objdump import parse_disassembly, user_functions
+
+        everything = parse_disassembly(artifact.disassembly)
+        filtered = user_functions(everything)
+        assert len(filtered) < len(everything)
+        assert all("@plt" not in f.name for f in filtered)
+
+
+class TestDwarfParsing:
+    def test_variables_extracted(self, variables):
+        assert len(variables) > 20
+
+    def test_known_types(self, variables):
+        from repro.core.types import TypeName
+
+        by_key = {(v.function, v.name): v.label for v in variables}
+        assert by_key[("process_ints", "total")] is TypeName.INT
+        assert by_key[("process_ints", "mask")] is TypeName.UNSIGNED_INT
+        assert by_key[("process_ints", "big")] is TypeName.LONG_INT
+        assert by_key[("process_floats", "acc")] is TypeName.DOUBLE
+        assert by_key[("process_floats", "ratio")] is TypeName.FLOAT
+        assert by_key[("process_floats", "precise")] is TypeName.LONG_DOUBLE
+        assert by_key[("process_chars", "c")] is TypeName.CHAR
+        assert by_key[("process_chars", "raw")] is TypeName.UNSIGNED_CHAR
+        assert by_key[("process_chars", "seen")] is TypeName.BOOL
+        assert by_key[("process_chars", "buf")] is TypeName.CHAR       # char[64]
+        assert by_key[("process_pointers", "p")] is TypeName.STRUCT_POINTER
+        assert by_key[("process_pointers", "cursor")] is TypeName.ARITH_POINTER
+        assert by_key[("process_pointers", "blob")] is TypeName.VOID_POINTER
+        assert by_key[("process_pointers", "tone")] is TypeName.ENUM
+        assert by_key[("process_struct", "buf")] is TypeName.STRUCT
+        assert by_key[("process_struct", "small")] is TypeName.SHORT_INT
+
+    def test_typedef_resolution(self, variables):
+        from repro.core.types import TypeName
+
+        by_key = {(v.function, v.name): v.label for v in variables}
+        assert by_key[("process_chars", "limit")] is TypeName.LONG_UNSIGNED_INT  # usize
+
+    def test_array_sizes_synthesized(self, variables):
+        buf = next(v for v in variables if v.name == "buf" and v.function == "process_chars")
+        assert buf.size == 64
+
+
+class TestLocatorOnRealCode:
+    def test_slot_accesses_match_dwarf_extents(self, functions, variables):
+        """Real DWARF offsets (after CFA->rbp conversion) must cover the
+        majority of located slot accesses in each function."""
+        from repro.vuc.dataflow import VariableExtent, group_targets
+        from repro.vuc.locate import locate_targets
+
+        covered_functions = 0
+        for func in functions:
+            func_vars = [v for v in variables if v.function == func.name]
+            if not func_vars:
+                continue
+            extents = [VariableExtent(v.name, "rbp", v.rbp_offset, max(v.size, 1))
+                       for v in func_vars]
+            targets = locate_targets(func)
+            groups = group_targets(targets, extents, func.name)
+            grouped = sum(g.n_targets for g in groups)
+            assert grouped > 0, func.name
+            covered_functions += 1
+        assert covered_functions >= 5
+
+    def test_real_vucs_generalize_cleanly(self, functions):
+        from repro.vuc.context import extract_vuc
+        from repro.vuc.generalize import generalize_window
+        from repro.vuc.locate import locate_targets
+
+        for func in functions[:3]:
+            for target in locate_targets(func)[:20]:
+                tokens = generalize_window(extract_vuc(func, target.index).window)
+                assert len(tokens) == 21
+                assert all(len(t) == 3 for t in tokens)

@@ -1,0 +1,113 @@
+"""Cross-module integration tests: the paper's qualitative claims must
+hold end-to-end on the small corpus.
+"""
+
+import pytest
+
+from repro.core.types import STAGE_SPECS, Stage, TypeName, stage_label
+from repro.eval.metrics import accuracy
+
+
+class TestEndToEnd:
+    def test_stage1_is_strong(self, mini_cache):
+        """Pointer vs non-pointer is the easy stage (paper: ~0.9 F1)."""
+        from repro.experiments.common import stage_vuc_metrics
+
+        report = stage_vuc_metrics(mini_cache, Stage.STAGE1)
+        assert report.weighted_f1 > 0.7
+
+    def test_voting_does_not_hurt_much(self, mini_cache):
+        """Variable-level (voted) accuracy ≈ VUC accuracy + ~3pts in the
+        paper; at mini scale we assert it is not materially worse."""
+        from repro.experiments.common import (
+            variable_leaf_predictions,
+            vuc_leaf_predictions,
+        )
+
+        y_true_v, y_pred_v = vuc_leaf_predictions(mini_cache)
+        vuc_acc = accuracy(y_true_v, y_pred_v)
+        y_true_var, y_pred_var = variable_leaf_predictions(mini_cache)
+        var_acc = accuracy(y_true_var, y_pred_var)
+        assert var_acc > vuc_acc - 0.05
+
+    def test_context_beats_no_context(self, mini_cati, small_corpus):
+        """CATI's thesis: instruction context helps.  The same classifier
+        evaluated on windows with everything except the target BLANKed
+        must do worse."""
+        from repro.vuc.generalize import BLANK_TOKENS
+
+        samples = small_corpus.test.samples[:400]
+        full_windows = [s.tokens for s in samples]
+        target_only = [
+            tuple(t if i == 10 else BLANK_TOKENS for i, t in enumerate(s.tokens))
+            for s in samples
+        ]
+        labels = [s.label for s in samples]
+        full_acc = accuracy(labels, mini_cati.predict_vucs(full_windows))
+        bare_acc = accuracy(labels, mini_cati.predict_vucs(target_only))
+        assert full_acc > bare_acc
+
+    def test_unseen_binary_round_trip(self, mini_cati):
+        """Compile → strip → infer → compare to DWARF ground truth."""
+        from repro.codegen import GccCompiler, debug_variables, strip
+        from repro.experiments.speed import extents_from_debug
+
+        binary = GccCompiler().compile_fresh(seed=31337, name="rt", opt_level=1)
+        extents = extents_from_debug(binary)
+        predictions = mini_cati.infer_binary(strip(binary), extents)
+        truth = {}
+        for func_index, func in enumerate(binary.functions):
+            for record in debug_variables(binary):
+                if record.function != func.name:
+                    continue
+                base = "rbp" if record.frame_offset < 0 else "rsp"
+                truth[f"rt/{func_index}::{base}{record.frame_offset:+d}"] = record.type_label
+        assert predictions
+        resolved = [p for p in predictions if p.variable_id in truth]
+        assert len(resolved) == len(predictions)
+        acc = sum(p.predicted is truth[p.variable_id] for p in resolved) / len(resolved)
+        assert acc > 0.25
+
+    def test_stage_metrics_consistent_with_routing(self, mini_cache, small_corpus):
+        """Per-stage sample counts must equal the number of test VUCs
+        whose true type routes through that stage."""
+        from repro.experiments.common import stage_vuc_metrics
+
+        for stage in STAGE_SPECS:
+            expected = sum(
+                1 for s in small_corpus.test
+                if stage_label(s.label, stage) is not None
+            )
+            report = stage_vuc_metrics(mini_cache, stage)
+            assert report.n_samples == expected
+
+
+class TestCompilerTransfer:
+    def test_clang_corpus_differs_but_extracts(self):
+        from repro.codegen import ClangCompiler
+        from repro.vuc.dataset import extract_labeled_vucs
+
+        binary = ClangCompiler().compile_fresh(seed=5, name="cl", opt_level=0)
+        dataset = extract_labeled_vucs(binary)
+        assert len(dataset) > 50
+        # Clang slots are rsp-based
+        assert all("rsp" in s.variable_id for s in dataset.samples)
+
+    def test_compiler_id_features_separable(self):
+        """GCC and Clang VUCs must be linearly separable to high accuracy
+        (paper: 100%)."""
+        import numpy as np
+
+        from repro.baselines.linear import SoftmaxRegression
+        from repro.codegen import ClangCompiler, GccCompiler
+        from repro.experiments.compiler_id import _vuc_features
+        from repro.vuc.dataset import extract_labeled_vucs
+
+        gcc_ds = extract_labeled_vucs(GccCompiler().compile_fresh(seed=8, name="g", opt_level=0))
+        clang_ds = extract_labeled_vucs(ClangCompiler().compile_fresh(seed=8, name="c", opt_level=0))
+        x = np.stack([_vuc_features(s) for s in list(gcc_ds) + list(clang_ds)])
+        y = np.concatenate([np.zeros(len(gcc_ds), dtype=np.int64),
+                            np.ones(len(clang_ds), dtype=np.int64)])
+        model = SoftmaxRegression(x.shape[1], 2)
+        model.fit(x, y, epochs=30)
+        assert (model.predict(x) == y).mean() > 0.95

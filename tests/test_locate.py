@@ -1,0 +1,149 @@
+"""Locator tests: slot detection, dereference tracking, and agreement
+with the generator-side ground truth.
+"""
+
+import random
+
+import pytest
+
+from repro.asm.instruction import FunctionListing, make
+from repro.asm.operands import Imm, Label, Mem, Reg
+from repro.codegen import GccCompiler
+from repro.codegen.lowering import gcc_style, lower_function
+from repro.codegen.progen import GeneratorConfig, generate_function
+from repro.vuc.locate import Target, TargetKind, locate_targets
+
+
+def _listing(*instructions):
+    return FunctionListing(name="f", address=0, instructions=list(instructions))
+
+
+class TestSlotDetection:
+    def test_rbp_slot_is_target(self):
+        targets = locate_targets(_listing(make("movl", Imm(1), Mem(disp=-4, base="rbp"))))
+        assert len(targets) == 1
+        assert targets[0].kind is TargetKind.SLOT
+        assert targets[0].offset == -4
+
+    def test_rsp_slot_is_target(self):
+        targets = locate_targets(_listing(make("mov", Reg("rax"), Mem(disp=0xA8, base="rsp"))))
+        assert targets[0].base == "rsp"
+        assert targets[0].offset == 0xA8
+
+    def test_indexed_stack_access_is_target(self):
+        ins = make("movb", Imm(0), Mem(disp=-64, base="rbp", index="rax", scale=1))
+        targets = locate_targets(_listing(ins))
+        assert len(targets) == 1
+        assert targets[0].offset == -64
+
+    def test_lea_of_slot_is_target(self):
+        targets = locate_targets(_listing(make("lea", Mem(disp=-32, base="rbp"), Reg("rax"))))
+        assert len(targets) == 1
+
+    def test_rip_relative_not_target(self):
+        targets = locate_targets(_listing(make("mov", Mem(disp=0x2000, base="rip"), Reg("rax"))))
+        assert targets == []
+
+    def test_register_only_not_target(self):
+        targets = locate_targets(_listing(make("mov", Reg("rax"), Reg("rbx"))))
+        assert targets == []
+
+
+class TestDerefTracking:
+    def test_deref_after_slot_load(self):
+        targets = locate_targets(_listing(
+            make("mov", Mem(disp=-16, base="rbp"), Reg("rax")),
+            make("movl", Mem(disp=0, base="rax"), Reg("edx")),
+        ))
+        assert [t.kind for t in targets] == [TargetKind.SLOT, TargetKind.DEREF]
+        assert targets[1].offset == -16  # attributed to the pointer slot
+
+    def test_deref_with_member_offset(self):
+        targets = locate_targets(_listing(
+            make("mov", Mem(disp=-16, base="rbp"), Reg("rax")),
+            make("mov", Mem(disp=8, base="rax"), Reg("rdx")),
+        ))
+        assert targets[1].kind is TargetKind.DEREF
+
+    def test_tracking_invalidated_by_overwrite(self):
+        targets = locate_targets(_listing(
+            make("mov", Mem(disp=-16, base="rbp"), Reg("rax")),
+            make("mov", Reg("rbx"), Reg("rax")),            # overwrites rax
+            make("movl", Mem(disp=0, base="rax"), Reg("edx")),
+        ))
+        assert [t.kind for t in targets] == [TargetKind.SLOT]
+
+    def test_tracking_invalidated_by_call(self):
+        targets = locate_targets(_listing(
+            make("mov", Mem(disp=-16, base="rbp"), Reg("rax")),
+            make("callq", Label(0x401000)),
+            make("movl", Mem(disp=0, base="rax"), Reg("edx")),
+        ))
+        assert [t.kind for t in targets] == [TargetKind.SLOT]
+
+    def test_tracking_ages_out(self):
+        filler = [make("nop")] * 15
+        targets = locate_targets(_listing(
+            make("mov", Mem(disp=-16, base="rbp"), Reg("rax")),
+            *filler,
+            make("movl", Mem(disp=0, base="rax"), Reg("edx")),
+        ))
+        assert [t.kind for t in targets] == [TargetKind.SLOT]
+
+    def test_narrow_load_does_not_track_pointer(self):
+        targets = locate_targets(_listing(
+            make("movl", Mem(disp=-8, base="rbp"), Reg("eax")),  # 4-byte load
+            make("movl", Mem(disp=0, base="rax"), Reg("edx")),
+        ))
+        assert [t.kind for t in targets] == [TargetKind.SLOT]
+
+    def test_family_width_views_tracked_consistently(self):
+        """A 64-bit reload of the same slot keeps tracking alive."""
+        targets = locate_targets(_listing(
+            make("mov", Mem(disp=-16, base="rbp"), Reg("rax")),
+            make("mov", Mem(disp=-16, base="rbp"), Reg("rax")),
+            make("movl", Mem(disp=0, base="rax"), Reg("edx")),
+        ))
+        assert [t.kind for t in targets] == [
+            TargetKind.SLOT, TargetKind.SLOT, TargetKind.DEREF,
+        ]
+
+
+class TestAgreementWithGroundTruth:
+    """The locator must rediscover what the lowering recorded."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_locator_covers_lowering_truth(self, seed):
+        func = generate_function(random.Random(seed), "f", GeneratorConfig())
+        lowered = lower_function(func, gcc_style(0), random.Random(seed), 0)
+        located = {t.index for t in locate_targets(lowered.listing)}
+        truth = {ins_index for ins_index, _var in lowered.truth}
+        missing = truth - located
+        assert not missing, (
+            f"locator missed {len(missing)} of {len(truth)} truth targets: "
+            f"{[str(lowered.listing.instructions[i]) for i in sorted(missing)][:5]}"
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_located_slot_attribution_matches_truth(self, seed):
+        func = generate_function(random.Random(seed), "f", GeneratorConfig())
+        lowered = lower_function(func, gcc_style(0), random.Random(seed), 0)
+        slots = {var_index: info for var_index, info in lowered.slots.items()}
+        truth = dict(lowered.truth)
+        for target in locate_targets(lowered.listing):
+            var_index = truth.get(target.index)
+            if var_index is None:
+                continue  # extra located targets are allowed (spills etc.)
+            slot = slots[var_index]
+            assert slot.offset <= target.offset < slot.offset + slot.size, (
+                f"target {lowered.listing.instructions[target.index]} attributed "
+                f"to offset {target.offset}, but variable spans "
+                f"[{slot.offset}, {slot.offset + slot.size})"
+            )
+
+    def test_whole_binary_locator_coverage(self):
+        binary = GccCompiler().compile_fresh(seed=77, name="b", opt_level=2)
+        for lowered in binary.lowered:
+            located = {t.index for t in locate_targets(lowered.listing)}
+            truth = {i for i, _v in lowered.truth}
+            assert truth <= located

@@ -1,0 +1,248 @@
+"""Lowering tests: per-type instruction patterns, frame layout, truth
+bookkeeping, compiler styles.
+"""
+
+import random
+
+import pytest
+
+from repro.asm.operands import Mem, Reg
+from repro.codegen import ctypes_model as ct
+from repro.codegen.ctypes_model import ArrayType, PointerType
+from repro.codegen.lowering import FunctionLowerer, clang_style, gcc_style, lower_function
+from repro.codegen.progen import Access, AccessKind, FunctionIR, LocalVar
+from repro.core.types import TypeName
+
+
+def _single_access_function(ctype, kind, partner_ctype=None, n=1):
+    var = LocalVar(name="v0", ctype=ctype, index=0)
+    locals_ = [var]
+    partner = None
+    if partner_ctype is not None:
+        partner = LocalVar(name="v1", ctype=partner_ctype, index=1)
+        locals_.append(partner)
+    events = [Access(var=var, kind=kind, partner=partner)] * n
+    return FunctionIR(name="f", locals=locals_, events=events)
+
+
+def _lower(ctype, kind, style=None, partner_ctype=None, seed=0):
+    func = _single_access_function(ctype, kind, partner_ctype)
+    import dataclasses
+
+    style = style or gcc_style(0)
+    # Deterministic instruction counts: no reloads, no type-blind noise.
+    style = dataclasses.replace(style, redundant_load_prob=0.0, trace_noise_prob=0.0)
+    return lower_function(func, style, random.Random(seed), 0x401000)
+
+
+def _target_mnemonics(lowered):
+    return [lowered.listing.instructions[i].mnemonic for i, _v in lowered.truth]
+
+
+class TestTypePatterns:
+    def test_bool_init_is_movb(self):
+        assert _target_mnemonics(_lower(ct.BOOL, AccessKind.INIT)) == ["movb"]
+
+    def test_int_init_is_movl(self):
+        assert _target_mnemonics(_lower(ct.INT, AccessKind.INIT)) == ["movl"]
+
+    def test_long_init_is_movq(self):
+        assert _target_mnemonics(_lower(ct.LONG, AccessKind.INIT)) == ["movq"]
+
+    def test_double_init_uses_movsd(self):
+        assert "movsd" in _target_mnemonics(_lower(ct.DOUBLE, AccessKind.INIT))
+
+    def test_float_init_uses_movss(self):
+        assert "movss" in _target_mnemonics(_lower(ct.FLOAT, AccessKind.INIT))
+
+    def test_long_double_uses_x87(self):
+        assert "fstpt" in _target_mnemonics(_lower(ct.LONG_DOUBLE, AccessKind.INIT))
+
+    def test_char_load_sign_extends(self):
+        assert _target_mnemonics(_lower(ct.CHAR, AccessKind.LOAD)) == ["movsbl"]
+
+    def test_uchar_load_zero_extends(self):
+        assert _target_mnemonics(_lower(ct.UCHAR, AccessKind.LOAD)) == ["movzbl"]
+
+    def test_short_load_extends(self):
+        assert _target_mnemonics(_lower(ct.SHORT, AccessKind.LOAD)) == ["movswl"]
+        assert _target_mnemonics(_lower(ct.USHORT, AccessKind.LOAD)) == ["movzwl"]
+
+    def test_bool_test_pattern(self):
+        lowered = _lower(ct.BOOL, AccessKind.BOOL_TEST)
+        mnemonics = [i.mnemonic for i in lowered.listing.instructions]
+        assert "movzbl" in mnemonics
+        assert "test" in mnemonics
+
+    def test_bool_set_ends_with_movb(self):
+        lowered = _lower(ct.BOOL, AccessKind.BOOL_SET)
+        assert _target_mnemonics(lowered) == ["movb"]
+        mnemonics = [i.mnemonic for i in lowered.listing.instructions]
+        assert any(m.startswith("set") for m in mnemonics)
+
+    def test_pointer_compare_is_null_check(self):
+        lowered = _lower(PointerType(ct.INT), AccessKind.COMPARE_BRANCH)
+        assert "cmpq" in _target_mnemonics(lowered)
+
+    def test_deref_load_two_targets(self):
+        lowered = _lower(PointerType(ct.INT), AccessKind.DEREF_LOAD)
+        # one target for the slot load, one for the dereference
+        assert len(lowered.truth) == 2
+        deref = lowered.listing.instructions[lowered.truth[1][0]]
+        mems = deref.memory_operands()
+        assert mems and mems[0].base not in ("rbp", "rsp", "rip")
+
+    def test_struct_pointer_deref_uses_member_offset(self):
+        rng_hits = 0
+        for seed in range(10):
+            lowered = _lower(PointerType(ct.make_struct_zoo()[2]), AccessKind.DEREF_LOAD, seed=seed)
+            deref = lowered.listing.instructions[lowered.truth[1][0]]
+            if deref.memory_operands()[0].disp > 0:
+                rng_hits += 1
+        assert rng_hits > 0  # interior offsets appear
+
+    def test_ptr_advance_uses_stride(self):
+        lowered = _lower(PointerType(ct.INT), AccessKind.PTR_ADVANCE)
+        ins = lowered.listing.instructions[lowered.truth[0][0]]
+        assert ins.mnemonic == "addq"
+        assert ins.operands[0].value == 4
+
+    def test_addr_of_emits_lea_for_target(self):
+        lowered = _lower(PointerType(ct.INT), AccessKind.ADDR_OF, partner_ctype=ct.INT)
+        mnemonics = _target_mnemonics(lowered)
+        assert mnemonics[0] == "lea"
+        # lea is attributed to the partner, mov to the pointer
+        assert lowered.truth[0][1] == 1
+        assert lowered.truth[1][1] == 0
+
+    def test_member_store_within_extent(self):
+        struct = ct.make_struct_zoo()[2]  # stats: ulong, double, int, int
+        for member in range(4):
+            func = FunctionIR(
+                name="f",
+                locals=[LocalVar("v0", struct, 0)],
+                events=[Access(var=LocalVar("v0", struct, 0), kind=AccessKind.MEMBER_STORE, member=member)],
+            )
+            lowered = lower_function(func, gcc_style(0), random.Random(0), 0)
+            slot = lowered.slots[0]
+            ins = lowered.listing.instructions[lowered.truth[0][0]]
+            mem = ins.memory_operands()[0]
+            assert slot.offset <= mem.disp < slot.offset + slot.size
+
+    def test_array_store_stays_in_extent(self):
+        array = ArrayType(ct.INT, 8)
+        for seed in range(8):
+            lowered = _lower(array, AccessKind.ARRAY_STORE, seed=seed)
+            slot = lowered.slots[0]
+            ins = lowered.listing.instructions[lowered.truth[0][0]]
+            mem = ins.memory_operands()[0]
+            assert slot.offset <= mem.disp < slot.offset + slot.size
+
+
+class TestFrameLayout:
+    def test_gcc_o0_uses_rbp_negative_offsets(self):
+        lowered = _lower(ct.INT, AccessKind.INIT, style=gcc_style(0))
+        assert lowered.frame_base == "rbp"
+        assert all(s.offset < 0 for s in lowered.slots.values())
+
+    def test_clang_uses_rsp_positive_offsets(self):
+        lowered = _lower(ct.INT, AccessKind.INIT, style=clang_style(0))
+        assert lowered.frame_base == "rsp"
+        assert all(s.offset > 0 for s in lowered.slots.values())
+
+    def test_gcc_o2_drops_frame_pointer(self):
+        assert gcc_style(2).frame_base == "rsp"
+
+    def test_slots_do_not_overlap(self):
+        func = FunctionIR(
+            name="f",
+            locals=[
+                LocalVar("a", ct.CHAR, 0),
+                LocalVar("b", ct.INT, 1),
+                LocalVar("c", ct.make_struct_zoo()[3], 2),
+                LocalVar("d", ct.LONG_DOUBLE, 3),
+            ],
+            events=[],
+        )
+        lowered = lower_function(func, gcc_style(0), random.Random(0), 0)
+        ranges = sorted(
+            (s.offset, s.offset + s.size) for s in lowered.slots.values()
+        )
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(ranges, ranges[1:]):
+            assert a_hi <= b_lo
+
+    def test_alignment_respected(self):
+        func = FunctionIR(
+            name="f",
+            locals=[LocalVar("a", ct.CHAR, 0), LocalVar("b", ct.DOUBLE, 1)],
+            events=[],
+        )
+        lowered = lower_function(func, gcc_style(0), random.Random(0), 0)
+        assert lowered.slots[1].offset % 8 == 0
+
+    def test_frame_size_positive_multiple_of_16(self):
+        lowered = _lower(ct.INT, AccessKind.INIT)
+        lowerer = FunctionLowerer(
+            _single_access_function(ct.INT, AccessKind.INIT), gcc_style(0),
+            random.Random(0), 0,
+        )
+        assert lowerer.frame_size % 16 == 0
+        assert lowerer.frame_size > 0
+
+
+class TestStyles:
+    def test_gcc_prologue_has_endbr_and_rbp_setup(self):
+        lowered = _lower(ct.INT, AccessKind.INIT, style=gcc_style(0))
+        mnemonics = [i.mnemonic for i in lowered.listing.instructions[:4]]
+        assert mnemonics[0] == "endbr64"
+        assert "push" in mnemonics
+
+    def test_clang_has_no_endbr(self):
+        lowered = _lower(ct.INT, AccessKind.INIT, style=clang_style(0))
+        assert lowered.listing.instructions[0].mnemonic != "endbr64"
+
+    def test_clang_zeroes_with_xor(self):
+        lowered = _lower(ct.INT, AccessKind.INIT, style=clang_style(0))
+        mnemonics = [i.mnemonic for i in lowered.listing.instructions]
+        assert "xor" in mnemonics
+
+    def test_epilogue_ends_with_ret(self):
+        for style in (gcc_style(0), gcc_style(2), clang_style(1)):
+            lowered = _lower(ct.INT, AccessKind.INIT, style=style)
+            assert lowered.listing.instructions[-1].mnemonic == "retq"
+
+    def test_addresses_strictly_increase(self):
+        lowered = _lower(ct.INT, AccessKind.ARITH_IMM)
+        addresses = [i.address for i in lowered.listing.instructions]
+        assert all(a < b for a, b in zip(addresses, addresses[1:]))
+
+
+class TestTruth:
+    def test_truth_indices_valid(self):
+        for seed in range(5):
+            from repro.codegen.progen import generate_function, GeneratorConfig
+
+            func = generate_function(random.Random(seed), "f", GeneratorConfig())
+            lowered = lower_function(func, gcc_style(0), random.Random(seed), 0)
+            n = len(lowered.listing.instructions)
+            var_indices = {v.index for v in func.locals}
+            for ins_index, var_index in lowered.truth:
+                assert 0 <= ins_index < n
+                assert var_index in var_indices
+
+    def test_truth_instructions_touch_their_slot(self):
+        """Every slot-kind truth entry's instruction references the frame
+        range of its variable (derefs go through registers instead)."""
+        from repro.codegen.progen import generate_function, GeneratorConfig
+
+        func = generate_function(random.Random(9), "f", GeneratorConfig())
+        lowered = lower_function(func, gcc_style(0), random.Random(9), 0)
+        for ins_index, var_index in lowered.truth:
+            ins = lowered.listing.instructions[ins_index]
+            slot = lowered.slots[var_index]
+            frame_mems = [m for m in ins.memory_operands() if m.base == "rbp"]
+            if frame_mems:
+                assert any(
+                    slot.offset <= m.disp < slot.offset + slot.size
+                    for m in frame_mems
+                )

@@ -1,0 +1,119 @@
+"""Metric tests: P/R/F1 algebra, confusion matrices, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eval.metrics import accuracy, confusion_matrix, evaluate
+
+
+class TestEvaluate:
+    def test_perfect_prediction(self):
+        report = evaluate(["a", "b", "a"], ["a", "b", "a"])
+        assert report.accuracy == 1.0
+        assert report.weighted_f1 == 1.0
+        for metrics in report.per_class.values():
+            assert metrics.precision == 1.0
+            assert metrics.recall == 1.0
+
+    def test_known_values(self):
+        # true: a a a b; pred: a a b b
+        report = evaluate(list("aaab"), list("aabb"))
+        a = report.per_class["a"]
+        b = report.per_class["b"]
+        assert a.precision == 1.0
+        assert a.recall == pytest.approx(2 / 3)
+        assert b.precision == pytest.approx(1 / 2)
+        assert b.recall == 1.0
+        assert report.accuracy == pytest.approx(3 / 4)
+
+    def test_f1_is_harmonic_mean(self):
+        report = evaluate(list("aaab"), list("aabb"))
+        a = report.per_class["a"]
+        expected = 2 * a.precision * a.recall / (a.precision + a.recall)
+        assert a.f1 == pytest.approx(expected)
+
+    def test_absent_class_zero_metrics(self):
+        report = evaluate(["a", "a"], ["b", "b"])
+        assert report.per_class["a"].recall == 0.0
+        assert report.per_class["b"].precision == 0.0
+        assert report.per_class["b"].support == 0
+
+    def test_empty_inputs(self):
+        report = evaluate([], [])
+        assert report.accuracy == 0.0
+        assert report.n_samples == 0
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            evaluate(["a"], [])
+
+    def test_supports_sum_to_n(self):
+        report = evaluate(list("aabbcc"), list("abcabc"))
+        assert sum(m.support for m in report.per_class.values()) == 6
+
+
+class TestConfusion:
+    def test_diagonal_counts_hits(self):
+        matrix = confusion_matrix(list("aab"), list("aab"), ["a", "b"])
+        assert np.array_equal(matrix, [[2, 0], [0, 1]])
+
+    def test_off_diagonal(self):
+        matrix = confusion_matrix(["a", "a"], ["b", "a"], ["a", "b"])
+        assert matrix[0, 1] == 1
+        assert matrix[0, 0] == 1
+
+    def test_unknown_labels_ignored(self):
+        matrix = confusion_matrix(["a", "z"], ["a", "a"], ["a", "b"])
+        assert matrix.sum() == 1
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(list("abc"), list("abd")) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert accuracy([], []) == 0.0
+
+
+# -- property-based ------------------------------------------------------------
+
+_labels = st.lists(st.sampled_from("abcd"), min_size=1, max_size=50)
+
+
+@given(_labels)
+def test_self_evaluation_is_perfect(labels):
+    report = evaluate(labels, labels)
+    assert report.accuracy == 1.0
+    assert report.weighted_precision == pytest.approx(1.0)
+
+
+@given(st.tuples(_labels, _labels).map(lambda t: (t[0], (t[1] * 50)[:len(t[0])])))
+def test_metrics_bounded(pair):
+    y_true, y_pred = pair
+    report = evaluate(y_true, y_pred)
+    assert 0.0 <= report.accuracy <= 1.0
+    assert 0.0 <= report.weighted_f1 <= 1.0
+    for metrics in report.per_class.values():
+        assert 0.0 <= metrics.precision <= 1.0
+        assert 0.0 <= metrics.recall <= 1.0
+        assert min(metrics.precision, metrics.recall) - 1e-9 <= metrics.f1 \
+            <= max(metrics.precision, metrics.recall) + 1e-9
+
+
+@given(st.tuples(_labels, _labels).map(lambda t: (t[0], (t[1] * 50)[:len(t[0])])))
+def test_accuracy_equals_weighted_recall(pair):
+    """Micro identity: weighted recall == accuracy for single-label tasks."""
+    y_true, y_pred = pair
+    report = evaluate(y_true, y_pred)
+    assert report.weighted_recall == pytest.approx(report.accuracy)
+
+
+@given(st.tuples(_labels, _labels).map(lambda t: (t[0], (t[1] * 50)[:len(t[0])])))
+def test_confusion_row_sums_are_supports(pair):
+    y_true, y_pred = pair
+    classes = sorted({*y_true, *y_pred})
+    matrix = confusion_matrix(y_true, y_pred, classes)
+    report = evaluate(y_true, y_pred)
+    for i, cls in enumerate(classes):
+        assert matrix[i].sum() == report.per_class[cls].support

@@ -1,0 +1,55 @@
+"""Occlusion (eq. 5 / Fig. 6) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.occlusion import epsilon_distribution, occlusion_epsilons
+from repro.vuc.generalize import BLANK_TOKENS
+
+
+class TestOcclusion:
+    def test_epsilons_shape(self, mini_cati, small_corpus):
+        sample = small_corpus.test.samples[0]
+        result = occlusion_epsilons(mini_cati, sample.tokens)
+        assert result.epsilons.shape == (21,)
+        assert (result.epsilons >= 0).all()
+        assert 0.0 < result.base_confidence <= 1.0
+
+    def test_occluding_padding_is_neutral(self, mini_cati, small_corpus):
+        """BLANKing a position that is already BLANK changes nothing:
+        epsilon must be exactly 1."""
+        sample = next(
+            s for s in small_corpus.test.samples
+            if s.tokens[0] == BLANK_TOKENS
+        )
+        result = occlusion_epsilons(mini_cati, sample.tokens)
+        assert result.epsilons[0] == pytest.approx(1.0)
+
+    def test_target_occlusion_matters_on_average(self, mini_cati, small_corpus):
+        """Across many VUCs, occluding the central (target) instruction
+        must hurt confidence more than occluding the outermost ones."""
+        windows = [s.tokens for s in small_corpus.test.samples[:40]]
+        center_eps = []
+        edge_eps = []
+        for window in windows:
+            eps = occlusion_epsilons(mini_cati, window).epsilons
+            center_eps.append(eps[10])
+            edge_eps.append((eps[0] + eps[20]) / 2)
+        assert np.mean(center_eps) < np.mean(edge_eps)
+
+    def test_distribution_shape(self, mini_cati, small_corpus):
+        windows = [s.tokens for s in small_corpus.test.samples[:10]]
+        heatmap = epsilon_distribution(mini_cati, windows)
+        assert heatmap.shape == (21, 10)
+        assert (heatmap >= 0).all() and (heatmap <= 1).all()
+
+    def test_distribution_columns_monotone(self, mini_cati, small_corpus):
+        """P(eps in (t,1)) must not increase with t."""
+        windows = [s.tokens for s in small_corpus.test.samples[:10]]
+        heatmap = epsilon_distribution(mini_cati, windows)
+        for row in heatmap:
+            assert all(a >= b - 1e-12 for a, b in zip(row, row[1:]))
+
+    def test_empty_windows_raise(self, mini_cati):
+        with pytest.raises(ValueError):
+            epsilon_distribution(mini_cati, [])

@@ -1,0 +1,150 @@
+"""Program-generator tests: determinism, budgets, menus, clustering."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.codegen.ctypes_model import ArrayType, PointerType, StructType
+from repro.codegen.progen import (
+    Access,
+    AccessKind,
+    Filler,
+    GeneratorConfig,
+    generate_function,
+    generate_program,
+    menu_for,
+)
+from repro.core.types import TypeName
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        a = generate_program(42, "p")
+        b = generate_program(42, "p")
+        assert len(a.functions) == len(b.functions)
+        for fa, fb in zip(a.functions, b.functions):
+            assert [v.ctype for v in fa.locals] == [v.ctype for v in fb.locals]
+            assert len(fa.events) == len(fb.events)
+
+    def test_different_seed_differs(self):
+        a = generate_program(1, "p")
+        b = generate_program(2, "p")
+        assert any(
+            len(fa.events) != len(fb.events)
+            for fa, fb in zip(a.functions, b.functions)
+        ) or len(a.functions) != len(b.functions)
+
+
+class TestBudgets:
+    def test_every_local_gets_at_least_one_access(self):
+        func = generate_function(random.Random(5), "f", GeneratorConfig())
+        accessed = {e.var.index for e in func.events if isinstance(e, Access)}
+        assert accessed == {v.index for v in func.locals}
+
+    def test_orphan_fraction_approximate(self):
+        config = GeneratorConfig(orphan_fraction=0.35)
+        rng = random.Random(0)
+        counts = Counter()
+        for i in range(60):
+            func = generate_function(rng, f"f{i}", config)
+            per_var = Counter(
+                e.var.index for e in func.events if isinstance(e, Access)
+            )
+            for count in per_var.values():
+                counts[min(count, 3)] += 1
+        total = sum(counts.values())
+        orphan_rate = (counts[1] + counts[2]) / total
+        assert 0.2 < orphan_rate < 0.55
+
+    def test_locals_within_configured_range(self):
+        config = GeneratorConfig(locals_per_function=(2, 4))
+        for i in range(10):
+            func = generate_function(random.Random(i), "f", config)
+            assert 2 <= len(func.locals) <= 4
+
+
+class TestMenus:
+    def _var(self, ctype):
+        from repro.codegen.progen import LocalVar
+
+        return LocalVar(name="v", ctype=ctype, index=0)
+
+    def test_struct_gets_member_menu(self):
+        from repro.codegen import ctypes_model as ct
+
+        menu = menu_for(self._var(ct.make_struct_zoo()[0]))
+        kinds = {k for k, _w in menu}
+        assert AccessKind.MEMBER_STORE in kinds
+        assert AccessKind.INIT not in kinds
+
+    def test_pointer_gets_deref_menu(self):
+        from repro.codegen import ctypes_model as ct
+
+        menu = menu_for(self._var(PointerType(ct.INT)))
+        kinds = {k for k, _w in menu}
+        assert AccessKind.DEREF_LOAD in kinds
+        assert AccessKind.PTR_ADVANCE in kinds
+
+    def test_void_pointer_never_dereferenced(self):
+        menu = menu_for(self._var(PointerType(None)))
+        kinds = {k for k, _w in menu}
+        assert AccessKind.DEREF_LOAD not in kinds
+
+    def test_bool_menu(self):
+        from repro.codegen import ctypes_model as ct
+
+        menu = menu_for(self._var(ct.BOOL))
+        kinds = {k for k, _w in menu}
+        assert AccessKind.BOOL_TEST in kinds
+
+    def test_array_menu(self):
+        from repro.codegen import ctypes_model as ct
+
+        menu = menu_for(self._var(ArrayType(ct.CHAR, 16)))
+        kinds = {k for k, _w in menu}
+        assert kinds == {AccessKind.ARRAY_STORE, AccessKind.ARRAY_LOAD}
+
+
+class TestClustering:
+    def test_high_stay_prob_creates_runs(self):
+        """With stay-probability 1 the schedule processes one variable at
+        a time, so adjacent accesses share a variable."""
+        config = GeneratorConfig(cluster_stay_prob=0.95, cluster_same_type_prob=0.0,
+                                 filler_prob=0.0)
+        func = generate_function(random.Random(3), "f", config)
+        accesses = [e for e in func.events if isinstance(e, Access)]
+        adjacent_same = sum(
+            a.var.index == b.var.index for a, b in zip(accesses, accesses[1:])
+        )
+        assert adjacent_same / max(len(accesses) - 1, 1) > 0.6
+
+    def test_partner_is_same_type_for_arith_var(self):
+        for seed in range(20):
+            func = generate_function(random.Random(seed), "f", GeneratorConfig())
+            for event in func.events:
+                if isinstance(event, Access) and event.kind is AccessKind.ARITH_VAR:
+                    assert event.partner is not None
+                    assert event.partner.label is event.var.label
+
+    def test_addr_of_partner_not_pointer(self):
+        for seed in range(20):
+            func = generate_function(random.Random(seed), "f", GeneratorConfig())
+            for event in func.events:
+                if isinstance(event, Access) and event.kind is AccessKind.ADDR_OF:
+                    assert not isinstance(event.partner.ctype, PointerType)
+
+
+class TestTypeWeights:
+    def test_zero_weight_type_never_sampled(self):
+        from repro.codegen.progen import DEFAULT_TYPE_WEIGHTS
+
+        weights = dict(DEFAULT_TYPE_WEIGHTS)
+        weights[TypeName.FLOAT] = 0.0
+        weights[TypeName.LONG_DOUBLE] = 0.0
+        config = GeneratorConfig(type_weights=weights)
+        for seed in range(15):
+            program = generate_program(seed, "p", config)
+            for func in program.functions:
+                for var in func.locals:
+                    assert var.label not in (TypeName.FLOAT, TypeName.LONG_DOUBLE)

@@ -1,0 +1,77 @@
+"""Property-based whole-pipeline invariants over random seeds.
+
+Each property compiles a random program and checks an invariant that
+must hold for *every* binary the substrate can produce.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import ClangCompiler, GccCompiler, debug_variables, strip
+from repro.vuc.dataset import extract_labeled_vucs
+from repro.vuc.generalize import generalize_instruction
+from repro.vuc.locate import locate_targets
+
+_seeds = st.integers(0, 10_000)
+_opt = st.integers(0, 3)
+
+
+@settings(max_examples=12, deadline=None)
+@given(_seeds, _opt)
+def test_debug_variables_cover_all_slots(seed, opt_level):
+    binary = GccCompiler().compile_fresh(seed=seed, name="p", opt_level=opt_level)
+    records = debug_variables(binary)
+    recorded = {(r.function, r.frame_offset) for r in records}
+    for lowered in binary.lowered:
+        for slot in lowered.slots.values():
+            assert (lowered.listing.name, slot.offset) in recorded
+
+
+@settings(max_examples=12, deadline=None)
+@given(_seeds, _opt)
+def test_locator_is_complete_wrt_truth(seed, opt_level):
+    binary = GccCompiler().compile_fresh(seed=seed, name="p", opt_level=opt_level)
+    for lowered in binary.lowered:
+        located = {t.index for t in locate_targets(lowered.listing)}
+        truth = {i for i, _v in lowered.truth}
+        assert truth <= located
+
+
+@settings(max_examples=10, deadline=None)
+@given(_seeds)
+def test_strip_is_idempotent(seed):
+    binary = GccCompiler().compile_fresh(seed=seed, name="p", opt_level=1)
+    once = strip(binary)
+    twice = strip(once)
+    assert once.render() == twice.render()
+
+
+@settings(max_examples=10, deadline=None)
+@given(_seeds, st.sampled_from(["gcc", "clang"]))
+def test_every_instruction_generalizes(seed, compiler_name):
+    compiler = GccCompiler() if compiler_name == "gcc" else ClangCompiler()
+    binary = compiler.compile_fresh(seed=seed, name="p", opt_level=2)
+    for ins in binary.all_instructions():
+        tokens = generalize_instruction(ins)
+        assert len(tokens) == 3
+        assert all(isinstance(t, str) and t for t in tokens)
+
+
+@settings(max_examples=8, deadline=None)
+@given(_seeds)
+def test_dataset_extraction_invariants(seed):
+    binary = GccCompiler().compile_fresh(seed=seed, name="p", opt_level=0)
+    dataset = extract_labeled_vucs(binary)
+    for sample in dataset.samples:
+        # fixed window length, target present, grouped label consistency
+        assert len(sample.tokens) == 21
+        assert sample.tokens[10] != ("BLANK", "BLANK", "BLANK")
+    for vucs in dataset.by_variable().values():
+        assert len({v.label for v in vucs}) == 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(_seeds)
+def test_vuc_count_at_least_variable_count(seed):
+    binary = GccCompiler().compile_fresh(seed=seed, name="p", opt_level=0)
+    dataset = extract_labeled_vucs(binary)
+    assert len(dataset) >= dataset.n_variables()

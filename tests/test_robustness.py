@@ -1,0 +1,154 @@
+"""Failure injection and adversarial-input robustness tests.
+
+The pipeline must degrade cleanly on malformed inputs: corrupt debug
+blobs, hostile assembly text, pathological listings, empty corpora.
+"""
+
+import numpy as np
+import pytest
+
+from repro.asm.instruction import FunctionListing, make
+from repro.asm.operands import Imm, Label, Mem, Reg
+from repro.asm.parser import AsmParseError, parse_instruction, parse_objdump_line
+from repro.codegen import GccCompiler
+from repro.dwarf import DebugBlob, decode
+from repro.dwarf.decode import DwarfDecodeError
+
+
+class TestCorruptDebugInfo:
+    @pytest.fixture(scope="class")
+    def blob(self):
+        return GccCompiler().compile_fresh(seed=3, name="x", opt_level=0).debug
+
+    def test_truncated_info(self, blob):
+        for cut in (0, 1, len(blob.info) // 2):
+            with pytest.raises((DwarfDecodeError, ValueError)):
+                decode(DebugBlob(abbrev=blob.abbrev, info=blob.info[:cut]))
+
+    def test_truncated_abbrev(self, blob):
+        with pytest.raises((DwarfDecodeError, ValueError)):
+            decode(DebugBlob(abbrev=blob.abbrev[:2], info=blob.info))
+
+    def test_empty_blob(self):
+        with pytest.raises((DwarfDecodeError, ValueError)):
+            decode(DebugBlob(abbrev=b"", info=b""))
+
+    def test_bitflips_never_crash_uncontrolled(self, blob):
+        """Random single-byte corruption must either decode to *some*
+        tree or raise a controlled decode error — never hang or segfault
+        the process."""
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            data = bytearray(blob.info)
+            position = int(rng.integers(len(data)))
+            data[position] ^= 1 << int(rng.integers(8))
+            try:
+                decode(DebugBlob(abbrev=blob.abbrev, info=bytes(data)))
+            except (DwarfDecodeError, ValueError, KeyError):
+                pass  # controlled failure is acceptable
+
+
+class TestHostileAssemblyText:
+    @pytest.mark.parametrize("text", [
+        "mov",                       # missing operands is fine (no-op parse)
+        "mov %rax,%rbx,%rcx,%rdx",   # too many operands
+        "mov $zzz,%rax",             # junk immediate
+        "mov ((%rax)),%rbx",         # nested parens
+        "mov -0x(%rbp),%rax",        # broken hex
+    ])
+    def test_bad_lines_raise_or_parse(self, text):
+        try:
+            parse_instruction(text)
+        except (AsmParseError, ValueError):
+            pass
+
+    def test_objdump_garbage_lines_skipped(self):
+        for line in ("", "Disassembly of section .text:", "\t...", "401000 <f>:", "  junk"):
+            assert parse_objdump_line(line) is None or True  # must not raise
+
+    def test_very_long_operand_field(self):
+        text = "mov " + "$0x1," * 2 + "%rax"
+        try:
+            parse_instruction(text)
+        except (AsmParseError, ValueError):
+            pass
+
+
+class TestLocatorPathologies:
+    def test_empty_function(self):
+        from repro.vuc.locate import locate_targets
+
+        assert locate_targets(FunctionListing(name="f", address=0, instructions=[])) == []
+
+    def test_only_control_flow(self):
+        from repro.vuc.locate import locate_targets
+
+        listing = FunctionListing(name="f", address=0, instructions=[
+            make("jmp", Label(0x1000)),
+            make("callq", Label(0x2000)),
+            make("retq"),
+        ])
+        assert locate_targets(listing) == []
+
+    def test_huge_function_linear_time(self):
+        """10k instructions must locate in well under a second."""
+        import time
+
+        from repro.vuc.locate import locate_targets
+
+        instructions = []
+        for i in range(10_000):
+            if i % 3 == 0:
+                instructions.append(make("movl", Imm(1), Mem(disp=-(i % 64) - 4, base="rbp"), address=i))
+            else:
+                instructions.append(make("mov", Reg("rax"), Reg("rbx"), address=i))
+        listing = FunctionListing(name="big", address=0, instructions=instructions)
+        start = time.perf_counter()
+        targets = locate_targets(listing)
+        assert time.perf_counter() - start < 1.0
+        assert len(targets) == 3334
+
+    def test_deref_chain_through_many_registers(self):
+        """Pointer tracking handles several live tracked registers."""
+        from repro.vuc.locate import TargetKind, locate_targets
+
+        listing = FunctionListing(name="f", address=0, instructions=[
+            make("mov", Mem(disp=-8, base="rbp"), Reg("rax")),
+            make("mov", Mem(disp=-16, base="rbp"), Reg("rbx")),
+            make("movl", Mem(disp=0, base="rax"), Reg("ecx")),
+            make("movl", Mem(disp=0, base="rbx"), Reg("edx")),
+        ])
+        targets = locate_targets(listing)
+        derefs = [t for t in targets if t.kind is TargetKind.DEREF]
+        assert {t.offset for t in derefs} == {-8, -16}
+
+
+class TestEncoderEdgeCases:
+    def test_all_blank_window_encodes(self, mini_cati):
+        from repro.vuc.generalize import BLANK_TOKENS
+
+        window = tuple([BLANK_TOKENS] * 21)
+        probs = mini_cati.predict_vuc_proba([window])
+        assert probs.shape == (1, 19)
+        assert np.isfinite(probs).all()
+
+    def test_unknown_tokens_fall_back_to_unk(self, mini_cati):
+        window = tuple([("totally_new_mnemonic", "$WEIRD", "%rax")] * 21)
+        probs = mini_cati.predict_vuc_proba([window])
+        assert np.isfinite(probs).all()
+
+    def test_prediction_deterministic(self, mini_cati, small_corpus):
+        windows = [s.tokens for s in small_corpus.test.samples[:10]]
+        a = mini_cati.predict_vuc_proba(windows)
+        b = mini_cati.predict_vuc_proba(windows)
+        assert np.array_equal(a, b)
+
+
+class TestVotingEdgeCases:
+    def test_single_variable_many_identical_vucs(self, mini_cati, small_corpus):
+        sample = small_corpus.test.samples[0]
+        predictions = mini_cati.predict_variables(
+            [sample.tokens] * 50, ["v"] * 50,
+        )
+        assert len(predictions) == 1
+        assert predictions[0].n_vucs == 50

@@ -1,0 +1,116 @@
+"""Corpus-statistics tests (Table I / Table V machinery)."""
+
+import pytest
+
+from repro.core.types import TypeName
+from repro.eval.stats import clustering_stats, find_uncertain_examples, orphan_stats
+from repro.vuc.dataset import LabeledVuc, VucDataset
+from repro.vuc.generalize import BLANK_TOKENS
+
+
+def _vuc(target, label, vid, binary="b"):
+    """Build a 5-instruction window with the given target row."""
+    pad = ("nop", "BLANK", "BLANK")
+    tokens = (pad, pad, target, pad, pad)
+    return LabeledVuc(tokens=tokens, label=label, variable_id=vid,
+                      binary=binary, app="a", compiler="gcc")
+
+
+MOVL = ("movl", "$IMM", "-IMM(%rbp)")
+MOVQ = ("mov", "%rax", "-IMM(%rbp)")
+
+
+class TestOrphanStats:
+    def test_counts(self):
+        ds = VucDataset(window=2, samples=[
+            _vuc(MOVL, TypeName.INT, "v1"),
+            _vuc(MOVL, TypeName.ENUM, "v2"),          # uncertain with v1
+            _vuc(MOVQ, TypeName.LONG_INT, "v3"),
+            _vuc(MOVQ, TypeName.LONG_INT, "v3"),      # 2 VUCs
+            _vuc(MOVL, TypeName.INT, "v4"),
+            _vuc(MOVL, TypeName.INT, "v4"),
+            _vuc(MOVL, TypeName.INT, "v4"),           # 3 VUCs: not orphan
+        ])
+        stats = orphan_stats(ds)
+        assert stats.n_variables == 4
+        assert stats.n_vucs == 7
+        assert stats.variables_with_1_vuc == 2
+        assert stats.uncertain_1 == 2         # v1 and v2 collide
+        assert stats.variables_with_2_vucs == 1
+        assert stats.uncertain_2 == 0
+
+    def test_orphan_fraction(self):
+        ds = VucDataset(window=2, samples=[
+            _vuc(MOVL, TypeName.INT, "v1"),
+            _vuc(MOVQ, TypeName.LONG_INT, "v2"),
+            _vuc(MOVL, TypeName.INT, "v3"),
+            _vuc(MOVL, TypeName.INT, "v3"),
+            _vuc(MOVL, TypeName.INT, "v3"),
+        ])
+        stats = orphan_stats(ds)
+        assert stats.orphan_fraction == pytest.approx(2 / 3)
+
+    def test_same_type_collision_not_uncertain(self):
+        ds = VucDataset(window=2, samples=[
+            _vuc(MOVL, TypeName.INT, "v1"),
+            _vuc(MOVL, TypeName.INT, "v2"),
+        ])
+        stats = orphan_stats(ds)
+        assert stats.uncertain_1 == 0
+
+
+class TestUncertainExamples:
+    def test_finds_colliding_signatures(self):
+        ds = VucDataset(window=2, samples=[
+            _vuc(MOVL, TypeName.INT, "v1"),
+            _vuc(MOVL, TypeName.ENUM, "v2"),
+        ])
+        examples = find_uncertain_examples(ds)
+        assert len(examples) == 1
+        signature, a, b = examples[0]
+        assert "movl" in signature
+        assert {a, b} == {TypeName.INT, TypeName.ENUM}
+
+    def test_no_collisions_no_examples(self):
+        ds = VucDataset(window=2, samples=[_vuc(MOVL, TypeName.INT, "v1")])
+        assert find_uncertain_examples(ds) == []
+
+
+class TestClusteringStats:
+    def test_same_type_context_counted(self):
+        # Context rows that are themselves targets of same-type variables
+        context_row = ("movl", "$IMM", "-IMM(%rbp)")
+        tokens = (context_row, BLANK_TOKENS, MOVL, BLANK_TOKENS, context_row)
+        ds = VucDataset(window=2, samples=[
+            LabeledVuc(tokens=tokens, label=TypeName.INT, variable_id="v1",
+                       binary="b", app="a", compiler="gcc"),
+        ])
+        stats = clustering_stats(ds)
+        overall = stats[None]
+        assert overall.cnt_all == 2.0
+        assert overall.cnt_same == 2.0
+        assert overall.c_rate == 1.0
+
+    def test_different_type_context_not_same(self):
+        other_row = ("fldt", "BLANK", "-IMM(%rbp)")
+        tokens = (other_row, BLANK_TOKENS, MOVL, BLANK_TOKENS, BLANK_TOKENS)
+        ds = VucDataset(window=2, samples=[
+            LabeledVuc(tokens=tokens, label=TypeName.INT, variable_id="v1",
+                       binary="b", app="a", compiler="gcc"),
+        ])
+        stats = clustering_stats(ds)
+        assert stats[None].cnt_all == 1.0
+        assert stats[None].cnt_same == 0.0
+
+    def test_corpus_exhibits_clustering(self, small_corpus):
+        """The planted phenomenon: overall same-type rate around or above
+        the paper's 53%."""
+        stats = clustering_stats(small_corpus.test)
+        overall = stats[None]
+        assert overall.cnt_all > 1.0
+        assert overall.c_rate > 0.40
+
+    def test_per_type_keys_are_typenames(self, small_corpus):
+        stats = clustering_stats(small_corpus.test)
+        keys = set(stats) - {None}
+        assert keys <= set(TypeName)

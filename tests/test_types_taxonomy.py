@@ -1,0 +1,118 @@
+"""Taxonomy invariants: 19 leaves, consistent stage routing, DEBIN map."""
+
+import pytest
+
+from repro.core.types import (
+    ALL_STAGES,
+    ALL_TYPES,
+    CHAR_FAMILY,
+    DEBIN_TYPES,
+    FLOAT_FAMILY,
+    INT_FAMILY,
+    POINTER_TYPES,
+    STAGE_SPECS,
+    Stage,
+    TypeName,
+    stage_label,
+    stage_path,
+    to_debin_label,
+)
+
+
+class TestTaxonomyShape:
+    def test_exactly_19_types(self):
+        assert len(ALL_TYPES) == 19
+        assert len(set(ALL_TYPES)) == 19
+
+    def test_three_pointer_types(self):
+        assert len(POINTER_TYPES) == 3
+
+    def test_families_partition_stage3(self):
+        assert len(CHAR_FAMILY) == 2
+        assert len(FLOAT_FAMILY) == 3
+        assert len(INT_FAMILY) == 9  # 8 int types + enum
+
+    def test_six_stages(self):
+        assert len(ALL_STAGES) == 6
+        assert set(STAGE_SPECS) == set(ALL_STAGES)
+
+    def test_stage_class_counts_match_paper(self):
+        assert len(STAGE_SPECS[Stage.STAGE1].labels) == 2
+        assert len(STAGE_SPECS[Stage.STAGE2_1].labels) == 3
+        assert len(STAGE_SPECS[Stage.STAGE2_2].labels) == 5
+        assert len(STAGE_SPECS[Stage.STAGE3_1].labels) == 2
+        assert len(STAGE_SPECS[Stage.STAGE3_2].labels) == 3
+        assert len(STAGE_SPECS[Stage.STAGE3_3].labels) == 9
+
+
+class TestRouting:
+    def test_every_type_starts_at_stage1(self):
+        for t in ALL_TYPES:
+            path = stage_path(t)
+            assert path[0][0] is Stage.STAGE1
+
+    def test_pointers_route_to_2_1(self):
+        for t in POINTER_TYPES:
+            path = stage_path(t)
+            assert path == ((Stage.STAGE1, "pointer"), (Stage.STAGE2_1, t.value))
+
+    def test_struct_and_bool_terminate_at_2_2(self):
+        for t in (TypeName.STRUCT, TypeName.BOOL):
+            path = stage_path(t)
+            assert len(path) == 2
+            assert path[1] == (Stage.STAGE2_2, t.value)
+
+    def test_families_reach_stage3(self):
+        assert stage_path(TypeName.CHAR)[-1][0] is Stage.STAGE3_1
+        assert stage_path(TypeName.DOUBLE)[-1][0] is Stage.STAGE3_2
+        assert stage_path(TypeName.ENUM)[-1][0] is Stage.STAGE3_3
+        assert stage_path(TypeName.LONG_LONG_UNSIGNED_INT)[-1][0] is Stage.STAGE3_3
+
+    def test_path_labels_are_valid_stage_labels(self):
+        for t in ALL_TYPES:
+            for stage, label in stage_path(t):
+                assert label in STAGE_SPECS[stage].labels
+
+    def test_stage_label_consistent_with_path(self):
+        for t in ALL_TYPES:
+            path = dict(stage_path(t))
+            for stage in ALL_STAGES:
+                expected = path.get(stage)
+                assert stage_label(t, stage) == expected
+
+    def test_leaf_labels_unique_within_stage(self):
+        """Each leaf type must terminate at exactly one stage label."""
+        terminals = {}
+        for t in ALL_TYPES:
+            stage, label = stage_path(t)[-1]
+            assert (stage, label) not in terminals, (t, terminals[(stage, label)])
+            terminals[(stage, label)] = t
+
+    def test_routes_cover_all_labels(self):
+        for spec in STAGE_SPECS.values():
+            assert set(spec.routes) == set(spec.labels)
+
+    def test_route_targets_form_the_figure5_tree(self):
+        assert STAGE_SPECS[Stage.STAGE1].routes["pointer"] is Stage.STAGE2_1
+        assert STAGE_SPECS[Stage.STAGE1].routes["non-pointer"] is Stage.STAGE2_2
+        assert STAGE_SPECS[Stage.STAGE2_2].routes["char"] is Stage.STAGE3_1
+        assert STAGE_SPECS[Stage.STAGE2_2].routes["float"] is Stage.STAGE3_2
+        assert STAGE_SPECS[Stage.STAGE2_2].routes["int"] is Stage.STAGE3_3
+        assert STAGE_SPECS[Stage.STAGE2_2].routes["struct"] is None
+
+
+class TestDebinProjection:
+    def test_all_19_types_map(self):
+        for t in ALL_TYPES:
+            assert to_debin_label(t) in DEBIN_TYPES
+
+    def test_17_debin_types(self):
+        assert len(DEBIN_TYPES) == 17
+
+    def test_pointers_fold_to_pointer(self):
+        for t in POINTER_TYPES:
+            assert to_debin_label(t) == "pointer"
+
+    def test_int_maps_identity(self):
+        assert to_debin_label(TypeName.INT) == "int"
+        assert to_debin_label(TypeName.LONG_UNSIGNED_INT) == "unsigned long"

@@ -1,0 +1,116 @@
+"""Voting tests: eqs. (3)-(4) plus property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.voting import clip_confidences, vote, vote_many, vote_scores
+
+
+class TestClipping:
+    def test_eq3_clips_high_confidence_to_one(self):
+        probs = np.array([[0.95, 0.05], [0.5, 0.5]])
+        clipped = clip_confidences(probs, 0.9)
+        assert clipped[0, 0] == 1.0
+        assert clipped[0, 1] == 0.05
+        assert np.array_equal(clipped[1], [0.5, 0.5])
+
+    def test_threshold_boundary_inclusive(self):
+        probs = np.array([[0.9, 0.1]])
+        assert clip_confidences(probs, 0.9)[0, 0] == 1.0
+
+    def test_input_not_mutated(self):
+        probs = np.array([[0.95, 0.05]])
+        clip_confidences(probs)
+        assert probs[0, 0] == 0.95
+
+
+class TestVote:
+    def test_eq4_majority_wins(self):
+        probs = np.array([
+            [0.6, 0.4],
+            [0.7, 0.3],
+            [0.3, 0.7],
+        ])
+        assert vote(probs, threshold=0.99) == 0
+
+    def test_confident_vote_dominates_borderline(self):
+        """One clipped 0.95 vote outweighs two 0.52 votes the other way."""
+        probs = np.array([
+            [0.95, 0.05],
+            [0.48, 0.52],
+            [0.48, 0.52],
+        ])
+        assert vote(probs, threshold=0.9) == 0
+
+    def test_single_vuc(self):
+        assert vote(np.array([[0.3, 0.7]])) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            vote(np.zeros((0, 3)))
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            vote(np.array([0.5, 0.5]))
+
+    def test_vote_scores_shape(self):
+        scores = vote_scores(np.array([[0.95, 0.05], [0.5, 0.5]]))
+        assert scores.shape == (2,)
+        assert scores[0] == 1.5
+
+
+class TestVoteMany:
+    def test_groups_by_variable(self):
+        probs = np.array([
+            [0.9, 0.1],
+            [0.2, 0.8],
+            [0.1, 0.9],
+        ])
+        result = vote_many(probs, ["a", "b", "b"])
+        assert result == {"a": 0, "b": 1}
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            vote_many(np.zeros((2, 2)), ["a"])
+
+
+# -- property-based invariants ----------------------------------------------
+
+_prob_rows = hnp.arrays(
+    np.float64, st.tuples(st.integers(1, 8), st.integers(2, 6)),
+    elements=st.floats(0.001, 0.999),
+)
+
+
+@given(_prob_rows)
+def test_vote_returns_valid_class(matrix):
+    # normalize rows to distributions
+    matrix = matrix / matrix.sum(axis=1, keepdims=True)
+    winner = vote(matrix)
+    assert 0 <= winner < matrix.shape[1]
+
+
+@given(_prob_rows)
+def test_clipping_is_monotone(matrix):
+    matrix = matrix / matrix.sum(axis=1, keepdims=True)
+    clipped = clip_confidences(matrix)
+    assert (clipped >= matrix - 1e-12).all()
+    assert (clipped <= 1.0).all()
+
+
+@given(_prob_rows)
+def test_unanimous_certain_vote_unbeatable(matrix):
+    """If every VUC has confidence >= 0.9 for class 0, class 0 wins."""
+    matrix = matrix / matrix.sum(axis=1, keepdims=True)
+    matrix[:, 0] = 0.95
+    assert vote(matrix) == 0
+
+
+@given(st.integers(1, 20), st.integers(2, 5))
+def test_identical_rows_vote_their_argmax(n_rows, n_classes):
+    row = np.linspace(0.1, 0.9, n_classes)
+    row = row / row.sum()
+    matrix = np.tile(row, (n_rows, 1))
+    assert vote(matrix) == int(row.argmax())
