@@ -5,9 +5,34 @@ on an i7-6700K + GTX 1070.  Our numbers measure the same two stages
 (VUC extraction and classify+vote) of the reimplementation on one CPU
 core; the assertion is that the pipeline stays in interactive territory,
 not that the absolute number matches foreign hardware.
+
+``test_engine_speedup`` additionally races the batched dedup engine
+against the pre-PR implementation (per-window encoding into the float64
+classifier — the acceptance baseline) and the current naive reference
+on the classify+vote and occlusion hot paths, records throughput
+(VUCs/s) for encode/classify/occlusion, and writes the measurements to
+``BENCH_speed.json`` at the repo root.
 """
 
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
 from repro.experiments import speed
+
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_speed.json"
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Minimum wall-clock of ``fn()`` over ``repeats`` runs, in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def test_per_binary_speed(benchmark, gcc_context):
@@ -24,3 +49,123 @@ def test_per_binary_speed(benchmark, gcc_context):
     assert result.per_binary_total_s < 30.0
     assert result.per_binary_extract_s > 0.0
     assert result.per_binary_predict_s > 0.0
+
+
+def _pre_pr_predict(cati, windows, variable_ids):
+    """The seed implementation of classify+vote, reproduced faithfully:
+    per-window Python encoding (the old ``encode_batch`` was a
+    ``np.stack`` over ``encode_window`` calls) into the float64 stage
+    CNNs, then the shared voting helper."""
+    from repro.core.pipeline import predictions_from_probs
+
+    x = np.stack([cati.encoder.encode_window(w) for w in windows])
+    probs = cati.classifier.leaf_proba(x)
+    return predictions_from_probs(probs, variable_ids, cati.config.confidence_threshold)
+
+
+def test_engine_speedup(gcc_context):
+    """Engine vs naive on the hot paths; writes BENCH_speed.json."""
+    from repro.core.occlusion import occlusion_epsilons, occlusion_epsilons_many
+
+    cati = gcc_context.cati
+    samples = list(gcc_context.corpus.test)[:2000]
+    windows = [sample.tokens for sample in samples]
+    variable_ids = [f"var{i // 4}" for i in range(len(windows))]
+    engine = cati.engine
+    length = cati.config.vuc_length
+
+    # -- encode throughput ------------------------------------------------------
+    cati.encode(windows)  # warm up (allocators, BLAS threads)
+    encode_s = _best_of(lambda: cati.encode(windows))
+
+    # -- classify + vote: pre-PR implementation vs reference vs engine ---------
+    _pre_pr_predict(cati, windows[:50], variable_ids[:50])  # warm up
+    pre_pr_s = _best_of(lambda: _pre_pr_predict(cati, windows, variable_ids), repeats=2)
+    cati.predict_variables(windows, variable_ids)  # warm up
+    naive_s = _best_of(lambda: cati.predict_variables(windows, variable_ids))
+
+    def engine_cold():
+        engine.clear_cache()
+        engine.predict_variables(windows, variable_ids)
+
+    engine_cold()  # warm up kernels (f32 mirrors compile on first use)
+    engine_s = _best_of(engine_cold)
+    engine_warm_s = _best_of(lambda: engine.predict_variables(windows, variable_ids))
+    classify_speedup = pre_pr_s / engine_s
+    classify_vs_reference = naive_s / engine_s
+
+    # -- occlusion: per-window reference vs batched id-level variants ----------
+    occ_windows = windows[:24]
+    naive_occ_s = _best_of(
+        lambda: [occlusion_epsilons(cati, w) for w in occ_windows], repeats=2,
+    )
+
+    def engine_occ():
+        engine.clear_cache()
+        occlusion_epsilons_many(cati, occ_windows)
+
+    engine_occ()  # warm up
+    engine_occ_s = _best_of(engine_occ, repeats=2)
+    occlusion_speedup = naive_occ_s / engine_occ_s
+
+    engine.clear_cache()
+    engine.stats.reset()
+    engine.leaf_proba(windows)
+    stats = engine.stats
+
+    report = {
+        "n_vucs": len(windows),
+        "vuc_length": length,
+        "encode": {
+            "seconds": encode_s,
+            "vucs_per_s": len(windows) / encode_s,
+        },
+        "classify_vote": {
+            "pre_pr_seconds": pre_pr_s,
+            "naive_seconds": naive_s,
+            "engine_seconds": engine_s,
+            "engine_warm_cache_seconds": engine_warm_s,
+            "speedup_vs_pre_pr": classify_speedup,
+            "speedup_vs_current_reference": classify_vs_reference,
+            "pre_pr_vucs_per_s": len(windows) / pre_pr_s,
+            "naive_vucs_per_s": len(windows) / naive_s,
+            "engine_vucs_per_s": len(windows) / engine_s,
+        },
+        "occlusion": {
+            "n_vucs": len(occ_windows),
+            "n_forward_rows": len(occ_windows) * (length + 1),
+            "naive_seconds": naive_occ_s,
+            "engine_seconds": engine_occ_s,
+            "speedup": occlusion_speedup,
+            "engine_vucs_per_s": len(occ_windows) / engine_occ_s,
+        },
+        "dedup": {
+            "windows": stats.windows,
+            "unique_windows": stats.unique_windows,
+            "conv1_positions": stats.ctx_positions,
+            "conv1_unique_contexts": stats.ctx_unique,
+            "conv1_dedup_ratio": stats.ctx_positions / max(stats.ctx_unique, 1),
+        },
+    }
+    _ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(f"classify+vote over {len(windows)} VUCs: "
+          f"pre-PR {pre_pr_s * 1e3:.0f} ms, reference {naive_s * 1e3:.0f} ms, "
+          f"engine {engine_s * 1e3:.0f} ms "
+          f"(warm cache {engine_warm_s * 1e3:.0f} ms) -> {classify_speedup:.1f}x "
+          f"vs pre-PR, {classify_vs_reference:.1f}x vs reference")
+    print(f"occlusion over {len(occ_windows)} VUCs ({length + 1} variants each): "
+          f"naive {naive_occ_s * 1e3:.0f} ms, engine {engine_occ_s * 1e3:.0f} ms "
+          f"-> {occlusion_speedup:.1f}x")
+    print(f"encode: {len(windows) / encode_s:.0f} VUC/s; conv1 context dedup "
+          f"{report['dedup']['conv1_dedup_ratio']:.1f}x")
+    print(f"wrote {_ARTIFACT}")
+
+    # The engine must still agree with the reference it races.
+    naive_probs = cati.predict_vuc_proba(occ_windows)
+    engine_probs = engine.leaf_proba(occ_windows)
+    assert np.abs(engine_probs - naive_probs).max() <= 1e-6
+
+    assert classify_speedup >= 3.0
+    assert occlusion_speedup >= 5.0

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local quality gate: lint (when available) + the tier-1 test suite.
+#
+# Usage: scripts/check.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q "$@"

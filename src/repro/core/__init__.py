@@ -29,9 +29,13 @@ _LAZY = {
     "MultiStageClassifier": ("repro.core.classifier", "MultiStageClassifier"),
     "StageModel": ("repro.core.classifier", "StageModel"),
     "CatiConfig": ("repro.core.config", "CatiConfig"),
+    "BatchedOcclusion": ("repro.core.engine", "BatchedOcclusion"),
+    "EngineStats": ("repro.core.engine", "EngineStats"),
+    "InferenceEngine": ("repro.core.engine", "InferenceEngine"),
     "OcclusionResult": ("repro.core.occlusion", "OcclusionResult"),
     "epsilon_distribution": ("repro.core.occlusion", "epsilon_distribution"),
     "occlusion_epsilons": ("repro.core.occlusion", "occlusion_epsilons"),
+    "occlusion_epsilons_many": ("repro.core.occlusion", "occlusion_epsilons_many"),
     "Cati": ("repro.core.pipeline", "Cati"),
     "VariablePrediction": ("repro.core.pipeline", "VariablePrediction"),
 }
@@ -53,9 +57,13 @@ __all__ = [
     "MultiStageClassifier",
     "StageModel",
     "CatiConfig",
+    "BatchedOcclusion",
+    "EngineStats",
+    "InferenceEngine",
     "OcclusionResult",
     "epsilon_distribution",
     "occlusion_epsilons",
+    "occlusion_epsilons_many",
     "Cati",
     "VariablePrediction",
     "ALL_STAGES",

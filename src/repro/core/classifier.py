@@ -10,14 +10,37 @@ stage on the samples that truly belong to it.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import CatiConfig
 from repro.core.types import ALL_TYPES, STAGE_SPECS, Stage, StageSpec, TypeName, stage_label, stage_path
+from repro.core.voting import clip_confidences
 from repro.nn.model import Sequential, build_cati_cnn
 from repro.nn.optimizers import Adam
+
+
+def compose_leaves(stage_probs: dict[Stage, np.ndarray]) -> np.ndarray:
+    """[N, 19] leaf distribution from per-stage confidence matrices.
+
+    Column order follows :data:`repro.core.types.ALL_TYPES`; raw path
+    products are renormalized (paths have different lengths, so they are
+    sub-stochastic) to keep eq. (3)'s threshold semantics meaningful at
+    the leaf level.
+    """
+    n = len(next(iter(stage_probs.values())))
+    out = np.zeros((n, len(ALL_TYPES)))
+    for column, leaf in enumerate(ALL_TYPES):
+        path = stage_path(leaf)
+        factor = np.ones(n)
+        for stage, label in path:
+            spec = STAGE_SPECS[stage]
+            factor = factor * stage_probs[stage][:, spec.label_index(label)]
+        out[:, column] = factor
+    totals = out.sum(axis=1, keepdims=True)
+    return out / np.maximum(totals, 1e-12)
 
 
 @dataclass
@@ -92,25 +115,8 @@ class MultiStageClassifier:
         return self.stages[stage].predict_proba(x)
 
     def leaf_proba(self, x: np.ndarray) -> np.ndarray:
-        """[N, 19] leaf distribution: product of stage confidences.
-
-        Column order follows :data:`repro.core.types.ALL_TYPES`.
-        """
-        stage_probs = {stage: self.stage_proba(stage, x) for stage in self.stages}
-        n = len(x)
-        out = np.zeros((n, len(ALL_TYPES)))
-        for column, leaf in enumerate(ALL_TYPES):
-            path = stage_path(leaf)
-            factor = np.ones(n)
-            for stage, label in path:
-                spec = STAGE_SPECS[stage]
-                factor = factor * stage_probs[stage][:, spec.label_index(label)]
-            out[:, column] = factor
-        # Normalize: paths have different lengths, so the raw products
-        # are sub-stochastic; renormalizing keeps eq. (3)'s threshold
-        # semantics meaningful at the leaf level.
-        totals = out.sum(axis=1, keepdims=True)
-        return out / np.maximum(totals, 1e-12)
+        """[N, 19] leaf distribution: product of stage confidences."""
+        return compose_leaves({stage: self.stage_proba(stage, x) for stage in self.stages})
 
     def predict_leaf(self, x: np.ndarray) -> list[TypeName]:
         """Hard 19-type prediction per VUC."""
@@ -127,8 +133,6 @@ class MultiStageClassifier:
         to its full [N, C] confidence matrix; ``indices`` selects the
         variable's VUC rows.
         """
-        from repro.core.voting import clip_confidences
-
         stage = Stage.STAGE1
         while True:
             spec = STAGE_SPECS[stage]
@@ -143,15 +147,11 @@ class MultiStageClassifier:
     # -- persistence ---------------------------------------------------------------
 
     def save(self, directory: str) -> None:
-        import os
-
         os.makedirs(directory, exist_ok=True)
         for stage, stage_model in self.stages.items():
             stage_model.model.save(os.path.join(directory, f"{stage.value}.npz"))
 
     def load(self, directory: str, input_length: int, input_channels: int) -> None:
-        import os
-
         for stage, spec in STAGE_SPECS.items():
             model = build_cati_cnn(
                 input_length=input_length,

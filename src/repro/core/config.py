@@ -28,6 +28,9 @@ class CatiConfig:
     class_weighting: bool = True       # sqrt-inverse-frequency loss weights
     min_token_count: int = 2
     seed: int = 0
+    max_batch: int = 1024              # engine: windows per dense inference chunk
+    n_workers: int = 0                 # engine: processes for infer_binary_many (0/1 = serial)
+    dedup_cache_size: int = 65536      # engine: cached leaf rows for repeated windows (0 = off)
     word2vec: Word2VecConfig = field(default_factory=lambda: Word2VecConfig(
         dim=32, window=5, epochs=2, subsample_pairs=0.5,
     ))
@@ -39,6 +42,12 @@ class CatiConfig:
             raise ValueError("window must be >= 0")
         if not 0.0 < self.confidence_threshold <= 1.0:
             raise ValueError("confidence threshold must be in (0, 1]")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        if self.dedup_cache_size < 0:
+            raise ValueError("dedup_cache_size must be >= 0")
         self.word2vec.dim = self.token_dim
 
     @property

@@ -1,0 +1,505 @@
+"""Batched, dedup-aware inference engine for the deployment hot paths.
+
+The naive pipeline pays for every VUC window in full: per-window Python
+encoding, six float64 CNN forwards over every row, and one forward per
+occluded variant.  The paper's *same-type clustering phenomenon* (§VI,
+Table V) means real corpora are heavily redundant — the same generalized
+instructions and short instruction contexts recur across windows,
+variables and binaries — so most of that work recomputes identical
+numbers.  The engine exploits that redundancy at every level:
+
+* **window dedup + content cache** — byte-identical generalized VUCs
+  (hashed at token-id level) are classified once per call, and an LRU
+  cache of leaf rows carries hits across calls and across binaries;
+* **context dedup through the convolutional trunk** — a conv output
+  position depends only on its receptive field, so conv1 runs once per
+  *unique 3-instruction context* (typically 7-15x fewer rows than
+  positions), max-pooling once per unique position pair, and conv2 once
+  per unique pooled context, before the dense head runs per window;
+* **stacked float32 kernels** — all six stage CNNs read the same input,
+  so their first convolutions are fused into a single GEMM over
+  float32 mirrors of the trained weights (float64 storage is kept for
+  training; inference agrees with the naive path to ~1e-7);
+* **chunking** — dense passes proceed in ``CatiConfig.max_batch`` window
+  chunks so arbitrarily large corpora run in bounded memory;
+* **occlusion at the id level** — all L+1 occluded variants of a window
+  batch are materialized as one small int tensor (BLANK row ids
+  overwrite one position each) and pushed through the same deduplicated
+  path, which automatically reuses every context the BLANK did not touch.
+
+Models whose layer stack deviates from the canonical CATI CNN (e.g. the
+window-0 ablation, which has no pooling) fall back to a generic batched
+float32 forward; unknown layer types fall back to the naive float64
+model.  Equivalence of every fast path with the naive one is enforced by
+``tests/test_engine.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import OrderedDict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codegen.binary import Binary
+from repro.core.classifier import MultiStageClassifier, compose_leaves
+from repro.core.config import CatiConfig
+from repro.core.types import ALL_TYPES, Stage
+from repro.embedding.encoder import VucEncoder
+from repro.nn.layers import Conv1d, Dense, Dropout, Flatten, MaxPool1d, ReLU
+from repro.nn.losses import softmax
+from repro.vuc.dataflow import VariableExtent
+from repro.vuc.dataset import extract_unlabeled_vucs
+from repro.vuc.generalize import BLANK_TOKENS, Tokens
+
+
+@dataclass
+class EngineStats:
+    """Dedup observability counters (cumulative until ``reset``)."""
+
+    windows: int = 0          # windows submitted to leaf_proba
+    unique_windows: int = 0   # distinct windows per call, summed
+    cache_hits: int = 0       # distinct windows answered from the LRU cache
+    ctx_positions: int = 0    # conv1 positions submitted to the cascade
+    ctx_unique: int = 0       # unique 3-instruction contexts actually convolved
+
+    def reset(self) -> None:
+        self.windows = self.unique_windows = self.cache_hits = 0
+        self.ctx_positions = self.ctx_unique = 0
+
+
+@dataclass
+class BatchedOcclusion:
+    """Eq. (5) for a whole batch of VUCs."""
+
+    epsilons: np.ndarray           # [N, L]
+    predicted_indices: np.ndarray  # [N] leaf class probed per window
+    base_confidences: np.ndarray   # [N]
+
+
+# -- compiled stage programs ----------------------------------------------------
+
+#: The canonical CATI stage CNN (§V-A) as an op-kind sequence; when every
+#: stage matches it, the cascade (context-dedup) path applies.
+_CANONICAL_KINDS = (
+    "conv", "relu", "pool", "conv", "relu", "pool",
+    "flatten", "dense", "relu", "noop", "dense",
+)
+_CONV2_INDEX = 3
+_DENSE1_INDEX = 7
+_DENSE2_INDEX = 10
+
+
+def _compile_ops(model) -> list[tuple] | None:
+    """float32 mirror program of a Sequential; None if a layer is unknown."""
+    ops: list[tuple] = []
+    for layer in model.layers:
+        if isinstance(layer, Conv1d):
+            ops.append(("conv", layer.weight.astype(np.float32),
+                        layer.bias.astype(np.float32), layer.kernel_size))
+        elif isinstance(layer, ReLU):
+            ops.append(("relu",))
+        elif isinstance(layer, MaxPool1d):
+            ops.append(("pool", layer.pool))
+        elif isinstance(layer, Flatten):
+            ops.append(("flatten",))
+        elif isinstance(layer, Dense):
+            ops.append(("dense", layer.weight.astype(np.float32),
+                        layer.bias.astype(np.float32)))
+        elif isinstance(layer, Dropout):
+            ops.append(("noop",))
+        else:
+            return None
+    return ops
+
+
+def _im2col(x: np.ndarray, kernel: int) -> np.ndarray:
+    pad = kernel // 2
+    padded = np.pad(x, ((0, 0), (pad, pad), (0, 0)))
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (kernel, x.shape[2]), axis=(1, 2)
+    )
+    return windows.reshape(x.shape[0], x.shape[1], kernel * x.shape[2])
+
+
+def _run_ops(ops: list[tuple], x: np.ndarray) -> np.ndarray:
+    """Generic batched float32 inference over a compiled program."""
+    for op in ops:
+        kind = op[0]
+        if kind == "conv":
+            _, weight, bias, kernel = op
+            cols = _im2col(x, kernel)
+            batch, length, flat = cols.shape
+            x = (cols.reshape(batch * length, flat) @ weight).reshape(batch, length, -1) + bias
+        elif kind == "relu":
+            x = np.maximum(x, 0.0)
+        elif kind == "pool":
+            pool = op[1]
+            batch, length, channels = x.shape
+            out_len = length // pool
+            x = x[:, :out_len * pool].reshape(batch, out_len, pool, channels).max(axis=2)
+        elif kind == "flatten":
+            x = x.reshape(len(x), -1)
+        elif kind == "dense":
+            _, weight, bias = op
+            x = x @ weight + bias
+    return x
+
+
+# -- dedup primitives ------------------------------------------------------------
+
+
+def _unique_rows(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(unique [U, K], inverse [N]) for an int [N, K] array.
+
+    When the value range allows, rows are packed bijectively into int64
+    scalars (sorting scalars is several times faster than the void-view
+    lexicographic sort); otherwise falls back to byte-view hashing.
+    """
+    rows = np.ascontiguousarray(rows)
+    n, k = rows.shape
+    if n:
+        lo = int(rows.min())
+        span = int(rows.max()) - lo + 1
+        if k * np.log2(max(span, 2)) < 62:
+            keys = rows[:, 0].astype(np.int64) - lo
+            for j in range(1, k):
+                keys = keys * span + (rows[:, j] - lo)
+            _, first, inverse = np.unique(keys, return_index=True, return_inverse=True)
+            return rows[first], inverse
+    view = rows.view(np.dtype((np.void, rows.dtype.itemsize * rows.shape[1]))).ravel()
+    _, first, inverse = np.unique(view, return_index=True, return_inverse=True)
+    return rows[first], inverse
+
+
+def _neighbor_rows(positions: np.ndarray) -> np.ndarray:
+    """[B, L] position ids → [B, L, 3] (prev, self, next), -1 at the edges.
+
+    -1 marks the conv's zero 'same'-padding, which contributes a zero row.
+    """
+    padded = np.pad(positions, ((0, 0), (1, 1)), constant_values=-1)
+    return np.stack([padded[:, :-2], padded[:, 1:-1], padded[:, 2:]], axis=2)
+
+
+def _gather_contexts(table: np.ndarray, contexts: np.ndarray) -> np.ndarray:
+    """Assemble [U, K*D] conv inputs from a [R, D] row table; -1 → zeros.
+
+    The table is padded with one zero row so the whole gather is a single
+    fancy index (position -1 redirects to the pad row) instead of a
+    zero-fill plus per-kernel-tap masked writes.
+    """
+    count, kernel = contexts.shape
+    dim = table.shape[1]
+    padded = np.concatenate([table, np.zeros((1, dim), dtype=table.dtype)])
+    safe = np.where(contexts < 0, len(table), contexts)
+    return padded[safe.ravel()].reshape(count, kernel * dim)
+
+
+# -- the engine ------------------------------------------------------------------
+
+
+class InferenceEngine:
+    """Deduplicated, chunked, float32 inference over a trained CATI."""
+
+    def __init__(self, classifier: MultiStageClassifier, encoder: VucEncoder,
+                 config: CatiConfig) -> None:
+        self.classifier = classifier
+        self.encoder = encoder
+        self.config = config
+        self.stats = EngineStats()
+        self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self._stage_order: list[Stage] = []
+        self._ops: list[list[tuple] | None] | None = None
+        self._cascade = False
+        self._stacked: tuple[np.ndarray, np.ndarray] | None = None
+        self._conv1_out = 0
+
+    # -- kernel compilation ------------------------------------------------------
+
+    def _require_ops(self) -> None:
+        if self._ops is not None:
+            return
+        self._stage_order = list(self.classifier.stages)
+        if not self._stage_order:
+            raise RuntimeError("classifier has no trained stages")
+        self._ops = [_compile_ops(self.classifier.stages[stage].model)
+                     for stage in self._stage_order]
+        self._cascade = self._cascade_applicable()
+        if self._cascade:
+            assert self._ops is not None
+            self._stacked = (
+                np.concatenate([ops[0][1] for ops in self._ops], axis=1),  # type: ignore[index]
+                np.concatenate([ops[0][2] for ops in self._ops]),          # type: ignore[index]
+            )
+            self._conv1_out = self._ops[0][0][1].shape[1]  # type: ignore[index]
+
+    def _cascade_applicable(self) -> bool:
+        assert self._ops is not None
+        for ops in self._ops:
+            if ops is None or tuple(op[0] for op in ops) != _CANONICAL_KINDS:
+                return False
+            if ops[0][3] != 3 or ops[_CONV2_INDEX][3] != 3:
+                return False
+            if ops[2][1] != 2 or ops[5][1] != 2:
+                return False
+        first = self._ops[0][0][1].shape
+        return all(ops[0][1].shape == first for ops in self._ops)  # type: ignore[union-attr]
+
+    def refresh(self) -> None:
+        """Drop compiled kernels and cached rows (call after retraining)."""
+        self._ops = None
+        self._stacked = None
+        self._cascade = False
+        self.clear_cache()
+
+    # -- caching -----------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def _cache_put(self, key: bytes, row: np.ndarray) -> None:
+        limit = self.config.dedup_cache_size
+        if limit <= 0:
+            return
+        self._cache[key] = row
+        while len(self._cache) > limit:
+            self._cache.popitem(last=False)
+
+    # -- classify + vote ---------------------------------------------------------
+
+    def leaf_proba(self, windows: Sequence[Sequence[Tokens]]) -> np.ndarray:
+        """[N, 19] leaf confidences, deduplicated and chunked."""
+        ids = self.encoder.encode_ids(windows, length=self.config.vuc_length)
+        return self.leaf_proba_ids(ids)
+
+    def leaf_proba_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Leaf confidences from a pre-tokenized [N, L, 3] id tensor."""
+        n = len(ids)
+        if n == 0:
+            return np.zeros((0, len(ALL_TYPES)))
+        self.stats.windows += n
+        flat = ids.reshape(n, -1)
+        index_of: dict[bytes, int] = {}
+        owner_row: list[int] = []
+        assign = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            key = flat[i].tobytes()
+            j = index_of.get(key)
+            if j is None:
+                j = len(owner_row)
+                index_of[key] = j
+                owner_row.append(i)
+            assign[i] = j
+        unique = len(owner_row)
+        self.stats.unique_windows += unique
+        probs = np.empty((unique, len(ALL_TYPES)))
+        todo: list[int] = []
+        keys = list(index_of)
+        if self.config.dedup_cache_size > 0:
+            for j, key in enumerate(keys):
+                row = self._cache.get(key)
+                if row is None:
+                    todo.append(j)
+                else:
+                    self._cache.move_to_end(key)
+                    probs[j] = row
+                    self.stats.cache_hits += 1
+        else:
+            todo = list(range(unique))
+        if todo:
+            fresh = self._leaf_proba_dense(ids[np.asarray([owner_row[j] for j in todo])])
+            for t, j in enumerate(todo):
+                probs[j] = fresh[t]
+                self._cache_put(keys[j], fresh[t].copy())
+        return probs[assign]
+
+    def _leaf_proba_dense(self, ids: np.ndarray) -> np.ndarray:
+        chunks = []
+        for start in range(0, len(ids), self.config.max_batch):
+            stage_probs = self._stage_probs_chunk(ids[start:start + self.config.max_batch])
+            chunks.append(compose_leaves(stage_probs))
+        return np.concatenate(chunks)
+
+    def _stage_probs_chunk(self, ids: np.ndarray) -> dict[Stage, np.ndarray]:
+        self._require_ops()
+        logits = self._cascade_logits(ids) if self._cascade else self._generic_logits(ids)
+        return {stage: softmax(out.astype(np.float64))
+                for stage, out in zip(self._stage_order, logits)}
+
+    def _embed_ids(self, ids: np.ndarray) -> np.ndarray:
+        n, length, _ = ids.shape
+        vectors = self.encoder.embedding.vectors[ids.reshape(-1)]
+        return vectors.reshape(n, length, self.encoder.instruction_dim).astype(
+            np.float32, copy=False)
+
+    def _generic_logits(self, ids: np.ndarray) -> list[np.ndarray]:
+        assert self._ops is not None
+        x = self._embed_ids(ids)
+        out = []
+        for stage, ops in zip(self._stage_order, self._ops):
+            if ops is None:
+                out.append(self.classifier.stages[stage].model.forward(x, training=False))
+            else:
+                out.append(_run_ops(ops, x))
+        return out
+
+    def _cascade_logits(self, ids: np.ndarray) -> list[np.ndarray]:
+        """Context-deduplicated trunk + per-window dense head (see module doc)."""
+        assert self._ops is not None and self._stacked is not None
+        batch, length, _ = ids.shape
+        dim = self.encoder.instruction_dim
+
+        # Level 0: unique instructions → their embeddings, computed once.
+        instr_u, pos = _unique_rows(ids.reshape(batch * length, 3))
+        pos = pos.reshape(batch, length)
+        table = self.encoder.embedding.vectors[instr_u.reshape(-1)]
+        emb_u = table.reshape(len(instr_u), dim).astype(np.float32, copy=False)
+
+        # Level 1: conv1 over unique 3-instruction contexts, all stages stacked.
+        ctx1_u, pos_c1 = _unique_rows(_neighbor_rows(pos).reshape(batch * length, 3))
+        pos_c1 = pos_c1.reshape(batch, length)
+        self.stats.ctx_positions += batch * length
+        self.stats.ctx_unique += len(ctx1_u)
+        weight1, bias1 = self._stacked
+        hidden1 = _gather_contexts(emb_u, ctx1_u) @ weight1 + bias1   # [U1, S*C1]
+        np.maximum(hidden1, 0.0, out=hidden1)
+
+        # Pool 1 over unique position pairs.
+        out1 = length // 2
+        pairs1 = np.stack([pos_c1[:, 0:out1 * 2:2], pos_c1[:, 1:out1 * 2:2]], axis=2)
+        pairs1_u, pos_p1 = _unique_rows(pairs1.reshape(batch * out1, 2))
+        pos_p1 = pos_p1.reshape(batch, out1)
+        pooled1 = np.maximum(hidden1[pairs1_u[:, 0]], hidden1[pairs1_u[:, 1]])
+
+        # Level 2: conv2 over unique pooled contexts (per-stage channels).
+        # pooled1's columns interleave the six stages; transpose once to
+        # stage-major so each stage gathers its contexts contiguously.
+        ctx2_u, pos_c2 = _unique_rows(_neighbor_rows(pos_p1).reshape(batch * out1, 3))
+        pos_c2 = pos_c2.reshape(batch, out1)
+        c1 = self._conv1_out
+        pooled1_t = np.ascontiguousarray(
+            pooled1.reshape(len(pooled1), len(self._ops), c1).transpose(1, 0, 2))
+
+        # Pool 2 pairs are stage-independent position pairs over conv2 output.
+        out2 = out1 // 2
+        pairs2 = np.stack([pos_c2[:, 0:out2 * 2:2], pos_c2[:, 1:out2 * 2:2]], axis=2)
+        pairs2_u, pos_p2 = _unique_rows(pairs2.reshape(batch * out2, 2))
+        flat_p2 = pos_p2.reshape(-1)
+
+        logits = []
+        for index, ops in enumerate(self._ops):
+            assert ops is not None
+            x2 = _gather_contexts(pooled1_t[index], ctx2_u)
+            _, weight2, bias2, _ = ops[_CONV2_INDEX]
+            hidden2 = x2 @ weight2 + bias2
+            np.maximum(hidden2, 0.0, out=hidden2)
+            pooled2 = np.maximum(hidden2[pairs2_u[:, 0]], hidden2[pairs2_u[:, 1]])
+            flat = pooled2[flat_p2].reshape(batch, out2 * hidden2.shape[1])
+            _, weight_fc, bias_fc = ops[_DENSE1_INDEX]
+            z = flat @ weight_fc + bias_fc
+            np.maximum(z, 0.0, out=z)
+            _, weight_out, bias_out = ops[_DENSE2_INDEX]
+            logits.append(z @ weight_out + bias_out)
+        return logits
+
+    # -- variable-level prediction -----------------------------------------------
+
+    def predict_variables(self, windows: Sequence[Sequence[Tokens]],
+                          variable_ids: Sequence[str]) -> list:
+        """Engine-path twin of :meth:`Cati.predict_variables`."""
+        from repro.core.pipeline import predictions_from_probs
+
+        if len(windows) != len(variable_ids):
+            raise ValueError("windows and variable_ids must align")
+        if not windows:
+            return []
+        probs = self.leaf_proba(windows)
+        return predictions_from_probs(probs, variable_ids, self.config.confidence_threshold)
+
+    def infer_binary(self, stripped: Binary,
+                     extents_by_function: list[list[VariableExtent]]) -> list:
+        """Engine-path whole-binary inference (Fig. 3e-f)."""
+        pairs = extract_unlabeled_vucs(stripped, extents_by_function, self.config.window)
+        if not pairs:
+            return []
+        return self.predict_variables(
+            [tokens for _variable_id, tokens in pairs],
+            [variable_id for variable_id, _tokens in pairs],
+        )
+
+    def infer_binary_many(
+        self,
+        jobs: Sequence[tuple[Binary, list[list[VariableExtent]]]],
+        n_workers: int | None = None,
+    ) -> list[list]:
+        """Infer many binaries, optionally sharded across worker processes.
+
+        Workers are forked, so the trained model is shared copy-on-write
+        rather than re-pickled per task; results keep job order.  Falls
+        back to the serial path (which still benefits from the cross-
+        binary window cache) when forking is unavailable.
+        """
+        workers = self.config.n_workers if n_workers is None else n_workers
+        if workers <= 1 or len(jobs) <= 1:
+            return [self.infer_binary(stripped, extents) for stripped, extents in jobs]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            return [self.infer_binary(stripped, extents) for stripped, extents in jobs]
+        global _POOL_STATE
+        _POOL_STATE = (self, list(jobs))
+        try:
+            with context.Pool(processes=min(workers, len(jobs))) as pool:
+                return pool.map(_infer_pool_job, range(len(jobs)))
+        finally:
+            _POOL_STATE = None
+
+    # -- occlusion -----------------------------------------------------------------
+
+    def occlusion_epsilons_many(self, windows: Sequence[Sequence[Tokens]]) -> BatchedOcclusion:
+        """Eq. (5) over a window batch via one deduplicated id tensor.
+
+        Builds all L+1 variants per window at the token-id level (the
+        BLANK triple overwrites one row each) so unmodified contexts are
+        shared with the base window by the dedup cascade instead of
+        being re-encoded and re-convolved L times.
+        """
+        ids = self.encoder.encode_ids(windows, length=self.config.vuc_length)
+        n, length, _ = ids.shape
+        epsilons = np.empty((n, length))
+        predicted = np.empty(n, dtype=np.int64)
+        base_conf = np.empty(n)
+        if n == 0:
+            return BatchedOcclusion(epsilons, predicted, base_conf)
+        blank = self.encoder.embedding.vocab.encode(list(BLANK_TOKENS)).astype(ids.dtype)
+        group = max(1, self.config.max_batch // (length + 1))
+        rows = np.arange(length)
+        for start in range(0, n, group):
+            sub = ids[start:start + group]
+            g = len(sub)
+            variants = np.repeat(sub[:, None], length + 1, axis=1)  # [G, 1+L, L, 3]
+            variants[:, rows + 1, rows, :] = blank
+            probs = self.leaf_proba_ids(
+                variants.reshape(g * (length + 1), length, 3)
+            ).reshape(g, length + 1, -1)
+            base = probs[:, 0]
+            pred = base.argmax(axis=1)
+            conf = base[np.arange(g), pred]
+            occluded = np.take_along_axis(probs[:, 1:], pred[:, None, None], axis=2)[:, :, 0]
+            epsilons[start:start + g] = occluded / np.maximum(conf, 1e-12)[:, None]
+            predicted[start:start + g] = pred
+            base_conf[start:start + g] = conf
+        return BatchedOcclusion(epsilons, predicted, base_conf)
+
+
+#: (engine, jobs) shared with forked pool workers; see infer_binary_many.
+_POOL_STATE: tuple[InferenceEngine, list] | None = None
+
+
+def _infer_pool_job(index: int) -> list:
+    assert _POOL_STATE is not None
+    engine, jobs = _POOL_STATE
+    stripped, extents = jobs[index]
+    return engine.infer_binary(stripped, extents)

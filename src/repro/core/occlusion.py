@@ -5,6 +5,12 @@ confidence after BLANKing instruction k to the unoccluded confidence.
 ε < 1 means the instruction supported the prediction; the paper's Fig. 6
 shows central/target instructions have the smallest ε and importance
 decays with distance.
+
+``occlusion_epsilons`` is the naive per-window reference (L+1 separate
+forward passes); ``occlusion_epsilons_many`` and ``epsilon_distribution``
+run on the batched, dedup-aware engine, which materializes every
+occluded variant in one id tensor and shares all untouched contexts with
+the base window.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.engine import BatchedOcclusion
 from repro.core.pipeline import Cati
 from repro.vuc.generalize import BLANK_TOKENS, Tokens
 
@@ -45,20 +52,37 @@ def occlusion_epsilons(cati: Cati, window: tuple[Tokens, ...]) -> OcclusionResul
     )
 
 
+def occlusion_epsilons_many(
+    cati: Cati,
+    windows: list[tuple[Tokens, ...]],
+) -> "BatchedOcclusion":
+    """Engine-path eq. (5) for a whole batch of windows at once."""
+    return cati.engine.occlusion_epsilons_many(windows)
+
+
 def epsilon_distribution(
     cati: Cati,
     windows: list[tuple[Tokens, ...]],
     thresholds: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    use_engine: bool = True,
 ) -> np.ndarray:
     """Fig. 6b's heat map: per position, P(ε in (t, 1)) for each t.
 
     Returns a [L, len(thresholds)] matrix; row ordering matches window
-    positions (row w is the central instruction).
+    positions (row w is the central instruction).  ``use_engine=False``
+    forces the naive per-window path (equivalence testing / debugging).
     """
     if not windows:
         raise ValueError("need at least one window")
     length = len(windows[0])
-    all_eps = np.stack([occlusion_epsilons(cati, w).epsilons for w in windows])  # [N, L]
+    if use_engine:
+        all_eps = occlusion_epsilons_many(cati, windows).epsilons        # [N, L]
+    else:
+        all_eps = np.stack([occlusion_epsilons(cati, w).epsilons for w in windows])
+    # An occlusion that changes nothing (e.g. BLANKing an already-BLANK
+    # padding row) has ε = 1 up to batch-composition float noise; snap it
+    # so the strict ε < 1 indicator below treats it as "no effect".
+    all_eps = np.where(np.abs(all_eps - 1.0) < 1e-9, 1.0, all_eps)
     out = np.zeros((length, len(thresholds)))
     for column, threshold in enumerate(thresholds):
         out[:, column] = ((all_eps > threshold) & (all_eps < 1.0)).mean(axis=0)

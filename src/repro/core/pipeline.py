@@ -5,11 +5,19 @@
 ``Cati.infer_binary`` runs the full §V-B pipeline on a stripped binary:
 disassemble → locate → extract VUCs → generalize → embed → classify →
 vote.
+
+The ``predict_*`` methods are the naive float64 reference path; the
+deployment hot paths (``infer_binary`` and everything reachable through
+:attr:`Cati.engine`) run on the batched, dedup-aware
+:class:`repro.core.engine.InferenceEngine`, whose outputs are
+equivalence-tested against the reference to ≤1e-6.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -17,13 +25,16 @@ from repro.codegen.binary import Binary
 from repro.core.classifier import MultiStageClassifier
 from repro.core.config import CatiConfig
 from repro.core.types import ALL_TYPES, TypeName
-from repro.core.voting import vote
+from repro.core.voting import clip_confidences, vote
 from repro.embedding.encoder import VucEncoder
 from repro.embedding.vocab import Vocab
 from repro.embedding.word2vec import Word2Vec
 from repro.vuc.dataflow import VariableExtent
-from repro.vuc.dataset import LabeledVuc, VucDataset, extract_unlabeled_vucs
+from repro.vuc.dataset import VucDataset
 from repro.vuc.generalize import Tokens
+
+if TYPE_CHECKING:
+    from repro.core.engine import InferenceEngine
 
 
 @dataclass
@@ -36,6 +47,33 @@ class VariablePrediction:
     scores: np.ndarray  # summed clipped confidences per leaf type
 
 
+def predictions_from_probs(
+    probs: np.ndarray,
+    variable_ids: list[str],
+    threshold: float,
+) -> list[VariablePrediction]:
+    """Vote per variable over a flat [N, 19] leaf confidence matrix (eqs. 3-4).
+
+    Shared by the naive path and the inference engine so both produce
+    identical grouping order and identical summation order.
+    """
+    groups: dict[str, list[int]] = {}
+    for index, variable_id in enumerate(variable_ids):
+        groups.setdefault(variable_id, []).append(index)
+    out = []
+    for variable_id, indices in groups.items():
+        matrix = probs[indices]
+        scores = clip_confidences(matrix, threshold).sum(axis=0)
+        winner = vote(matrix, threshold)
+        out.append(VariablePrediction(
+            variable_id=variable_id,
+            predicted=ALL_TYPES[winner],
+            n_vucs=len(indices),
+            scores=scores,
+        ))
+    return out
+
+
 class Cati:
     """The end-to-end system of the paper."""
 
@@ -44,6 +82,7 @@ class Cati:
         self.embedding: Word2Vec | None = None
         self.encoder: VucEncoder | None = None
         self.classifier = MultiStageClassifier(self.config)
+        self._engine: InferenceEngine | None = None
 
     # -- training ------------------------------------------------------------------
 
@@ -57,6 +96,7 @@ class Cati:
             print(f"[train] vocabulary: {len(vocab)} tokens over {len(sequences)} VUCs")
         self.embedding = Word2Vec(vocab, self.config.word2vec).train(sequences)
         self.encoder = VucEncoder(self.embedding)
+        self._engine = None
         x = self.encoder.encode_batch([sample.tokens for sample in dataset])
         labels = [sample.label for sample in dataset]
         self.classifier.train(x, labels, verbose=verbose)
@@ -71,10 +111,21 @@ class Cati:
             raise RuntimeError("Cati is not trained; call train() or load() first")
         return self.encoder
 
+    @property
+    def engine(self) -> "InferenceEngine":
+        """The batched, dedup-aware inference engine over this model."""
+        from repro.core.engine import InferenceEngine
+
+        if self._engine is None:
+            self._engine = InferenceEngine(
+                self.classifier, self._require_trained(), self.config,
+            )
+        return self._engine
+
     # -- VUC-level prediction ----------------------------------------------------------
 
     def encode(self, windows: list[tuple[Tokens, ...]]) -> np.ndarray:
-        return self._require_trained().encode_batch(windows)
+        return self._require_trained().encode_batch(windows, length=self.config.vuc_length)
 
     def predict_vuc_proba(self, windows: list[tuple[Tokens, ...]]) -> np.ndarray:
         """[N, 19] leaf confidence matrix for generalized VUC windows."""
@@ -95,23 +146,7 @@ class Cati:
         if len(windows) != len(variable_ids):
             raise ValueError("windows and variable_ids must align")
         probs = self.predict_vuc_proba(windows)
-        from repro.core.voting import clip_confidences
-
-        groups: dict[str, list[int]] = {}
-        for index, variable_id in enumerate(variable_ids):
-            groups.setdefault(variable_id, []).append(index)
-        out = []
-        for variable_id, indices in groups.items():
-            matrix = probs[indices]
-            scores = clip_confidences(matrix, self.config.confidence_threshold).sum(axis=0)
-            winner = vote(matrix, self.config.confidence_threshold)
-            out.append(VariablePrediction(
-                variable_id=variable_id,
-                predicted=ALL_TYPES[winner],
-                n_vucs=len(indices),
-                scores=scores,
-            ))
-        return out
+        return predictions_from_probs(probs, variable_ids, self.config.confidence_threshold)
 
     # -- whole-binary inference --------------------------------------------------------------
 
@@ -123,20 +158,15 @@ class Cati:
         """Full pipeline on a stripped binary with given variable locations.
 
         This is the deployment path of Fig. 3(e-f): takes ~the paper's
-        "6 seconds per binary" stages (extraction + prediction + voting).
+        "6 seconds per binary" stages (extraction + prediction + voting),
+        and runs on the dedup-aware engine.
         """
-        pairs = extract_unlabeled_vucs(stripped, extents_by_function, self.config.window)
-        if not pairs:
-            return []
-        variable_ids = [variable_id for variable_id, _tokens in pairs]
-        windows = [tokens for _variable_id, tokens in pairs]
-        return self.predict_variables(windows, variable_ids)
+        self._require_trained()
+        return self.engine.infer_binary(stripped, extents_by_function)
 
     # -- persistence ------------------------------------------------------------------------------
 
     def save(self, directory: str) -> None:
-        import os
-
         os.makedirs(directory, exist_ok=True)
         assert self.embedding is not None, "train before saving"
         self.embedding.save(os.path.join(directory, "word2vec.npz"))
@@ -144,11 +174,10 @@ class Cati:
 
     @classmethod
     def load(cls, directory: str, config: CatiConfig | None = None) -> "Cati":
-        import os
-
         cati = cls(config)
         cati.embedding = Word2Vec.load(os.path.join(directory, "word2vec.npz"))
         cati.encoder = VucEncoder(cati.embedding)
+        cati._engine = None
         cati.classifier.load(
             os.path.join(directory, "stages"),
             input_length=cati.config.vuc_length,

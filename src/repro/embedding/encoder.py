@@ -3,6 +3,12 @@
 Each instruction is three tokens (mnemonic, op1, op2); each token embeds
 to a 32-dim vector; the instruction is their concatenation (96 dims);
 the VUC is the stacked ``[21, 96]`` float32 matrix the CNN consumes.
+
+``encode_batch`` is fully vectorized: one vocabulary lookup over the
+flattened token stream of *all* windows, then a single gather from the
+embedding table — no per-window Python loop.  ``encode_ids`` exposes the
+intermediate ``[N, L, 3]`` token-id tensor, which the inference engine
+uses for content-hash deduplication without materializing embeddings.
 """
 
 from __future__ import annotations
@@ -20,6 +26,9 @@ class VucEncoder:
 
     def __init__(self, embedding: Word2Vec) -> None:
         self.embedding = embedding
+        self._triple_index: dict[Tokens, int] = {}
+        self._triple_rows: list[tuple[int, int, int]] = []
+        self._triple_table: np.ndarray | None = None
 
     @property
     def token_dim(self) -> int:
@@ -29,6 +38,41 @@ class VucEncoder:
     def instruction_dim(self) -> int:
         return 3 * self.token_dim
 
+    def encode_ids(
+        self,
+        windows: Sequence[Sequence[Tokens]],
+        length: int | None = None,
+    ) -> np.ndarray:
+        """Many VUCs → [N, L, 3] int32 token-id tensor.
+
+        ``length`` fixes L for empty batches (otherwise inferred from the
+        first window); all windows must share the same length.  Distinct
+        instruction triples are few (same-type clustering), so triple →
+        id-triple lookups are memoized across calls instead of paying a
+        per-token vocabulary lookup for the whole stream.
+        """
+        if not windows:
+            return np.zeros((0, length or 0, 3), dtype=np.int32)
+        n = len(windows)
+        inferred = len(windows[0])
+        flat = [triple for window in windows for triple in window]
+        if len(flat) != n * inferred:
+            raise ValueError("all windows must share the same length")
+        index = self._triple_index
+        misses = set(flat).difference(index)
+        if misses:
+            lookup = self.embedding.vocab.id_of
+            for triple in misses:
+                index[triple] = len(self._triple_rows)
+                self._triple_rows.append(
+                    (lookup(triple[0]), lookup(triple[1]), lookup(triple[2])))
+            self._triple_table = None
+        table = self._triple_table
+        if table is None:
+            table = self._triple_table = np.asarray(self._triple_rows, dtype=np.int32)
+        idx = np.fromiter(map(index.__getitem__, flat), dtype=np.int64, count=len(flat))
+        return table[idx].reshape(n, inferred, 3)
+
     def encode_window(self, tokens: Sequence[Tokens]) -> np.ndarray:
         """One VUC → [len(window), 3*dim] float32 matrix."""
         flat_ids = self.embedding.vocab.encode(
@@ -37,8 +81,20 @@ class VucEncoder:
         vectors = self.embedding.embed_ids(flat_ids)
         return vectors.reshape(len(tokens), self.instruction_dim).astype(np.float32)
 
-    def encode_batch(self, windows: Sequence[Sequence[Tokens]]) -> np.ndarray:
-        """Many VUCs → [N, L, 3*dim] tensor (all windows must share L)."""
+    def encode_batch(
+        self,
+        windows: Sequence[Sequence[Tokens]],
+        length: int | None = None,
+    ) -> np.ndarray:
+        """Many VUCs → [N, L, 3*dim] tensor (all windows must share L).
+
+        ``length`` threads the window length through so empty batches
+        keep the [0, L, C] shape downstream ``x.shape[1]`` consumers
+        expect.
+        """
         if not windows:
-            return np.zeros((0, 0, self.instruction_dim), dtype=np.float32)
-        return np.stack([self.encode_window(window) for window in windows])
+            return np.zeros((0, length or 0, self.instruction_dim), dtype=np.float32)
+        ids = self.encode_ids(windows, length=length)
+        n, win_len, _ = ids.shape
+        vectors = self.embedding.embed_ids(ids.reshape(-1))
+        return vectors.reshape(n, win_len, self.instruction_dim).astype(np.float32)

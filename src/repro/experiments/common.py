@@ -69,9 +69,13 @@ def get_context(compiler_name: str = "gcc", refresh: bool = False) -> Experiment
     corpus = _build_corpus(compiler)
     cache_dir = CACHE_ROOT / f"cati-{compiler_name}"
     marker = cache_dir / "stages" / "Stage1.npz"
+    cati = None
     if marker.exists() and not refresh:
-        cati = Cati.load(str(cache_dir), config)
-    else:
+        try:
+            cati = Cati.load(str(cache_dir), config)
+        except Exception as error:  # corrupt/stale cache -> retrain
+            print(f"[context] cached model unreadable ({error!r}); retraining")
+    if cati is None:
         cati = Cati(config).train(corpus.train)
         cati.save(str(cache_dir))
     context = ExperimentContext(

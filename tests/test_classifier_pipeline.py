@@ -81,6 +81,39 @@ class TestClassifier:
         if checked == 0:
             pytest.skip("mini model produced no confidently-pointer variables")
 
+    def test_hierarchical_vote_agrees_with_leaf_vote_when_confident(self, mini_cati):
+        """When every stage on a leaf's path is confident, stage-by-stage
+        routing (vote_variable) and flat leaf-level voting (eq. 4 over
+        the composed leaf_proba) must pick the same type — the tree
+        factorization cannot disagree with its own product when every
+        factor is certain.  Checked for every one of the 19 leaves with
+        constructed stage confidences (the mini model rarely reaches
+        unanimous confidence on its own)."""
+        from repro.core.classifier import compose_leaves
+        from repro.core.types import stage_path
+        from repro.core.voting import vote
+
+        threshold = mini_cati.config.confidence_threshold
+        n = 3  # a few VUCs per synthetic variable
+        for leaf in ALL_TYPES:
+            path = dict(stage_path(leaf))
+            stage_probs = {}
+            for stage in STAGE_SPECS:
+                labels = STAGE_SPECS[stage].labels
+                row = np.full(len(labels), (1.0 - 0.98) / max(len(labels) - 1, 1))
+                if stage in path:
+                    row[:] = (1.0 - 0.98) / max(len(labels) - 1, 1)
+                    row[STAGE_SPECS[stage].label_index(path[stage])] = 0.98
+                else:
+                    row[:] = 1.0 / len(labels)
+                stage_probs[stage] = np.tile(row, (n, 1))
+            leaf_rows = compose_leaves(stage_probs)
+            flat_winner = ALL_TYPES[vote(leaf_rows, threshold)]
+            routed = mini_cati.classifier.vote_variable(
+                stage_probs, list(range(n)), threshold)
+            assert routed is leaf
+            assert flat_winner is leaf
+
 
 class TestPipeline:
     def test_training_beats_chance_on_unseen_apps(self, mini_cati, small_corpus):

@@ -131,3 +131,28 @@ class TestEncoder:
 
     def test_empty_batch(self, encoder):
         assert encoder.encode_batch([]).shape[0] == 0
+
+    def test_empty_batch_keeps_window_length(self, encoder):
+        """Regression: with a declared length, an empty batch must come
+        back [0, L, C] (not [0, 0, C]) so downstream reshapes/concats
+        over chunked corpora keep working."""
+        batch = encoder.encode_batch([], length=21)
+        assert batch.shape == (0, 21, 96)
+        assert batch.dtype == np.float32
+        ids = encoder.encode_ids([], length=21)
+        assert ids.shape == (0, 21, 3)
+
+    def test_encode_ids_matches_batch(self, encoder):
+        windows = [[("mov", "%rax", "%rbx"), ("add", "$IMM", "%rax")]] * 3
+        ids = encoder.encode_ids(windows)
+        assert ids.shape == (3, 2, 3)
+        vectors = encoder.embedding.vectors[ids.reshape(-1)].reshape(3, 2, 96)
+        assert np.allclose(encoder.encode_batch(windows), vectors)
+
+    def test_ragged_windows_raise(self, encoder):
+        windows = [
+            [("mov", "%rax", "%rbx")] * 2,
+            [("mov", "%rax", "%rbx")] * 3,
+        ]
+        with pytest.raises(ValueError):
+            encoder.encode_batch(windows)
