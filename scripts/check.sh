@@ -1,17 +1,35 @@
 #!/usr/bin/env bash
-# Local quality gate: lint (when available) + the tier-1 test suite.
+# Local quality gate: lint + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [extra pytest args...]
+# Usage: scripts/check.sh [--faults] [extra pytest args...]
+#
+#   --faults   run the fault-injection suite (tests/test_fault_tolerance.py)
+#              instead of the full tier-1 suite.
+#
+# Lint is a hard gate: when ruff is installed, any finding fails the
+# script (set -e).  When ruff is absent we warn and continue, because
+# this repo's container policy forbids installing new packages.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-if command -v ruff >/dev/null 2>&1; then
-    echo "== ruff =="
-    ruff check src tests benchmarks
-else
-    echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
+FAULTS=0
+if [[ "${1:-}" == "--faults" ]]; then
+    FAULTS=1
+    shift
 fi
 
-echo "== tier-1 tests =="
-PYTHONPATH=src python -m pytest -x -q "$@"
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff (hard gate) =="
+    ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint (pip install ruff to enable the hard gate) =="
+fi
+
+if [[ "$FAULTS" == "1" ]]; then
+    echo "== fault-injection suite =="
+    PYTHONPATH=src python -m pytest -q tests/test_fault_tolerance.py "$@"
+else
+    echo "== tier-1 tests =="
+    PYTHONPATH=src python -m pytest -x -q "$@"
+fi

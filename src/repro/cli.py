@@ -36,10 +36,14 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     from repro.codegen.compilers import compiler_by_name
     from repro.codegen.strip import strip
     from repro.codegen.binary import debug_variables
+    from repro.core.config import CatiConfig
+    from repro.core.errors import FailureReport
     from repro.core.pipeline import Cati
     from repro.experiments.speed import extents_from_debug
 
-    cati = Cati.load(args.model_dir)
+    config = CatiConfig(job_timeout=args.job_timeout,
+                        tool_timeout=args.tool_timeout)
+    cati = Cati.load(args.model_dir, config=config)
     compiler = compiler_by_name(args.compiler)
     binary = compiler.compile_fresh(seed=args.seed, name="cli-demo", opt_level=args.opt_level)
     truth = {}
@@ -49,7 +53,9 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                 continue
             base = "rbp" if record.frame_offset < 0 else "rsp"
             truth[f"cli-demo/{func_index}::{base}{record.frame_offset:+d}"] = record.type_label
-    predictions = cati.infer_binary(strip(binary), extents_from_debug(binary))
+    failures = FailureReport()
+    predictions = cati.infer_binary(strip(binary), extents_from_debug(binary),
+                                    on_error=args.on_error, failures=failures)
     hits = 0
     for prediction in predictions:
         true_label = truth.get(prediction.variable_id)
@@ -59,6 +65,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
               f" (truth: {true_label}, {prediction.n_vucs} VUCs)")
     if predictions:
         print(f"\naccuracy: {hits}/{len(predictions)} = {hits / len(predictions):.0%}")
+    if failures:
+        print(f"\nskipped: {failures.summary()}")
+        for record in failures:
+            where = record.function or record.binary or "?"
+            print(f"  [{record.stage}] {where}: {record.kind}: {record.message}")
     return 0
 
 
@@ -152,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--compiler", default="gcc", choices=("gcc", "clang"))
     infer.add_argument("--opt-level", type=int, default=1, choices=(0, 1, 2, 3))
     infer.add_argument("--seed", type=int, default=1234)
+    infer.add_argument("--on-error", choices=("raise", "skip"), default="raise",
+                       help="skip-and-record damaged functions instead of aborting")
+    infer.add_argument("--job-timeout", type=float, default=None,
+                       help="seconds per worker-pool job (default: wait)")
+    infer.add_argument("--tool-timeout", type=float, default=60.0,
+                       help="seconds per external tool invocation")
     infer.set_defaults(func=_cmd_infer)
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")

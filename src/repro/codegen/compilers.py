@@ -16,6 +16,7 @@ import random
 from repro.codegen.binary import Binary, build_debug_blob
 from repro.codegen.lowering import CompilerStyle, clang_style, gcc_style, lower_function
 from repro.codegen.progen import GeneratorConfig, ProgramIR, generate_program
+from repro.core.errors import FailureReport, ToolchainError, handle_failure
 
 
 class Compiler:
@@ -26,8 +27,17 @@ class Compiler:
     def style(self, opt_level: int) -> CompilerStyle:
         raise NotImplementedError
 
-    def compile(self, program: ProgramIR, opt_level: int = 0, seed: int = 0) -> Binary:
-        """Lower every function and assemble the binary + debug blob."""
+    def compile(self, program: ProgramIR, opt_level: int = 0, seed: int = 0,
+                on_error: str = "raise",
+                failures: FailureReport | None = None) -> Binary:
+        """Lower every function and assemble the binary + debug blob.
+
+        Lowering is fault-isolated per function: with
+        ``on_error="skip"``, a function the lowering cannot handle is
+        recorded into ``failures`` (as a :class:`ToolchainError` with
+        binary/function context) and omitted from the binary, mirroring
+        how a real build keeps going past one bad translation unit.
+        """
         if not 0 <= opt_level <= 3:
             raise ValueError(f"bad optimization level {opt_level}")
         rng = random.Random((seed, program.name, self.name, opt_level).__repr__())
@@ -35,7 +45,17 @@ class Compiler:
         address = 0x401000 + rng.randrange(0x1000)
         lowered = []
         for func in program.functions:
-            result = lower_function(func, style, rng, address)
+            try:
+                result = lower_function(func, style, rng, address)
+                if not result.listing.instructions:
+                    raise ToolchainError(
+                        "lowering produced an empty listing",
+                        tool=self.name, stage="lower")
+            except Exception as exc:
+                handle_failure(exc, on_error=on_error, failures=failures,
+                               stage="lower", binary=program.name,
+                               function=getattr(func, "name", "?"))
+                continue
             address = result.listing.instructions[-1].address + rng.randint(16, 64)
             lowered.append(result)
         debug = build_debug_blob(program.name, lowered)

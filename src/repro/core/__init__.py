@@ -26,12 +26,22 @@ from repro.core.types import (
 from repro.core.voting import DEFAULT_THRESHOLD, clip_confidences, vote, vote_many, vote_scores
 
 _LAZY = {
+    "CatiError": ("repro.core.errors", "CatiError"),
+    "ToolchainError": ("repro.core.errors", "ToolchainError"),
+    "DecodeError": ("repro.core.errors", "DecodeError"),
+    "DwarfError": ("repro.core.errors", "DwarfError"),
+    "InferenceError": ("repro.core.errors", "InferenceError"),
+    "FailureRecord": ("repro.core.errors", "FailureRecord"),
+    "FailureReport": ("repro.core.errors", "FailureReport"),
+    "run_tool": ("repro.core.toolchain", "run_tool"),
+    "ToolResult": ("repro.core.toolchain", "ToolResult"),
     "MultiStageClassifier": ("repro.core.classifier", "MultiStageClassifier"),
     "StageModel": ("repro.core.classifier", "StageModel"),
     "CatiConfig": ("repro.core.config", "CatiConfig"),
     "BatchedOcclusion": ("repro.core.engine", "BatchedOcclusion"),
     "EngineStats": ("repro.core.engine", "EngineStats"),
     "InferenceEngine": ("repro.core.engine", "InferenceEngine"),
+    "InferenceResult": ("repro.core.engine", "InferenceResult"),
     "OcclusionResult": ("repro.core.occlusion", "OcclusionResult"),
     "epsilon_distribution": ("repro.core.occlusion", "epsilon_distribution"),
     "occlusion_epsilons": ("repro.core.occlusion", "occlusion_epsilons"),
@@ -54,12 +64,22 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "CatiError",
+    "ToolchainError",
+    "DecodeError",
+    "DwarfError",
+    "InferenceError",
+    "FailureRecord",
+    "FailureReport",
+    "run_tool",
+    "ToolResult",
     "MultiStageClassifier",
     "StageModel",
     "CatiConfig",
     "BatchedOcclusion",
     "EngineStats",
     "InferenceEngine",
+    "InferenceResult",
     "OcclusionResult",
     "epsilon_distribution",
     "occlusion_epsilons",

@@ -132,6 +132,11 @@ class MultiStageClassifier:
         stage until a leaf is reached.  ``stage_probs`` maps each stage
         to its full [N, C] confidence matrix; ``indices`` selects the
         variable's VUC rows.
+
+        Degenerate input is defined, never an IndexError: a variable
+        with zero VUCs (``indices == []``) sums an empty matrix to the
+        zero vector at every stage and deterministically routes down
+        each stage's first label.
         """
         stage = Stage.STAGE1
         while True:

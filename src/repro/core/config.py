@@ -31,6 +31,9 @@ class CatiConfig:
     max_batch: int = 1024              # engine: windows per dense inference chunk
     n_workers: int = 0                 # engine: processes for infer_binary_many (0/1 = serial)
     dedup_cache_size: int = 65536      # engine: cached leaf rows for repeated windows (0 = off)
+    tool_timeout: float = 60.0         # toolchain: seconds per external tool run
+    tool_retries: int = 2              # toolchain: retries after a transient tool failure
+    job_timeout: float | None = None   # engine: seconds per infer_binary_many job (None = wait)
     word2vec: Word2VecConfig = field(default_factory=lambda: Word2VecConfig(
         dim=32, window=5, epochs=2, subsample_pairs=0.5,
     ))
@@ -48,6 +51,12 @@ class CatiConfig:
             raise ValueError("n_workers must be >= 0")
         if self.dedup_cache_size < 0:
             raise ValueError("dedup_cache_size must be >= 0")
+        if self.tool_timeout <= 0:
+            raise ValueError("tool_timeout must be > 0")
+        if self.tool_retries < 0:
+            raise ValueError("tool_retries must be >= 0")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be > 0 (or None to wait forever)")
         self.word2vec.dim = self.token_dim
 
     @property

@@ -36,6 +36,7 @@ model.  Equivalence of every fast path with the naive one is enforced by
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 from collections import OrderedDict
 from collections.abc import Sequence
@@ -46,6 +47,12 @@ import numpy as np
 from repro.codegen.binary import Binary
 from repro.core.classifier import MultiStageClassifier, compose_leaves
 from repro.core.config import CatiConfig
+from repro.core.errors import (
+    FailureReport,
+    InferenceError,
+    check_on_error,
+    handle_failure,
+)
 from repro.core.types import ALL_TYPES, Stage
 from repro.embedding.encoder import VucEncoder
 from repro.nn.layers import Conv1d, Dense, Dropout, Flatten, MaxPool1d, ReLU
@@ -77,6 +84,34 @@ class BatchedOcclusion:
     epsilons: np.ndarray           # [N, L]
     predicted_indices: np.ndarray  # [N] leaf class probed per window
     base_confidences: np.ndarray   # [N]
+
+
+logger = logging.getLogger(__name__)
+
+
+class InferenceResult(list):
+    """Predictions for one binary plus the run's failure report.
+
+    A plain ``list`` subclass so every existing call site (iteration,
+    indexing, ``==`` against a list of predictions) keeps working; the
+    skip-and-record policy attaches what was dropped as
+    :attr:`failures`.
+    """
+
+    __slots__ = ("failures",)
+
+    def __init__(self, predictions=(), failures: FailureReport | None = None) -> None:
+        super().__init__(predictions)
+        self.failures = failures if failures is not None else FailureReport()
+
+    def __reduce__(self):
+        # __slots__ on a list subclass needs explicit pickling support
+        # (results cross the worker-pool boundary).
+        return (_rebuild_result, (list(self), self.failures))
+
+
+def _rebuild_result(predictions: list, failures: FailureReport) -> "InferenceResult":
+    return InferenceResult(predictions, failures)
 
 
 # -- compiled stage programs ----------------------------------------------------
@@ -209,6 +244,9 @@ class InferenceEngine:
         self.encoder = encoder
         self.config = config
         self.stats = EngineStats()
+        #: Why the last infer_binary_many call ran serially although
+        #: parallelism was requested (None = it did not fall back).
+        self.last_parallel_fallback: str | None = None
         self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
         self._stage_order: list[Stage] = []
         self._ops: list[list[tuple] | None] | None = None
@@ -419,42 +457,134 @@ class InferenceEngine:
         return predictions_from_probs(probs, variable_ids, self.config.confidence_threshold)
 
     def infer_binary(self, stripped: Binary,
-                     extents_by_function: list[list[VariableExtent]]) -> list:
-        """Engine-path whole-binary inference (Fig. 3e-f)."""
-        pairs = extract_unlabeled_vucs(stripped, extents_by_function, self.config.window)
-        if not pairs:
-            return []
-        return self.predict_variables(
-            [tokens for _variable_id, tokens in pairs],
-            [variable_id for variable_id, _tokens in pairs],
+                     extents_by_function: list[list[VariableExtent]],
+                     on_error: str = "raise",
+                     failures: FailureReport | None = None) -> InferenceResult:
+        """Engine-path whole-binary inference (Fig. 3e-f).
+
+        With ``on_error="skip"``, extraction is fault-isolated per
+        function: damaged functions are recorded into the result's
+        :attr:`~InferenceResult.failures` report (and into ``failures``
+        when given) while every healthy function's variables are still
+        predicted.  With ``"raise"`` (default) the first failure raises
+        a typed :class:`~repro.core.errors.CatiError` subclass.
+        """
+        check_on_error(on_error)
+        report = FailureReport()
+        pairs = extract_unlabeled_vucs(
+            stripped, extents_by_function, self.config.window,
+            on_error=on_error, failures=report,
         )
+        predictions: list = []
+        if pairs:
+            try:
+                predictions = self.predict_variables(
+                    [tokens for _variable_id, tokens in pairs],
+                    [variable_id for variable_id, _tokens in pairs],
+                )
+            except Exception as exc:
+                handle_failure(exc, on_error=on_error, failures=report,
+                               stage="classify", binary=stripped.name)
+        if failures is not None:
+            failures.extend(report)
+        return InferenceResult(predictions, failures=report)
 
     def infer_binary_many(
         self,
         jobs: Sequence[tuple[Binary, list[list[VariableExtent]]]],
         n_workers: int | None = None,
-    ) -> list[list]:
+        on_error: str = "raise",
+        job_timeout: float | None = None,
+        failures: FailureReport | None = None,
+    ) -> list[InferenceResult]:
         """Infer many binaries, optionally sharded across worker processes.
 
         Workers are forked, so the trained model is shared copy-on-write
         rather than re-pickled per task; results keep job order.  Falls
         back to the serial path (which still benefits from the cross-
-        binary window cache) when forking is unavailable.
+        binary window cache) when forking is unavailable — the fallback
+        is logged and exposed as :attr:`last_parallel_fallback`.
+
+        Fault isolation: every job is bounded by ``job_timeout`` seconds
+        (default :attr:`CatiConfig.job_timeout`; ``None`` waits forever).
+        A job whose worker crashes, hangs past the timeout, or raises is
+        automatically retried once *in-process*; only the retry's outcome
+        is then subject to the ``on_error`` policy, so a transient worker
+        death still yields complete results.  With ``on_error="skip"``
+        the pool-level incident is recorded into ``failures`` / the
+        job's result report and the remaining jobs keep their results.
         """
+        check_on_error(on_error)
+        jobs = list(jobs)
         workers = self.config.n_workers if n_workers is None else n_workers
+        timeout = self.config.job_timeout if job_timeout is None else job_timeout
+        self.last_parallel_fallback = None
         if workers <= 1 or len(jobs) <= 1:
-            return [self.infer_binary(stripped, extents) for stripped, extents in jobs]
+            return self._infer_many_serial(jobs, on_error, failures)
         try:
             context = multiprocessing.get_context("fork")
-        except ValueError:
-            return [self.infer_binary(stripped, extents) for stripped, extents in jobs]
+        except ValueError as exc:
+            self.last_parallel_fallback = f"fork unavailable: {exc}"
+            logger.warning(
+                "infer_binary_many: fork start method unavailable (%s); "
+                "falling back to serial inference for %d job(s)", exc, len(jobs))
+            return self._infer_many_serial(jobs, on_error, failures)
         global _POOL_STATE
-        _POOL_STATE = (self, list(jobs))
+        _POOL_STATE = (self, jobs, on_error)
+        results: list[InferenceResult | None] = [None] * len(jobs)
+        needs_retry: list[tuple[int, Exception]] = []
+        pool = context.Pool(processes=min(workers, len(jobs)))
         try:
-            with context.Pool(processes=min(workers, len(jobs))) as pool:
-                return pool.map(_infer_pool_job, range(len(jobs)))
+            handles = [pool.apply_async(_infer_pool_job, (index,))
+                       for index in range(len(jobs))]
+            for index, handle in enumerate(handles):
+                try:
+                    results[index] = handle.get(timeout)
+                except multiprocessing.TimeoutError:
+                    needs_retry.append((index, InferenceError(
+                        f"worker did not return within {timeout}s "
+                        f"(crashed or hung)",
+                        binary=jobs[index][0].name, stage="pool")))
+                except Exception as exc:
+                    needs_retry.append((index, exc))
         finally:
+            # terminate (not close): a hung or crashed worker must not
+            # keep the join waiting; completed results are already in.
+            pool.terminate()
+            pool.join()
             _POOL_STATE = None
+        for index, exc in needs_retry:
+            stripped, extents = jobs[index]
+            logger.warning(
+                "infer_binary_many: job %d (%s) failed in the pool (%s); "
+                "retrying in-process", index, stripped.name, exc)
+            report = FailureReport()
+            report.record(exc, stage="pool", binary=stripped.name)
+            try:
+                retried = self.infer_binary(stripped, extents,
+                                            on_error=on_error, failures=report)
+            except Exception as retry_exc:
+                handle_failure(retry_exc, on_error=on_error, failures=report,
+                               stage="pool", binary=stripped.name)
+                retried = InferenceResult([])
+            retried.failures = report
+            results[index] = retried
+        out = [result if result is not None else InferenceResult([])
+               for result in results]
+        if failures is not None:
+            for result in out:
+                failures.extend(result.failures)
+        return out
+
+    def _infer_many_serial(self, jobs, on_error: str,
+                           failures: FailureReport | None) -> list[InferenceResult]:
+        out = []
+        for stripped, extents in jobs:
+            result = self.infer_binary(stripped, extents, on_error=on_error)
+            if failures is not None:
+                failures.extend(result.failures)
+            out.append(result)
+        return out
 
     # -- occlusion -----------------------------------------------------------------
 
@@ -494,12 +624,13 @@ class InferenceEngine:
         return BatchedOcclusion(epsilons, predicted, base_conf)
 
 
-#: (engine, jobs) shared with forked pool workers; see infer_binary_many.
-_POOL_STATE: tuple[InferenceEngine, list] | None = None
+#: (engine, jobs, on_error) shared with forked pool workers; see
+#: infer_binary_many.
+_POOL_STATE: tuple[InferenceEngine, list, str] | None = None
 
 
-def _infer_pool_job(index: int) -> list:
+def _infer_pool_job(index: int) -> InferenceResult:
     assert _POOL_STATE is not None
-    engine, jobs = _POOL_STATE
+    engine, jobs, on_error = _POOL_STATE
     stripped, extents = jobs[index]
-    return engine.infer_binary(stripped, extents)
+    return engine.infer_binary(stripped, extents, on_error=on_error)

@@ -1,0 +1,261 @@
+"""Structured error taxonomy + machine-readable failure reporting.
+
+Everything the pipeline can throw at a caller derives from
+:class:`CatiError`, which carries *where* the failure happened
+(binary / function / stage) alongside the message:
+
+::
+
+    CatiError
+    ├── ToolchainError   external tool missing, crashed, or timed out
+    ├── DecodeError      malformed ELF bytes / undecodable instructions
+    │   └── repro.elf.parser.ElfParseError
+    │   └── repro.disasm.decoder.DecodeError
+    ├── DwarfError       malformed or truncated debug information
+    │   └── repro.dwarf.native.NativeDwarfError
+    │   └── repro.dwarf.decode.DwarfDecodeError
+    └── InferenceError   extraction / voting / worker-pool failures
+
+The concrete subclasses double-inherit ``ValueError`` so existing
+``except ValueError`` call sites (and tests) keep working.
+
+The skip-and-record side of the house lives here too:
+:func:`check_on_error` validates the ``on_error="raise"|"skip"`` policy
+knob, :class:`FailureReport` accumulates :class:`FailureRecord` entries
+(counts + exemplar tracebacks, serializable via ``to_dict``), and
+:func:`handle_failure` implements the policy at every degradation point.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from collections import Counter
+from dataclasses import dataclass, field
+
+ON_ERROR_VALUES = ("raise", "skip")
+
+
+def check_on_error(on_error: str) -> str:
+    """Validate the skip-policy knob; returns it for chaining."""
+    if on_error not in ON_ERROR_VALUES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_VALUES}, got {on_error!r}")
+    return on_error
+
+
+class CatiError(Exception):
+    """Root of the pipeline error taxonomy.
+
+    Carries the failure site: which binary, which function, and which
+    pipeline stage (``"toolchain"``, ``"elf"``, ``"decode"``,
+    ``"dwarf"``, ``"extract"``, ``"classify"``, ``"pool"``, ...).
+    """
+
+    def __init__(self, message: str, *, binary: str | None = None,
+                 function: str | None = None, stage: str | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.binary = binary
+        self.function = function
+        self.stage = stage
+
+    def context(self) -> dict[str, str]:
+        """The non-empty failure-site fields as a dict."""
+        pairs = (("binary", self.binary), ("function", self.function),
+                 ("stage", self.stage))
+        return {key: value for key, value in pairs if value is not None}
+
+    def with_context(self, *, binary: str | None = None,
+                     function: str | None = None,
+                     stage: str | None = None) -> "CatiError":
+        """Fill in missing failure-site fields (never overwrites)."""
+        self.binary = self.binary if self.binary is not None else binary
+        self.function = self.function if self.function is not None else function
+        self.stage = self.stage if self.stage is not None else stage
+        return self
+
+    def __str__(self) -> str:
+        context = self.context()
+        if not context:
+            return self.message
+        where = ", ".join(f"{key}={value}" for key, value in context.items())
+        return f"{self.message} [{where}]"
+
+
+class ToolchainError(CatiError):
+    """An external tool is missing, crashed, or timed out.
+
+    ``missing`` is the skip-friendly flag: tests can catch a
+    ToolchainError and ``pytest.skip`` when the tool simply is not
+    installed, while treating crashes/timeouts as real failures.
+    """
+
+    def __init__(self, message: str, *, tool: str | None = None,
+                 returncode: int | None = None, stderr: str = "",
+                 missing: bool = False, missing_tools: tuple[str, ...] = (),
+                 **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.tool = tool
+        self.returncode = returncode
+        self.stderr = stderr
+        self.missing = missing
+        self.missing_tools = tuple(missing_tools)
+
+
+class DecodeError(CatiError, ValueError):
+    """Malformed ELF bytes or undecodable machine code."""
+
+
+class DwarfError(CatiError, ValueError):
+    """Malformed, truncated, or unsupported debug information."""
+
+
+class InferenceError(CatiError, ValueError):
+    """Extraction, voting, or worker-pool failure during inference."""
+
+
+#: Which taxonomy class wraps a foreign exception raised at each stage.
+_STAGE_WRAPPERS: dict[str, type[CatiError]] = {
+    "toolchain": ToolchainError,
+    "lower": ToolchainError,
+    "elf": DecodeError,
+    "decode": DecodeError,
+    "dwarf": DwarfError,
+}
+
+
+def as_cati_error(exc: BaseException, *, stage: str,
+                  binary: str | None = None,
+                  function: str | None = None) -> CatiError:
+    """Coerce any exception into the taxonomy with failure-site context.
+
+    A CatiError passes through (missing context filled in); anything
+    else is wrapped by the stage's taxonomy class with ``__cause__``
+    preserved.
+    """
+    if isinstance(exc, CatiError):
+        return exc.with_context(binary=binary, function=function, stage=stage)
+    wrapper = _STAGE_WRAPPERS.get(stage, InferenceError)
+    wrapped = wrapper(f"{type(exc).__name__}: {exc}", binary=binary,
+                      function=function, stage=stage)
+    wrapped.__cause__ = exc
+    return wrapped
+
+
+# -- failure reporting --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One recorded (skipped) failure."""
+
+    stage: str
+    kind: str            # exception class name
+    message: str
+    binary: str | None = None
+    function: str | None = None
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, stage: str,
+                       binary: str | None = None,
+                       function: str | None = None) -> "FailureRecord":
+        if isinstance(exc, CatiError):
+            binary = binary if binary is not None else exc.binary
+            function = function if function is not None else exc.function
+        return cls(
+            stage=stage,
+            kind=type(exc).__name__,
+            message=str(exc),
+            binary=binary,
+            function=function,
+            traceback="".join(_traceback.format_exception(exc)),
+        )
+
+
+@dataclass
+class FailureReport:
+    """Machine-readable account of everything a run skipped.
+
+    Accumulates :class:`FailureRecord` entries and summarizes them as
+    per-stage / per-kind counts plus one exemplar traceback per kind.
+    """
+
+    records: list[FailureRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def record(self, exc: BaseException, *, stage: str,
+               binary: str | None = None,
+               function: str | None = None) -> FailureRecord:
+        entry = FailureRecord.from_exception(
+            exc, stage=stage, binary=binary, function=function)
+        self.records.append(entry)
+        return entry
+
+    def extend(self, other: "FailureReport") -> None:
+        self.records.extend(other.records)
+
+    def by_stage(self) -> dict[str, int]:
+        return dict(Counter(r.stage for r in self.records))
+
+    def by_kind(self) -> dict[str, int]:
+        return dict(Counter(r.kind for r in self.records))
+
+    def exemplars(self) -> dict[str, str]:
+        """One exemplar traceback per failure kind (first occurrence)."""
+        out: dict[str, str] = {}
+        for record in self.records:
+            out.setdefault(record.kind, record.traceback)
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary: totals, per-stage/kind counts, records."""
+        return {
+            "total": len(self.records),
+            "by_stage": self.by_stage(),
+            "by_kind": self.by_kind(),
+            "records": [
+                {"stage": r.stage, "kind": r.kind, "message": r.message,
+                 "binary": r.binary, "function": r.function}
+                for r in self.records
+            ],
+            "exemplars": self.exemplars(),
+        }
+
+    def summary(self) -> str:
+        if not self.records:
+            return "no failures"
+        stages = ", ".join(f"{stage}:{count}"
+                           for stage, count in sorted(self.by_stage().items()))
+        return f"{len(self.records)} failure(s) ({stages})"
+
+
+def handle_failure(exc: BaseException, *, on_error: str,
+                   failures: FailureReport | None, stage: str,
+                   binary: str | None = None,
+                   function: str | None = None) -> FailureRecord | None:
+    """Apply the skip policy at one degradation point.
+
+    ``on_error="raise"`` re-raises the exception coerced into the
+    taxonomy (with failure-site context attached); ``"skip"`` records it
+    into ``failures`` (when given) and returns the record so the caller
+    can continue with partial results.
+    """
+    check_on_error(on_error)
+    if on_error == "raise":
+        error = as_cati_error(exc, stage=stage, binary=binary, function=function)
+        if error is exc:
+            raise error
+        raise error from exc
+    if failures is not None:
+        return failures.record(exc, stage=stage, binary=binary, function=function)
+    return FailureRecord.from_exception(
+        exc, stage=stage, binary=binary, function=function)

@@ -35,6 +35,7 @@ from repro.vuc.generalize import Tokens
 
 if TYPE_CHECKING:
     from repro.core.engine import InferenceEngine
+    from repro.core.errors import FailureReport
 
 
 @dataclass
@@ -154,15 +155,23 @@ class Cati:
         self,
         stripped: Binary,
         extents_by_function: list[list[VariableExtent]],
+        on_error: str = "raise",
+        failures: "FailureReport | None" = None,
     ) -> list[VariablePrediction]:
         """Full pipeline on a stripped binary with given variable locations.
 
         This is the deployment path of Fig. 3(e-f): takes ~the paper's
         "6 seconds per binary" stages (extraction + prediction + voting),
         and runs on the dedup-aware engine.
+
+        ``on_error="skip"`` degrades per function instead of dying on
+        the first undecodable one: the returned list (an
+        :class:`~repro.core.engine.InferenceResult`) carries a
+        machine-readable ``failures`` report of everything skipped.
         """
         self._require_trained()
-        return self.engine.infer_binary(stripped, extents_by_function)
+        return self.engine.infer_binary(
+            stripped, extents_by_function, on_error=on_error, failures=failures)
 
     # -- persistence ------------------------------------------------------------------------------
 

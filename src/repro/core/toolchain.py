@@ -1,0 +1,132 @@
+"""Hardened external-tool runner.
+
+One malformed input can make ``objdump`` hang and one loaded CI box can
+make ``gcc`` time out transiently; :func:`run_tool` turns both into
+either a bounded retry or a typed :class:`~repro.core.errors.ToolchainError`
+that captures the tool name, exit code and stderr instead of an opaque
+``CalledProcessError``.
+
+Policy:
+
+* a **missing tool** (``FileNotFoundError``) fails immediately with
+  ``missing=True`` — retrying cannot install gcc;
+* a **timeout or OS-level hiccup** is transient: retried up to
+  ``retries`` times with exponential backoff (``backoff * 2**attempt``);
+* a **non-zero exit** is deterministic tool behaviour: no retry, the
+  captured stderr rides along in the error.
+
+``runner``/``sleep`` are injection points used by the fault harness
+(``tests/faultinject.py``) to simulate hangs and flaky tools without
+real subprocesses.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.errors import ToolchainError
+
+#: Default wall-clock budget per tool invocation (seconds).
+DEFAULT_TOOL_TIMEOUT = 60.0
+
+#: Default number of *re*-tries after a transient failure.
+DEFAULT_TOOL_RETRIES = 2
+
+
+@dataclass(frozen=True)
+class ToolResult:
+    """One successful tool run."""
+
+    tool: str
+    argv: tuple[str, ...]
+    returncode: int
+    stdout: str
+    stderr: str
+    attempts: int
+
+
+def which_missing(tools: Sequence[str]) -> tuple[str, ...]:
+    """The subset of ``tools`` not found on PATH."""
+    return tuple(tool for tool in tools if shutil.which(tool) is None)
+
+
+def require_tools(tools: Sequence[str], *, stage: str = "toolchain") -> None:
+    """Raise a skip-friendly :class:`ToolchainError` naming every missing tool."""
+    missing = which_missing(tools)
+    if missing:
+        raise ToolchainError(
+            f"required tool(s) not on PATH: {', '.join(missing)}",
+            tool=missing[0], missing=True, missing_tools=missing, stage=stage,
+        )
+
+
+def run_tool(
+    argv: Sequence[str],
+    *,
+    timeout: float | None = DEFAULT_TOOL_TIMEOUT,
+    retries: int = DEFAULT_TOOL_RETRIES,
+    backoff: float = 0.1,
+    check: bool = True,
+    binary: str | None = None,
+    stage: str = "toolchain",
+    runner: Callable | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> ToolResult:
+    """Run one external tool with timeout, bounded retry, and typed errors."""
+    argv = [str(arg) for arg in argv]
+    tool = argv[0]
+    run = runner if runner is not None else subprocess.run
+    last_transient: Exception | None = None
+    attempts = 0
+    for attempt in range(retries + 1):
+        attempts = attempt + 1
+        try:
+            completed = run(argv, capture_output=True, text=True, timeout=timeout)
+        except FileNotFoundError as exc:
+            raise ToolchainError(
+                f"tool {tool!r} not found on PATH",
+                tool=tool, missing=True, missing_tools=(tool,),
+                binary=binary, stage=stage,
+            ) from exc
+        except subprocess.TimeoutExpired as exc:
+            last_transient = exc
+        except OSError as exc:
+            last_transient = exc
+        else:
+            if completed.returncode != 0 and check:
+                raise ToolchainError(
+                    f"{tool} exited with status {completed.returncode}",
+                    tool=tool, returncode=completed.returncode,
+                    stderr=_decode(completed.stderr), binary=binary, stage=stage,
+                )
+            return ToolResult(
+                tool=tool, argv=tuple(argv), returncode=completed.returncode,
+                stdout=_decode(completed.stdout), stderr=_decode(completed.stderr),
+                attempts=attempts,
+            )
+        if attempt < retries:
+            sleep(backoff * (2 ** attempt))
+    assert last_transient is not None
+    stderr = ""
+    if isinstance(last_transient, subprocess.TimeoutExpired):
+        stderr = _decode(last_transient.stderr)
+        message = (f"{tool} timed out after {timeout}s "
+                   f"({attempts} attempt(s))")
+    else:
+        message = (f"{tool} failed transiently after {attempts} attempt(s): "
+                   f"{last_transient}")
+    error = ToolchainError(message, tool=tool, stderr=stderr,
+                           binary=binary, stage=stage)
+    raise error from last_transient
+
+
+def _decode(stream) -> str:
+    if stream is None:
+        return ""
+    if isinstance(stream, bytes):
+        return stream.decode("utf-8", "replace")
+    return str(stream)

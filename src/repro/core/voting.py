@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.errors import InferenceError
+
 #: The paper's empirically chosen threshold.
 DEFAULT_THRESHOLD = 0.9
 
@@ -22,9 +24,17 @@ def clip_confidences(probs: np.ndarray, threshold: float = DEFAULT_THRESHOLD) ->
 
 
 def vote(probs: np.ndarray, threshold: float = DEFAULT_THRESHOLD) -> int:
-    """Eq. (4): final class for one variable from its [N, C] VUC matrix."""
+    """Eq. (4): final class for one variable from its [N, C] VUC matrix.
+
+    An empty or mis-shaped matrix raises a typed
+    :class:`~repro.core.errors.InferenceError` (a ``ValueError``
+    subclass) — a variable with zero VUCs has no defined vote.
+    """
+    probs = np.asarray(probs)
     if probs.ndim != 2 or len(probs) == 0:
-        raise ValueError("vote needs a non-empty [N, C] confidence matrix")
+        raise InferenceError(
+            "vote needs a non-empty [N, C] confidence matrix "
+            f"(got shape {probs.shape})", stage="vote")
     totals = clip_confidences(probs, threshold).sum(axis=0)
     return int(totals.argmax())
 
@@ -45,7 +55,7 @@ def vote_many(
     the winning class index per variable id.
     """
     if len(probs) != len(variable_ids):
-        raise ValueError("probs and variable_ids must align")
+        raise InferenceError("probs and variable_ids must align", stage="vote")
     groups: dict[str, list[int]] = {}
     for index, variable_id in enumerate(variable_ids):
         groups.setdefault(variable_id, []).append(index)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.asm.instruction import Instruction
 from repro.asm.operands import Imm, Label, Mem, Operand, Reg
+from repro.core.errors import DecodeError as _CatiDecodeError
 
 #: Register name tables indexed by (reg number 0-15) per width.
 _REG64 = ("rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
@@ -43,11 +44,11 @@ _SHIFT_GROUP = ("rol", "ror", "rcl", "rcr", "shl", "shr", "sal", "sar")
 _GROUP3 = ("test", "test", "not", "neg", "mul", "imul", "div", "idiv")
 
 
-class DecodeError(ValueError):
+class DecodeError(_CatiDecodeError):
     """Raised when the byte stream cannot be decoded."""
 
     def __init__(self, message: str, offset: int = 0) -> None:
-        super().__init__(f"{message} at offset 0x{offset:x}")
+        super().__init__(f"{message} at offset 0x{offset:x}", stage="decode")
         self.offset = offset
 
 

@@ -6,12 +6,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.errors import DwarfError
 from repro.dwarf.dies import Attr, Die, Tag
 from repro.dwarf.encode import DebugBlob
 from repro.dwarf.leb128 import decode_sleb128, decode_uleb128
 
 
-class DwarfDecodeError(ValueError):
+class DwarfDecodeError(DwarfError):
     """Raised on malformed debug streams."""
 
 

@@ -14,13 +14,14 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from repro.core.errors import DwarfError, FailureReport, handle_failure
 from repro.core.types import TypeName
 from repro.dwarf.dies import Attr, Die, Tag
 from repro.dwarf.leb128 import decode_sleb128, decode_uleb128
 from repro.elf.parser import ElfFile
 
 
-class NativeDwarfError(ValueError):
+class NativeDwarfError(DwarfError):
     """Raised on malformed or unsupported DWARF input."""
 
 
@@ -205,63 +206,92 @@ class NativeDie:
 
 
 def parse_compile_units(info: bytes, abbrev: bytes, debug_str: bytes,
-                        line_str: bytes) -> list[NativeDie]:
-    """Parse every CU in ``.debug_info`` into NativeDie trees."""
+                        line_str: bytes, on_error: str = "raise",
+                        failures: FailureReport | None = None) -> list[NativeDie]:
+    """Parse every CU in ``.debug_info`` into NativeDie trees.
+
+    With ``on_error="skip"``, a CU whose body is truncated or malformed
+    is recorded into ``failures`` and skipped (the unit length in its
+    header tells us where the next CU starts); a CU whose *header* is
+    corrupt ends the parse, since the stream can no longer be walked.
+    Healthy CUs before and after a damaged one still come back.
+    """
     units: list[NativeDie] = []
     offset = 0
     while offset + 11 < len(info):
         cu_start = offset
         unit_length = struct.unpack_from("<I", info, offset)[0]
         if unit_length == 0 or unit_length >= 0xFFFFFFF0:
-            raise NativeDwarfError("64-bit DWARF or corrupt unit length")
+            handle_failure(
+                NativeDwarfError("64-bit DWARF or corrupt unit length"),
+                on_error=on_error, failures=failures, stage="dwarf")
+            break
         next_cu = offset + 4 + unit_length
-        version = struct.unpack_from("<H", info, offset + 4)[0]
-        if version == 5:
-            _unit_type = info[offset + 6]
-            address_size = info[offset + 7]
-            abbrev_offset = struct.unpack_from("<I", info, offset + 8)[0]
-            offset += 12
-        elif version in (3, 4):
-            abbrev_offset = struct.unpack_from("<I", info, offset + 6)[0]
-            address_size = info[offset + 10]
-            offset += 11
+        try:
+            root = _parse_one_cu(info, abbrev, debug_str, line_str,
+                                 cu_start, next_cu)
+        except Exception as exc:
+            handle_failure(exc, on_error=on_error, failures=failures,
+                           stage="dwarf")
         else:
-            raise NativeDwarfError(f"unsupported DWARF version {version}")
-
-        abbrevs = parse_abbrev_table(abbrev, abbrev_offset)
-        ctx = _CuContext(info=info, debug_str=debug_str, line_str=line_str,
-                         cu_start=cu_start, address_size=address_size)
-        reader = _FormReader(ctx)
-
-        root: NativeDie | None = None
-        stack: list[NativeDie] = []
-        while offset < next_cu:
-            die_offset = offset
-            code, offset = decode_uleb128(info, offset)
-            if code == 0:
-                if stack:
-                    stack.pop()
-                continue
-            abbrev_entry = abbrevs.get(code)
-            if abbrev_entry is None:
-                raise NativeDwarfError(f"unknown abbrev code {code} at 0x{die_offset:x}")
-            die = NativeDie(offset=die_offset, tag=abbrev_entry.tag, depth=len(stack))
-            for spec in abbrev_entry.attrs:
-                kind, value, offset = reader.read(spec.form, spec.implicit, offset)
-                if kind == "ref":
-                    die.refs[spec.attr] = value
-                else:
-                    die.attrs[spec.attr] = value
-            if stack:
-                stack[-1].children.append(die)
-            elif root is None:
-                root = die
-            if abbrev_entry.has_children:
-                stack.append(die)
-        if root is not None:
-            units.append(root)
+            if root is not None:
+                units.append(root)
         offset = next_cu
     return units
+
+
+def _parse_one_cu(info: bytes, abbrev: bytes, debug_str: bytes,
+                  line_str: bytes, cu_start: int, next_cu: int) -> NativeDie | None:
+    """Parse the single CU spanning [cu_start, next_cu) of ``.debug_info``."""
+    if next_cu > len(info):
+        raise NativeDwarfError(
+            f"truncated compile unit at 0x{cu_start:x}: header claims "
+            f"{next_cu - cu_start} bytes, {len(info) - cu_start} remain")
+    offset = cu_start
+    version = struct.unpack_from("<H", info, offset + 4)[0]
+    if version == 5:
+        _unit_type = info[offset + 6]
+        address_size = info[offset + 7]
+        abbrev_offset = struct.unpack_from("<I", info, offset + 8)[0]
+        offset += 12
+    elif version in (3, 4):
+        abbrev_offset = struct.unpack_from("<I", info, offset + 6)[0]
+        address_size = info[offset + 10]
+        offset += 11
+    else:
+        raise NativeDwarfError(f"unsupported DWARF version {version}")
+
+    abbrevs = parse_abbrev_table(abbrev, abbrev_offset)
+    ctx = _CuContext(info=info, debug_str=debug_str, line_str=line_str,
+                     cu_start=cu_start, address_size=address_size)
+    reader = _FormReader(ctx)
+
+    root: NativeDie | None = None
+    stack: list[NativeDie] = []
+    while offset < next_cu:
+        die_offset = offset
+        code, offset = decode_uleb128(info, offset)
+        if code == 0:
+            if stack:
+                stack.pop()
+            continue
+        abbrev_entry = abbrevs.get(code)
+        if abbrev_entry is None:
+            raise NativeDwarfError(f"unknown abbrev code {code} at 0x{die_offset:x}")
+        die = NativeDie(offset=die_offset, tag=abbrev_entry.tag, depth=len(stack))
+        for spec in abbrev_entry.attrs:
+            kind, value, offset = reader.read(spec.form, spec.implicit, offset)
+            if kind == "ref":
+                die.refs[spec.attr] = value
+            else:
+                die.attrs[spec.attr] = value
+        if stack:
+            stack[-1].children.append(die)
+        elif root is None:
+            root = die
+        if abbrev_entry.has_children:
+            stack.append(die)
+    return root
 
 
 # -- projection onto the compact Die model -----------------------------------------
@@ -368,20 +398,23 @@ class NativeVariable:
     label: TypeName
 
 
-def load_compile_units(elf: ElfFile) -> list[Die]:
+def load_compile_units(elf: ElfFile, on_error: str = "raise",
+                       failures: FailureReport | None = None) -> list[Die]:
     """Parse all CUs of an ELF file into compact Die trees."""
     if not elf.has_debug_info:
-        raise NativeDwarfError("binary has no debug information")
+        raise NativeDwarfError("binary has no debug information", stage="dwarf")
     natives = parse_compile_units(
         elf.section_data(".debug_info"),
         elf.section_data(".debug_abbrev"),
         elf.section_data(".debug_str"),
         elf.section_data(".debug_line_str"),
+        on_error=on_error, failures=failures,
     )
     return [to_die_tree(root) for root in natives]
 
 
-def native_variables(elf: ElfFile) -> list[NativeVariable]:
+def native_variables(elf: ElfFile, on_error: str = "raise",
+                     failures: FailureReport | None = None) -> list[NativeVariable]:
     """End-to-end: ELF bytes → located, typed local variables.
 
     Mirrors :func:`repro.frontend.readelf.extract_real_variables` but
@@ -391,7 +424,7 @@ def native_variables(elf: ElfFile) -> list[NativeVariable]:
     from repro.dwarf.resolver import UnresolvableType, resolve_type
 
     out: list[NativeVariable] = []
-    for cu in load_compile_units(elf):
+    for cu in load_compile_units(elf, on_error=on_error, failures=failures):
         for sub in cu.find_all(Tag.SUBPROGRAM):
             function = sub.name or "?"
             for child in sub.walk():

@@ -15,6 +15,8 @@ import struct
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.errors import DecodeError, FailureReport, handle_failure
+
 ELF_MAGIC = b"\x7fELF"
 
 #: e_ident offsets
@@ -32,7 +34,7 @@ STT_FUNC = 2
 STT_OBJECT = 1
 
 
-class ElfParseError(ValueError):
+class ElfParseError(DecodeError):
     """Raised on malformed or unsupported ELF input."""
 
 
@@ -70,45 +72,73 @@ class Symbol:
 
 
 class ElfFile:
-    """A parsed 64-bit little-endian ELF file."""
+    """A parsed 64-bit little-endian ELF file.
 
-    def __init__(self, data: bytes) -> None:
+    ``on_error="skip"`` tolerates a damaged section header table:
+    headers that run past the end of the file (or a bogus
+    ``.shstrtab`` index) are recorded into :attr:`failures` and the
+    parse continues with whatever sections survive, instead of dying on
+    the first truncated byte.  The ELF identification header itself must
+    always be intact — without it nothing else can be located.
+    """
+
+    def __init__(self, data: bytes, on_error: str = "raise",
+                 failures: FailureReport | None = None) -> None:
         if len(data) < 64 or data[:4] != ELF_MAGIC:
-            raise ElfParseError("not an ELF file")
+            raise ElfParseError("not an ELF file", stage="elf")
         if data[EI_CLASS] != ELFCLASS64:
-            raise ElfParseError("only ELF64 is supported")
+            raise ElfParseError("only ELF64 is supported", stage="elf")
         if data[EI_DATA] != ELFDATA2LSB:
-            raise ElfParseError("only little-endian ELF is supported")
+            raise ElfParseError("only little-endian ELF is supported", stage="elf")
         self.data = data
+        self.failures = failures if failures is not None else FailureReport()
         (
             self.e_type, self.e_machine, _version, self.e_entry,
             _phoff, e_shoff, _flags, _ehsize, _phentsize, _phnum,
             e_shentsize, e_shnum, e_shstrndx,
         ) = struct.unpack_from("<HHIQQQIHHHHHH", data, 16)
-        self.sections = self._parse_sections(e_shoff, e_shentsize, e_shnum, e_shstrndx)
+        self.sections = self._parse_sections(
+            e_shoff, e_shentsize, e_shnum, e_shstrndx, on_error)
         self._by_name = {s.name: s for s in self.sections}
 
     @classmethod
-    def load(cls, path: str | Path) -> "ElfFile":
-        return cls(Path(path).read_bytes())
+    def load(cls, path: str | Path, on_error: str = "raise",
+             failures: FailureReport | None = None) -> "ElfFile":
+        return cls(Path(path).read_bytes(), on_error=on_error, failures=failures)
 
     # -- sections ----------------------------------------------------------------
 
     def _parse_sections(self, shoff: int, entsize: int, count: int,
-                        shstrndx: int) -> list[Section]:
+                        shstrndx: int, on_error: str) -> list[Section]:
         if shoff == 0 or count == 0:
+            return []
+        if entsize < 64:
+            handle_failure(
+                ElfParseError(f"section header entry size {entsize} too small"),
+                on_error=on_error, failures=self.failures, stage="elf")
             return []
         raw = []
         for index in range(count):
             base = shoff + index * entsize
             if base + 64 > len(self.data):
-                raise ElfParseError("section header table out of bounds")
+                handle_failure(
+                    ElfParseError(
+                        f"section header table out of bounds "
+                        f"(entry {index} of {count})"),
+                    on_error=on_error, failures=self.failures, stage="elf")
+                break
             (name_off, sh_type, _flags, addr, offset, size, link,
              _info, _align, sh_entsize) = struct.unpack_from("<IIQQQQIIQQ", self.data, base)
             raw.append((name_off, sh_type, addr, offset, size, link, sh_entsize))
+        if not raw:
+            return []
         if not 0 <= shstrndx < len(raw):
-            raise ElfParseError("bad section name string table index")
-        str_off, str_size = raw[shstrndx][3], raw[shstrndx][4]
+            handle_failure(
+                ElfParseError(f"bad section name string table index {shstrndx}"),
+                on_error=on_error, failures=self.failures, stage="elf")
+            str_off = str_size = 0
+        else:
+            str_off, str_size = raw[shstrndx][3], raw[shstrndx][4]
         shstrtab = self.data[str_off:str_off + str_size]
 
         def section_name(name_off: int) -> str:
@@ -143,7 +173,7 @@ class ElfFile:
     def symbols(self) -> list[Symbol]:
         """Parse ``.symtab`` (or fall back to ``.dynsym``)."""
         table = self.section(".symtab") or self.section(".dynsym")
-        if table is None or table.entsize == 0:
+        if table is None or table.entsize < 24:
             return []
         strtab = self.sections[table.link].data if table.link < len(self.sections) else b""
 
@@ -173,7 +203,7 @@ class ElfFile:
     def dynamic_symbols(self) -> list[Symbol]:
         """Parse ``.dynsym`` entries (names from ``.dynstr``)."""
         table = self.section(".dynsym")
-        if table is None or table.entsize == 0:
+        if table is None or table.entsize < 24:
             return []
         strtab = self.sections[table.link].data if table.link < len(self.sections) else b""
 

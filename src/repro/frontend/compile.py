@@ -1,26 +1,52 @@
 """Drive the system toolchain: compile bundled C with ``gcc -g``, then
 disassemble with ``objdump`` and dump DWARF with ``readelf``.
 
-Everything degrades gracefully: :func:`toolchain_available` lets callers
-(tests, examples) skip when gcc/objdump/readelf are missing.
+Everything degrades gracefully: :func:`toolchain_available` /
+:func:`missing_tools` let callers (tests, examples) skip when
+gcc/objdump/readelf are missing, and every tool invocation goes through
+the hardened :func:`repro.core.toolchain.run_tool` wrapper — configurable
+timeout, bounded retry on transient failures, and a typed
+:class:`~repro.core.errors.ToolchainError` (naming the exact tool, with
+its stderr attached) instead of a bare ``CalledProcessError``.
 """
 
 from __future__ import annotations
 
-import shutil
-import subprocess
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.errors import ToolchainError
+from repro.core.toolchain import (
+    DEFAULT_TOOL_RETRIES,
+    DEFAULT_TOOL_TIMEOUT,
+    run_tool,
+    which_missing,
+)
 from repro.frontend.csamples import SOURCES
 
 REQUIRED_TOOLS = ("gcc", "objdump", "readelf")
 
 
+def missing_tools() -> tuple[str, ...]:
+    """The subset of gcc/objdump/readelf not found on PATH."""
+    return which_missing(REQUIRED_TOOLS)
+
+
 def toolchain_available() -> bool:
     """True when gcc, objdump and readelf are all on PATH."""
-    return all(shutil.which(tool) for tool in REQUIRED_TOOLS)
+    return not missing_tools()
+
+
+def require_toolchain() -> None:
+    """Raise a skip-friendly ToolchainError naming every missing tool."""
+    missing = missing_tools()
+    if missing:
+        raise ToolchainError(
+            f"required tool(s) not on PATH: {', '.join(missing)}",
+            tool=missing[0], missing=True, missing_tools=missing,
+            stage="toolchain",
+        )
 
 
 @dataclass
@@ -37,31 +63,37 @@ def compile_sample(
     source_name: str = "sample_main.c",
     opt_level: int = 0,
     workdir: str | None = None,
+    tool_timeout: float = DEFAULT_TOOL_TIMEOUT,
+    tool_retries: int = DEFAULT_TOOL_RETRIES,
+    runner=None,
 ) -> CompiledArtifact:
-    """Compile one bundled sample and capture its tool dumps."""
-    if not toolchain_available():
-        raise RuntimeError("gcc/objdump/readelf not available")
+    """Compile one bundled sample and capture its tool dumps.
+
+    ``tool_timeout``/``tool_retries`` bound each external tool run;
+    ``runner`` is the fault-injection seam (a ``subprocess.run``
+    stand-in) used by the robustness suite.
+    """
+    require_toolchain()
     source = dict(SOURCES)[source_name]
     directory = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="repro-frontend-"))
     directory.mkdir(parents=True, exist_ok=True)
     source_path = directory / source_name
     source_path.write_text(source)
     binary_path = directory / source_name.replace(".c", "")
-    subprocess.run(
+    name = source_name.replace(".c", "")
+    knobs = dict(timeout=tool_timeout, retries=tool_retries,
+                 binary=name, runner=runner)
+    run_tool(
         ["gcc", f"-O{opt_level}", "-g", "-fno-omit-frame-pointer",
          "-o", str(binary_path), str(source_path)],
-        check=True, capture_output=True,
+        **knobs,
     )
-    disassembly = subprocess.run(
-        ["objdump", "-d", str(binary_path)],
-        check=True, capture_output=True, text=True,
-    ).stdout
-    dwarf_dump = subprocess.run(
-        ["readelf", "--debug-dump=info", str(binary_path)],
-        check=True, capture_output=True, text=True,
+    disassembly = run_tool(["objdump", "-d", str(binary_path)], **knobs).stdout
+    dwarf_dump = run_tool(
+        ["readelf", "--debug-dump=info", str(binary_path)], **knobs,
     ).stdout
     return CompiledArtifact(
-        name=source_name.replace(".c", ""),
+        name=name,
         binary_path=binary_path,
         disassembly=disassembly,
         dwarf_dump=dwarf_dump,

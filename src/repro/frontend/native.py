@@ -5,13 +5,22 @@ place).
 
 This is the zero-dependency twin of the objdump/readelf text path; the
 test suite cross-validates the two on the same binary.
+
+Real-world stripped-binary corpora are messy: one undecodable function
+or one truncated DWARF entry should not kill a whole-corpus job.
+:func:`load_binary` therefore takes ``on_error="raise"|"skip"``; with
+``"skip"`` it degrades per stage and per function — a function whose
+bytes fail to decode is recorded and dropped, damaged debug info yields
+whatever variables survive — and the partial :class:`LoadedBinary`
+carries a machine-readable :class:`~repro.core.errors.FailureReport`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.asm.instruction import FunctionListing
+from repro.core.errors import FailureReport, handle_failure
 from repro.disasm.decoder import decode_function, elf_symbolizer
 from repro.dwarf.native import native_variables
 from repro.elf.parser import ElfFile
@@ -20,37 +29,68 @@ from repro.frontend.readelf import RealVariable
 
 @dataclass
 class LoadedBinary:
-    """A real binary loaded without external tools."""
+    """A real binary loaded without external tools.
+
+    ``failures`` enumerates everything that was skipped while loading
+    (empty on a clean ``on_error="raise"`` load).
+    """
 
     path: str
     functions: list[FunctionListing]
     variables: list[RealVariable]
+    failures: FailureReport = field(default_factory=FailureReport)
 
     def functions_by_name(self) -> dict[str, FunctionListing]:
         return {f.name: f for f in self.functions}
 
 
-def load_binary(path) -> LoadedBinary:
+def load_binary(path, on_error: str = "raise") -> LoadedBinary:
     """Load a real (unstripped) binary: disassemble every function
     symbol with the native decoder and extract typed variables from the
-    native DWARF parser."""
-    elf = ElfFile.load(path)
+    native DWARF parser.
+
+    With ``on_error="skip"``, per-function decode failures and damaged
+    debug info are recorded into the result's ``failures`` report and
+    loading continues with partial results; with ``"raise"`` (default)
+    the first failure raises a typed :class:`~repro.core.errors.CatiError`
+    subclass carrying binary/function context.
+    """
+    failures = FailureReport()
+    name = str(path)
+    try:
+        elf = ElfFile.load(path, on_error=on_error, failures=failures)
+    except Exception as exc:
+        handle_failure(exc, on_error=on_error, failures=failures,
+                       stage="elf", binary=name)
+        return LoadedBinary(path=name, functions=[], variables=[],
+                            failures=failures)
     symbolizer = elf_symbolizer(elf)
     functions = []
     for symbol in elf.function_symbols():
         code = elf.text_bytes_for(symbol)
         if not code:
             continue
-        instructions = decode_function(code, symbol.value, symbolizer=symbolizer)
+        try:
+            instructions = decode_function(code, symbol.value, symbolizer=symbolizer)
+        except Exception as exc:
+            handle_failure(exc, on_error=on_error, failures=failures,
+                           stage="decode", binary=name, function=symbol.name)
+            continue
         functions.append(FunctionListing(
             name=symbol.name, address=symbol.value, instructions=instructions,
         ))
-    variables = [
-        RealVariable(function=v.function, name=v.name, rbp_offset=v.rbp_offset,
-                     size=v.size, label=v.label)
-        for v in native_variables(elf)
-    ]
-    return LoadedBinary(path=str(path), functions=functions, variables=variables)
+    try:
+        variables = [
+            RealVariable(function=v.function, name=v.name, rbp_offset=v.rbp_offset,
+                         size=v.size, label=v.label)
+            for v in native_variables(elf, on_error=on_error, failures=failures)
+        ]
+    except Exception as exc:
+        handle_failure(exc, on_error=on_error, failures=failures,
+                       stage="dwarf", binary=name)
+        variables = []
+    return LoadedBinary(path=name, functions=functions, variables=variables,
+                        failures=failures)
 
 
 def extract_labeled_vucs_native(loaded: LoadedBinary, app: str = "native", window: int = 10):

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.codegen.binary import Binary, debug_variables
 from repro.codegen.strip import strip
+from repro.core.errors import FailureReport, handle_failure
 from repro.core.types import TypeName
 from repro.vuc.context import DEFAULT_WINDOW, extract_vuc
 from repro.vuc.dataflow import VariableExtent, group_targets
@@ -160,23 +161,38 @@ def extract_unlabeled_vucs(
     stripped: Binary,
     extents_by_function: list[list[VariableExtent]],
     window: int = DEFAULT_WINDOW,
+    on_error: str = "raise",
+    failures: FailureReport | None = None,
 ) -> list[tuple[str, tuple[Tokens, ...]]]:
     """Inference-side extraction: (variable_id, tokens) pairs.
 
     ``extents_by_function`` supplies the given variable locations
     (§VII-B's assumption); inference has no labels.
+
+    Extraction is fault-isolated per function: with ``on_error="skip"``
+    a function whose listing cannot be located/windowed (undecodable
+    bytes, hostile instructions) is recorded into ``failures`` and
+    dropped, and every healthy function still contributes its VUCs.
     """
     out: list[tuple[str, tuple[Tokens, ...]]] = []
     for func_index, func in enumerate(stripped.functions):
         extents = extents_by_function[func_index] if func_index < len(extents_by_function) else []
         if not extents:
             continue
-        targets = locate_targets(func)
         scope = f"{stripped.name}/{func_index}"
-        for group in group_targets(targets, extents, scope):
-            for target in group.targets:
-                vuc = extract_vuc(func, target.index, window)
-                out.append((group.variable_id, generalize_window(vuc.window)))
+        func_out: list[tuple[str, tuple[Tokens, ...]]] = []
+        try:
+            targets = locate_targets(func)
+            for group in group_targets(targets, extents, scope):
+                for target in group.targets:
+                    vuc = extract_vuc(func, target.index, window)
+                    func_out.append((group.variable_id, generalize_window(vuc.window)))
+        except Exception as exc:
+            handle_failure(exc, on_error=on_error, failures=failures,
+                           stage="extract", binary=stripped.name,
+                           function=getattr(func, "name", scope))
+            continue
+        out.extend(func_out)
     return out
 
 
