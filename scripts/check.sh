@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Local quality gate: lint + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [--faults] [extra pytest args...]
+# Usage: scripts/check.sh [--faults | --docs] [extra pytest args...]
 #
 #   --faults   run the fault-injection suite (tests/test_fault_tolerance.py)
 #              instead of the full tier-1 suite.
+#   --docs     run the docs-drift gate only (scripts/check_docs.py):
+#              EXPERIMENTS.md matches its generator section-for-section
+#              and every public CatiConfig field is documented in
+#              docs/OPERATIONS.md.
 #
 # Lint is a hard gate: when ruff is installed, any finding fails the
 # script (set -e).  When ruff is absent we warn and continue, because
@@ -14,9 +18,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAULTS=0
+DOCS=0
 if [[ "${1:-}" == "--faults" ]]; then
     FAULTS=1
     shift
+elif [[ "${1:-}" == "--docs" ]]; then
+    DOCS=1
+    shift
+fi
+
+if [[ "$DOCS" == "1" ]]; then
+    echo "== docs drift gate =="
+    exec python scripts/check_docs.py
 fi
 
 if command -v ruff >/dev/null 2>&1; then

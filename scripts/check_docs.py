@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Docs-drift gate (run via ``scripts/check.sh --docs``).
+
+Two checks:
+
+1. Every section title the EXPERIMENTS.md generator
+   (``scripts/generate_experiments_md.py``) emits exists as a ``##``
+   heading in the committed EXPERIMENTS.md — catches a stale file after
+   an experiment is added, renamed or removed.
+2. Every public field of ``CatiConfig`` is named in
+   docs/OPERATIONS.md — catches an undocumented knob.
+
+Exits non-zero listing every discrepancy; prints nothing but a one-line
+OK otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def generator_section_titles() -> list[str]:
+    """First-argument string literals of every ``add(...)`` call."""
+    source = (REPO_ROOT / "scripts" / "generate_experiments_md.py").read_text()
+    titles: list[str] = []
+    for node in ast.walk(ast.parse(source)):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name) and node.func.id == "add"
+                and node.args and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            titles.append(node.args[0].value)
+    return titles
+
+
+def check_experiments_md(problems: list[str]) -> None:
+    path = REPO_ROOT / "EXPERIMENTS.md"
+    if not path.exists():
+        problems.append("EXPERIMENTS.md is missing; run scripts/generate_experiments_md.py")
+        return
+    headings = set(re.findall(r"^## (.+)$", path.read_text(), flags=re.MULTILINE))
+    titles = generator_section_titles()
+    if not titles:
+        problems.append("could not find any add(...) sections in the generator")
+    for title in titles:
+        if title not in headings:
+            problems.append(
+                f"EXPERIMENTS.md lacks generator section {title!r}; "
+                "regenerate with scripts/generate_experiments_md.py")
+
+
+def check_operations_md(problems: list[str]) -> None:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.config import CatiConfig
+
+    path = REPO_ROOT / "docs" / "OPERATIONS.md"
+    if not path.exists():
+        problems.append("docs/OPERATIONS.md is missing")
+        return
+    text = path.read_text()
+    for field in dataclasses.fields(CatiConfig):
+        if f"`{field.name}`" not in text:
+            problems.append(f"docs/OPERATIONS.md does not document CatiConfig.{field.name}")
+
+
+def main() -> int:
+    problems: list[str] = []
+    check_experiments_md(problems)
+    check_operations_md(problems)
+    if problems:
+        for problem in problems:
+            print(f"DOCS DRIFT: {problem}", file=sys.stderr)
+        return 1
+    print("docs checks OK (EXPERIMENTS.md sections + CatiConfig coverage)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

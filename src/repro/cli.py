@@ -8,6 +8,11 @@ Commands:
 * ``experiment``  — run one paper experiment by name and print its table.
 * ``corpus-stats``— print Table I-style statistics for a corpus.
 
+``infer`` and ``experiment`` take ``--metrics-out PATH`` to dump the
+run's observability report (per-phase spans, engine cache counters,
+vote-margin histograms, failure counts — see docs/OPERATIONS.md) as
+JSON, and ``--no-metrics`` to switch instrumentation off entirely.
+
 The CLI exists so the system is usable without writing Python; every
 command is a thin veneer over the public API.
 """
@@ -15,7 +20,41 @@ command is a thin veneer over the public API.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+
+def _add_metrics_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the run's metrics report as JSON")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="disable observability instrumentation")
+
+
+def _apply_metrics_flags(args: argparse.Namespace) -> None:
+    if getattr(args, "no_metrics", False):
+        from repro.core import observability
+
+        observability.set_enabled(False)
+
+
+def _dump_metrics(args: argparse.Namespace, failures=None) -> None:
+    """Write ``{"metrics": ..., "failures": ...}`` to ``--metrics-out``."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    from repro.core import observability
+    from repro.core.errors import FailureReport
+
+    report = failures if failures is not None else FailureReport()
+    payload = {
+        "metrics": observability.snapshot(),
+        "failures": report.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"metrics report written to {path}")
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -41,8 +80,10 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     from repro.core.pipeline import Cati
     from repro.experiments.speed import extents_from_debug
 
+    _apply_metrics_flags(args)
     config = CatiConfig(job_timeout=args.job_timeout,
-                        tool_timeout=args.tool_timeout)
+                        tool_timeout=args.tool_timeout,
+                        metrics_enabled=not args.no_metrics)
     cati = Cati.load(args.model_dir, config=config)
     compiler = compiler_by_name(args.compiler)
     binary = compiler.compile_fresh(seed=args.seed, name="cli-demo", opt_level=args.opt_level)
@@ -70,6 +111,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         for record in failures:
             where = record.function or record.binary or "?"
             print(f"  [{record.stage}] {where}: {record.kind}: {record.message}")
+    _dump_metrics(args, failures)
     return 0
 
 
@@ -82,6 +124,7 @@ _EXPERIMENTS = (
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.common import get_context
 
+    _apply_metrics_flags(args)
     name = args.name
     if name not in _EXPERIMENTS:
         print(f"unknown experiment {name!r}; choose from {', '.join(_EXPERIMENTS)}")
@@ -132,6 +175,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         result = speed.run(context)
     print(result.render())
+    _dump_metrics(args)
     return 0
 
 
@@ -169,10 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds per worker-pool job (default: wait)")
     infer.add_argument("--tool-timeout", type=float, default=60.0,
                        help="seconds per external tool invocation")
+    _add_metrics_flags(infer)
     infer.set_defaults(func=_cmd_infer)
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("name", choices=_EXPERIMENTS)
+    _add_metrics_flags(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     stats = sub.add_parser("corpus-stats", help="Table I statistics for a corpus")

@@ -35,6 +35,10 @@ _LAZY = {
     "FailureReport": ("repro.core.errors", "FailureReport"),
     "run_tool": ("repro.core.toolchain", "run_tool"),
     "ToolResult": ("repro.core.toolchain", "ToolResult"),
+    "MetricsRegistry": ("repro.core.observability", "MetricsRegistry"),
+    "get_registry": ("repro.core.observability", "get_registry"),
+    "metrics_snapshot": ("repro.core.observability", "snapshot"),
+    "set_metrics_enabled": ("repro.core.observability", "set_enabled"),
     "MultiStageClassifier": ("repro.core.classifier", "MultiStageClassifier"),
     "StageModel": ("repro.core.classifier", "StageModel"),
     "CatiConfig": ("repro.core.config", "CatiConfig"),
@@ -73,6 +77,10 @@ __all__ = [
     "FailureReport",
     "run_tool",
     "ToolResult",
+    "MetricsRegistry",
+    "get_registry",
+    "metrics_snapshot",
+    "set_metrics_enabled",
     "MultiStageClassifier",
     "StageModel",
     "CatiConfig",

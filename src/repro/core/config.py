@@ -34,6 +34,8 @@ class CatiConfig:
     tool_timeout: float = 60.0         # toolchain: seconds per external tool run
     tool_retries: int = 2              # toolchain: retries after a transient tool failure
     job_timeout: float | None = None   # engine: seconds per infer_binary_many job (None = wait)
+    metrics_enabled: bool = True       # observability: record pipeline metrics/spans
+    metrics_vote_detail: bool = True   # observability: per-leaf-type vote-margin histograms
     word2vec: Word2VecConfig = field(default_factory=lambda: Word2VecConfig(
         dim=32, window=5, epochs=2, subsample_pairs=0.5,
     ))

@@ -32,6 +32,20 @@ window-0 ablation, which has no pooling) fall back to a generic batched
 float32 forward; unknown layer types fall back to the naive float64
 model.  Equivalence of every fast path with the naive one is enforced by
 ``tests/test_engine.py``.
+
+Contract: the engine is a pure accelerator — for any trained model it
+returns bitwise-deterministic results that agree with the naive
+reference to ≤1e-6, never mutates the model, degrades per function /
+per job under ``on_error="skip"`` (everything dropped is enumerated in
+the result's :attr:`InferenceResult.failures`), and reports what it did
+into the global metrics registry when ``CatiConfig.metrics_enabled``:
+``engine.windows`` / ``engine.unique_windows`` / ``engine.cache_hits`` /
+``engine.cache_misses`` counters, an ``engine.batch_size`` histogram,
+per-stage cascade spans (``cascade.embed`` / ``cascade.conv1`` /
+``cascade.conv2_dense``), per-phase spans under ``infer_binary``
+(extract → encode → classify → vote), and worker-pool accounting
+(``engine.pool.*``).  A cumulative metrics snapshot rides along on
+:attr:`InferenceResult.metrics`.  See ``docs/OPERATIONS.md``.
 """
 
 from __future__ import annotations
@@ -40,11 +54,13 @@ import logging
 import multiprocessing
 from collections import OrderedDict
 from collections.abc import Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.codegen.binary import Binary
+from repro.core import observability
 from repro.core.classifier import MultiStageClassifier, compose_leaves
 from repro.core.config import CatiConfig
 from repro.core.errors import (
@@ -53,6 +69,7 @@ from repro.core.errors import (
     check_on_error,
     handle_failure,
 )
+from repro.core.observability import SIZE_BUCKETS
 from repro.core.types import ALL_TYPES, Stage
 from repro.embedding.encoder import VucEncoder
 from repro.nn.layers import Conv1d, Dense, Dropout, Flatten, MaxPool1d, ReLU
@@ -98,20 +115,25 @@ class InferenceResult(list):
     :attr:`failures`.
     """
 
-    __slots__ = ("failures",)
+    __slots__ = ("failures", "metrics")
 
-    def __init__(self, predictions=(), failures: FailureReport | None = None) -> None:
+    def __init__(self, predictions=(), failures: FailureReport | None = None,
+                 metrics: dict | None = None) -> None:
         super().__init__(predictions)
         self.failures = failures if failures is not None else FailureReport()
+        #: Cumulative process-metrics snapshot taken when the run ended
+        #: (None when metrics are disabled); see repro.core.observability.
+        self.metrics = metrics
 
     def __reduce__(self):
         # __slots__ on a list subclass needs explicit pickling support
         # (results cross the worker-pool boundary).
-        return (_rebuild_result, (list(self), self.failures))
+        return (_rebuild_result, (list(self), self.failures, self.metrics))
 
 
-def _rebuild_result(predictions: list, failures: FailureReport) -> "InferenceResult":
-    return InferenceResult(predictions, failures)
+def _rebuild_result(predictions: list, failures: FailureReport,
+                    metrics: dict | None = None) -> "InferenceResult":
+    return InferenceResult(predictions, failures, metrics)
 
 
 # -- compiled stage programs ----------------------------------------------------
@@ -254,6 +276,18 @@ class InferenceEngine:
         self._stacked: tuple[np.ndarray, np.ndarray] | None = None
         self._conv1_out = 0
 
+    # -- observability -----------------------------------------------------------
+
+    def _metrics_on(self) -> bool:
+        """Instrumentation gate: the config knob AND the global switch."""
+        return self.config.metrics_enabled and observability.is_enabled()
+
+    def _span(self, name: str):
+        """A registry span when metrics are on, else a free no-op."""
+        if self.config.metrics_enabled:
+            return observability.get_registry().span(name)
+        return nullcontext()
+
     # -- kernel compilation ------------------------------------------------------
 
     def _require_ops(self) -> None:
@@ -309,8 +343,10 @@ class InferenceEngine:
 
     def leaf_proba(self, windows: Sequence[Sequence[Tokens]]) -> np.ndarray:
         """[N, 19] leaf confidences, deduplicated and chunked."""
-        ids = self.encoder.encode_ids(windows, length=self.config.vuc_length)
-        return self.leaf_proba_ids(ids)
+        with self._span("encode"):
+            ids = self.encoder.encode_ids(windows, length=self.config.vuc_length)
+        with self._span("classify"):
+            return self.leaf_proba_ids(ids)
 
     def leaf_proba_ids(self, ids: np.ndarray) -> np.ndarray:
         """Leaf confidences from a pre-tokenized [N, L, 3] id tensor."""
@@ -318,6 +354,11 @@ class InferenceEngine:
         if n == 0:
             return np.zeros((0, len(ALL_TYPES)))
         self.stats.windows += n
+        registry = observability.get_registry()
+        record = self._metrics_on()
+        if record:
+            registry.inc("engine.windows", n)
+            registry.observe("engine.batch_size", n, SIZE_BUCKETS)
         flat = ids.reshape(n, -1)
         index_of: dict[bytes, int] = {}
         owner_row: list[int] = []
@@ -346,6 +387,10 @@ class InferenceEngine:
                     self.stats.cache_hits += 1
         else:
             todo = list(range(unique))
+        if record:
+            registry.inc("engine.unique_windows", unique)
+            registry.inc("engine.cache_hits", unique - len(todo))
+            registry.inc("engine.cache_misses", len(todo))
         if todo:
             fresh = self._leaf_proba_dense(ids[np.asarray([owner_row[j] for j in todo])])
             for t, j in enumerate(todo):
@@ -374,14 +419,15 @@ class InferenceEngine:
 
     def _generic_logits(self, ids: np.ndarray) -> list[np.ndarray]:
         assert self._ops is not None
-        x = self._embed_ids(ids)
-        out = []
-        for stage, ops in zip(self._stage_order, self._ops):
-            if ops is None:
-                out.append(self.classifier.stages[stage].model.forward(x, training=False))
-            else:
-                out.append(_run_ops(ops, x))
-        return out
+        with self._span("generic_forward"):
+            x = self._embed_ids(ids)
+            out = []
+            for stage, ops in zip(self._stage_order, self._ops):
+                if ops is None:
+                    out.append(self.classifier.stages[stage].model.forward(x, training=False))
+                else:
+                    out.append(_run_ops(ops, x))
+            return out
 
     def _cascade_logits(self, ids: np.ndarray) -> list[np.ndarray]:
         """Context-deduplicated trunk + per-window dense head (see module doc)."""
@@ -389,57 +435,66 @@ class InferenceEngine:
         batch, length, _ = ids.shape
         dim = self.encoder.instruction_dim
 
-        # Level 0: unique instructions → their embeddings, computed once.
-        instr_u, pos = _unique_rows(ids.reshape(batch * length, 3))
-        pos = pos.reshape(batch, length)
-        table = self.encoder.embedding.vectors[instr_u.reshape(-1)]
-        emb_u = table.reshape(len(instr_u), dim).astype(np.float32, copy=False)
+        with self._span("cascade.embed"):
+            # Level 0: unique instructions → their embeddings, computed once.
+            instr_u, pos = _unique_rows(ids.reshape(batch * length, 3))
+            pos = pos.reshape(batch, length)
+            table = self.encoder.embedding.vectors[instr_u.reshape(-1)]
+            emb_u = table.reshape(len(instr_u), dim).astype(np.float32, copy=False)
 
-        # Level 1: conv1 over unique 3-instruction contexts, all stages stacked.
-        ctx1_u, pos_c1 = _unique_rows(_neighbor_rows(pos).reshape(batch * length, 3))
-        pos_c1 = pos_c1.reshape(batch, length)
-        self.stats.ctx_positions += batch * length
-        self.stats.ctx_unique += len(ctx1_u)
-        weight1, bias1 = self._stacked
-        hidden1 = _gather_contexts(emb_u, ctx1_u) @ weight1 + bias1   # [U1, S*C1]
-        np.maximum(hidden1, 0.0, out=hidden1)
+        with self._span("cascade.conv1"):
+            # Level 1: conv1 over unique 3-instruction contexts, all stages
+            # stacked.
+            ctx1_u, pos_c1 = _unique_rows(_neighbor_rows(pos).reshape(batch * length, 3))
+            pos_c1 = pos_c1.reshape(batch, length)
+            self.stats.ctx_positions += batch * length
+            self.stats.ctx_unique += len(ctx1_u)
+            if self._metrics_on():
+                registry = observability.get_registry()
+                registry.inc("engine.ctx_positions", batch * length)
+                registry.inc("engine.ctx_unique", len(ctx1_u))
+            weight1, bias1 = self._stacked
+            hidden1 = _gather_contexts(emb_u, ctx1_u) @ weight1 + bias1   # [U1, S*C1]
+            np.maximum(hidden1, 0.0, out=hidden1)
 
-        # Pool 1 over unique position pairs.
-        out1 = length // 2
-        pairs1 = np.stack([pos_c1[:, 0:out1 * 2:2], pos_c1[:, 1:out1 * 2:2]], axis=2)
-        pairs1_u, pos_p1 = _unique_rows(pairs1.reshape(batch * out1, 2))
-        pos_p1 = pos_p1.reshape(batch, out1)
-        pooled1 = np.maximum(hidden1[pairs1_u[:, 0]], hidden1[pairs1_u[:, 1]])
+            # Pool 1 over unique position pairs.
+            out1 = length // 2
+            pairs1 = np.stack([pos_c1[:, 0:out1 * 2:2], pos_c1[:, 1:out1 * 2:2]], axis=2)
+            pairs1_u, pos_p1 = _unique_rows(pairs1.reshape(batch * out1, 2))
+            pos_p1 = pos_p1.reshape(batch, out1)
+            pooled1 = np.maximum(hidden1[pairs1_u[:, 0]], hidden1[pairs1_u[:, 1]])
 
-        # Level 2: conv2 over unique pooled contexts (per-stage channels).
-        # pooled1's columns interleave the six stages; transpose once to
-        # stage-major so each stage gathers its contexts contiguously.
-        ctx2_u, pos_c2 = _unique_rows(_neighbor_rows(pos_p1).reshape(batch * out1, 3))
-        pos_c2 = pos_c2.reshape(batch, out1)
-        c1 = self._conv1_out
-        pooled1_t = np.ascontiguousarray(
-            pooled1.reshape(len(pooled1), len(self._ops), c1).transpose(1, 0, 2))
+        with self._span("cascade.conv2_dense"):
+            # Level 2: conv2 over unique pooled contexts (per-stage channels).
+            # pooled1's columns interleave the six stages; transpose once to
+            # stage-major so each stage gathers its contexts contiguously.
+            ctx2_u, pos_c2 = _unique_rows(_neighbor_rows(pos_p1).reshape(batch * out1, 3))
+            pos_c2 = pos_c2.reshape(batch, out1)
+            c1 = self._conv1_out
+            pooled1_t = np.ascontiguousarray(
+                pooled1.reshape(len(pooled1), len(self._ops), c1).transpose(1, 0, 2))
 
-        # Pool 2 pairs are stage-independent position pairs over conv2 output.
-        out2 = out1 // 2
-        pairs2 = np.stack([pos_c2[:, 0:out2 * 2:2], pos_c2[:, 1:out2 * 2:2]], axis=2)
-        pairs2_u, pos_p2 = _unique_rows(pairs2.reshape(batch * out2, 2))
-        flat_p2 = pos_p2.reshape(-1)
+            # Pool 2 pairs are stage-independent position pairs over conv2
+            # output.
+            out2 = out1 // 2
+            pairs2 = np.stack([pos_c2[:, 0:out2 * 2:2], pos_c2[:, 1:out2 * 2:2]], axis=2)
+            pairs2_u, pos_p2 = _unique_rows(pairs2.reshape(batch * out2, 2))
+            flat_p2 = pos_p2.reshape(-1)
 
-        logits = []
-        for index, ops in enumerate(self._ops):
-            assert ops is not None
-            x2 = _gather_contexts(pooled1_t[index], ctx2_u)
-            _, weight2, bias2, _ = ops[_CONV2_INDEX]
-            hidden2 = x2 @ weight2 + bias2
-            np.maximum(hidden2, 0.0, out=hidden2)
-            pooled2 = np.maximum(hidden2[pairs2_u[:, 0]], hidden2[pairs2_u[:, 1]])
-            flat = pooled2[flat_p2].reshape(batch, out2 * hidden2.shape[1])
-            _, weight_fc, bias_fc = ops[_DENSE1_INDEX]
-            z = flat @ weight_fc + bias_fc
-            np.maximum(z, 0.0, out=z)
-            _, weight_out, bias_out = ops[_DENSE2_INDEX]
-            logits.append(z @ weight_out + bias_out)
+            logits = []
+            for index, ops in enumerate(self._ops):
+                assert ops is not None
+                x2 = _gather_contexts(pooled1_t[index], ctx2_u)
+                _, weight2, bias2, _ = ops[_CONV2_INDEX]
+                hidden2 = x2 @ weight2 + bias2
+                np.maximum(hidden2, 0.0, out=hidden2)
+                pooled2 = np.maximum(hidden2[pairs2_u[:, 0]], hidden2[pairs2_u[:, 1]])
+                flat = pooled2[flat_p2].reshape(batch, out2 * hidden2.shape[1])
+                _, weight_fc, bias_fc = ops[_DENSE1_INDEX]
+                z = flat @ weight_fc + bias_fc
+                np.maximum(z, 0.0, out=z)
+                _, weight_out, bias_out = ops[_DENSE2_INDEX]
+                logits.append(z @ weight_out + bias_out)
         return logits
 
     # -- variable-level prediction -----------------------------------------------
@@ -454,7 +509,11 @@ class InferenceEngine:
         if not windows:
             return []
         probs = self.leaf_proba(windows)
-        return predictions_from_probs(probs, variable_ids, self.config.confidence_threshold)
+        with self._span("vote"):
+            return predictions_from_probs(
+                probs, variable_ids, self.config.confidence_threshold,
+                metrics=self._metrics_on(),
+                vote_detail=self.config.metrics_vote_detail)
 
     def infer_binary(self, stripped: Binary,
                      extents_by_function: list[list[VariableExtent]],
@@ -471,23 +530,27 @@ class InferenceEngine:
         """
         check_on_error(on_error)
         report = FailureReport()
-        pairs = extract_unlabeled_vucs(
-            stripped, extents_by_function, self.config.window,
-            on_error=on_error, failures=report,
-        )
-        predictions: list = []
-        if pairs:
-            try:
-                predictions = self.predict_variables(
-                    [tokens for _variable_id, tokens in pairs],
-                    [variable_id for variable_id, _tokens in pairs],
+        with self._span("infer_binary"):
+            with self._span("extract"):
+                pairs = extract_unlabeled_vucs(
+                    stripped, extents_by_function, self.config.window,
+                    on_error=on_error, failures=report,
+                    metrics=self.config.metrics_enabled,
                 )
-            except Exception as exc:
-                handle_failure(exc, on_error=on_error, failures=report,
-                               stage="classify", binary=stripped.name)
+            predictions: list = []
+            if pairs:
+                try:
+                    predictions = self.predict_variables(
+                        [tokens for _variable_id, tokens in pairs],
+                        [variable_id for variable_id, _tokens in pairs],
+                    )
+                except Exception as exc:
+                    handle_failure(exc, on_error=on_error, failures=report,
+                                   stage="classify", binary=stripped.name)
         if failures is not None:
             failures.extend(report)
-        return InferenceResult(predictions, failures=report)
+        metrics = observability.snapshot() if self._metrics_on() else None
+        return InferenceResult(predictions, failures=report, metrics=metrics)
 
     def infer_binary_many(
         self,
@@ -519,16 +582,24 @@ class InferenceEngine:
         workers = self.config.n_workers if n_workers is None else n_workers
         timeout = self.config.job_timeout if job_timeout is None else job_timeout
         self.last_parallel_fallback = None
+        registry = observability.get_registry()
+        record = self._metrics_on()
+        if record:
+            registry.inc("engine.pool.jobs", len(jobs))
         if workers <= 1 or len(jobs) <= 1:
             return self._infer_many_serial(jobs, on_error, failures)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError as exc:
             self.last_parallel_fallback = f"fork unavailable: {exc}"
+            if record:
+                registry.inc("engine.pool.fallbacks")
             logger.warning(
                 "infer_binary_many: fork start method unavailable (%s); "
                 "falling back to serial inference for %d job(s)", exc, len(jobs))
             return self._infer_many_serial(jobs, on_error, failures)
+        if record:
+            registry.set_gauge("engine.pool.workers", min(workers, len(jobs)))
         global _POOL_STATE
         _POOL_STATE = (self, jobs, on_error)
         results: list[InferenceResult | None] = [None] * len(jobs)
@@ -541,6 +612,8 @@ class InferenceEngine:
                 try:
                     results[index] = handle.get(timeout)
                 except multiprocessing.TimeoutError:
+                    if record:
+                        registry.inc("engine.pool.timeouts")
                     needs_retry.append((index, InferenceError(
                         f"worker did not return within {timeout}s "
                         f"(crashed or hung)",
@@ -553,6 +626,8 @@ class InferenceEngine:
             pool.terminate()
             pool.join()
             _POOL_STATE = None
+        if record and needs_retry:
+            registry.inc("engine.pool.retries", len(needs_retry))
         for index, exc in needs_retry:
             stripped, extents = jobs[index]
             logger.warning(
@@ -603,24 +678,27 @@ class InferenceEngine:
         base_conf = np.empty(n)
         if n == 0:
             return BatchedOcclusion(epsilons, predicted, base_conf)
+        if self._metrics_on():
+            observability.inc("engine.occlusion.windows", n)
         blank = self.encoder.embedding.vocab.encode(list(BLANK_TOKENS)).astype(ids.dtype)
         group = max(1, self.config.max_batch // (length + 1))
         rows = np.arange(length)
-        for start in range(0, n, group):
-            sub = ids[start:start + group]
-            g = len(sub)
-            variants = np.repeat(sub[:, None], length + 1, axis=1)  # [G, 1+L, L, 3]
-            variants[:, rows + 1, rows, :] = blank
-            probs = self.leaf_proba_ids(
-                variants.reshape(g * (length + 1), length, 3)
-            ).reshape(g, length + 1, -1)
-            base = probs[:, 0]
-            pred = base.argmax(axis=1)
-            conf = base[np.arange(g), pred]
-            occluded = np.take_along_axis(probs[:, 1:], pred[:, None, None], axis=2)[:, :, 0]
-            epsilons[start:start + g] = occluded / np.maximum(conf, 1e-12)[:, None]
-            predicted[start:start + g] = pred
-            base_conf[start:start + g] = conf
+        with self._span("occlusion"):
+            for start in range(0, n, group):
+                sub = ids[start:start + group]
+                g = len(sub)
+                variants = np.repeat(sub[:, None], length + 1, axis=1)  # [G, 1+L, L, 3]
+                variants[:, rows + 1, rows, :] = blank
+                probs = self.leaf_proba_ids(
+                    variants.reshape(g * (length + 1), length, 3)
+                ).reshape(g, length + 1, -1)
+                base = probs[:, 0]
+                pred = base.argmax(axis=1)
+                conf = base[np.arange(g), pred]
+                occluded = np.take_along_axis(probs[:, 1:], pred[:, None, None], axis=2)[:, :, 0]
+                epsilons[start:start + g] = occluded / np.maximum(conf, 1e-12)[:, None]
+                predicted[start:start + g] = pred
+                base_conf[start:start + g] = conf
         return BatchedOcclusion(epsilons, predicted, base_conf)
 
 

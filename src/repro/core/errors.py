@@ -24,6 +24,15 @@ The skip-and-record side of the house lives here too:
 knob, :class:`FailureReport` accumulates :class:`FailureRecord` entries
 (counts + exemplar tracebacks, serializable via ``to_dict``), and
 :func:`handle_failure` implements the policy at every degradation point.
+
+Contract: every degradation point in the pipeline funnels through
+:func:`handle_failure` with an explicit ``stage`` name; with
+``on_error="raise"`` the exception always leaves as a :class:`CatiError`
+subclass with its failure site attached, and with ``"skip"`` a
+:class:`FailureRecord` is always produced (and counted into the global
+metrics registry as ``failures.total`` / ``failures.stage.<stage>`` /
+``failures.kind.<kind>``) so no skip is ever silent.  See
+``docs/OPERATIONS.md`` for how to read a report.
 """
 
 from __future__ import annotations
@@ -31,6 +40,8 @@ from __future__ import annotations
 import traceback as _traceback
 from collections import Counter
 from dataclasses import dataclass, field
+
+from repro.core import observability
 
 ON_ERROR_VALUES = ("raise", "skip")
 
@@ -163,6 +174,11 @@ class FailureRecord:
         if isinstance(exc, CatiError):
             binary = binary if binary is not None else exc.binary
             function = function if function is not None else exc.function
+        registry = observability.get_registry()
+        if registry.enabled:
+            registry.inc("failures.total")
+            registry.inc(f"failures.stage.{stage}")
+            registry.inc(f"failures.kind.{type(exc).__name__}")
         return cls(
             stage=stage,
             kind=type(exc).__name__,
@@ -251,6 +267,7 @@ def handle_failure(exc: BaseException, *, on_error: str,
     """
     check_on_error(on_error)
     if on_error == "raise":
+        observability.inc("failures.raised")
         error = as_cati_error(exc, stage=stage, binary=binary, function=function)
         if error is exc:
             raise error

@@ -25,7 +25,7 @@ from repro.codegen.binary import Binary
 from repro.core.classifier import MultiStageClassifier
 from repro.core.config import CatiConfig
 from repro.core.types import ALL_TYPES, TypeName
-from repro.core.voting import clip_confidences, vote
+from repro.core.voting import clip_confidences, observe_clipping, observe_votes, vote_margins
 from repro.embedding.encoder import VucEncoder
 from repro.embedding.vocab import Vocab
 from repro.embedding.word2vec import Word2Vec
@@ -34,7 +34,7 @@ from repro.vuc.dataset import VucDataset
 from repro.vuc.generalize import Tokens
 
 if TYPE_CHECKING:
-    from repro.core.engine import InferenceEngine
+    from repro.core.engine import InferenceEngine, InferenceResult
     from repro.core.errors import FailureReport
 
 
@@ -52,26 +52,45 @@ def predictions_from_probs(
     probs: np.ndarray,
     variable_ids: list[str],
     threshold: float,
+    metrics: bool = False,
+    vote_detail: bool = True,
 ) -> list[VariablePrediction]:
     """Vote per variable over a flat [N, 19] leaf confidence matrix (eqs. 3-4).
 
     Shared by the naive path and the inference engine so both produce
-    identical grouping order and identical summation order.
+    identical grouping order and identical summation order.  ``winner``
+    is the argmax of the summed clipped scores, which is exactly
+    eq. (4)'s :func:`~repro.core.voting.vote` over the same matrix.
+
+    With ``metrics`` (callers pass ``CatiConfig.metrics_enabled``), clip
+    counts and per-variable vote margins are recorded into the global
+    registry; ``vote_detail`` adds the per-winning-leaf-type margin
+    histograms.
     """
     groups: dict[str, list[int]] = {}
     for index, variable_id in enumerate(variable_ids):
         groups.setdefault(variable_id, []).append(index)
+    if metrics:
+        observe_clipping(probs, threshold)
     out = []
+    winners: list[int] = []
+    vuc_counts: list[int] = []
     for variable_id, indices in groups.items():
         matrix = probs[indices]
         scores = clip_confidences(matrix, threshold).sum(axis=0)
-        winner = vote(matrix, threshold)
+        winner = int(scores.argmax())
+        if metrics:
+            winners.append(winner)
+            vuc_counts.append(len(indices))
         out.append(VariablePrediction(
             variable_id=variable_id,
             predicted=ALL_TYPES[winner],
             n_vucs=len(indices),
             scores=scores,
         ))
+    if metrics:
+        margins = vote_margins([p.scores for p in out])
+        observe_votes(winners, margins, vuc_counts, detail=vote_detail)
     return out
 
 
@@ -147,7 +166,10 @@ class Cati:
         if len(windows) != len(variable_ids):
             raise ValueError("windows and variable_ids must align")
         probs = self.predict_vuc_proba(windows)
-        return predictions_from_probs(probs, variable_ids, self.config.confidence_threshold)
+        return predictions_from_probs(
+            probs, variable_ids, self.config.confidence_threshold,
+            metrics=self.config.metrics_enabled,
+            vote_detail=self.config.metrics_vote_detail)
 
     # -- whole-binary inference --------------------------------------------------------------
 
@@ -157,7 +179,7 @@ class Cati:
         extents_by_function: list[list[VariableExtent]],
         on_error: str = "raise",
         failures: "FailureReport | None" = None,
-    ) -> list[VariablePrediction]:
+    ) -> "InferenceResult":
         """Full pipeline on a stripped binary with given variable locations.
 
         This is the deployment path of Fig. 3(e-f): takes ~the paper's
@@ -165,9 +187,11 @@ class Cati:
         and runs on the dedup-aware engine.
 
         ``on_error="skip"`` degrades per function instead of dying on
-        the first undecodable one: the returned list (an
-        :class:`~repro.core.engine.InferenceResult`) carries a
-        machine-readable ``failures`` report of everything skipped.
+        the first undecodable one: the returned
+        :class:`~repro.core.engine.InferenceResult` (a ``list`` of
+        :class:`VariablePrediction`) carries a machine-readable
+        ``failures`` report of everything skipped, plus a ``metrics``
+        snapshot when ``CatiConfig.metrics_enabled``.
         """
         self._require_trained()
         return self.engine.infer_binary(

@@ -18,16 +18,28 @@ Policy:
 ``runner``/``sleep`` are injection points used by the fault harness
 (``tests/faultinject.py``) to simulate hangs and flaky tools without
 real subprocesses.
+
+Contract: callers get either a :class:`ToolResult` (success, with
+stdout/stderr decoded and the attempt count) or a
+:class:`~repro.core.errors.ToolchainError` — never a raw
+``CalledProcessError`` / ``TimeoutExpired`` / ``FileNotFoundError``.
+Every invocation is also accounted into the global metrics registry:
+``toolchain.runs`` / ``toolchain.runs.<tool>``, ``toolchain.retries``,
+``toolchain.backoff_s`` (total seconds slept), ``toolchain.failures``
+(+ ``toolchain.missing`` for absent tools), and a per-tool wall-clock
+span ``toolchain.<tool>``.
 """
 
 from __future__ import annotations
 
+import os.path
 import shutil
 import subprocess
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+from repro.core import observability
 from repro.core.errors import ToolchainError
 
 #: Default wall-clock budget per tool invocation (seconds).
@@ -80,36 +92,48 @@ def run_tool(
     argv = [str(arg) for arg in argv]
     tool = argv[0]
     run = runner if runner is not None else subprocess.run
+    registry = observability.get_registry()
+    tool_label = os.path.basename(tool)
+    registry.inc("toolchain.runs")
+    registry.inc(f"toolchain.runs.{tool_label}")
     last_transient: Exception | None = None
     attempts = 0
-    for attempt in range(retries + 1):
-        attempts = attempt + 1
-        try:
-            completed = run(argv, capture_output=True, text=True, timeout=timeout)
-        except FileNotFoundError as exc:
-            raise ToolchainError(
-                f"tool {tool!r} not found on PATH",
-                tool=tool, missing=True, missing_tools=(tool,),
-                binary=binary, stage=stage,
-            ) from exc
-        except subprocess.TimeoutExpired as exc:
-            last_transient = exc
-        except OSError as exc:
-            last_transient = exc
-        else:
-            if completed.returncode != 0 and check:
+    with registry.span(f"toolchain.{tool_label}"):
+        for attempt in range(retries + 1):
+            attempts = attempt + 1
+            try:
+                completed = run(argv, capture_output=True, text=True, timeout=timeout)
+            except FileNotFoundError as exc:
+                registry.inc("toolchain.failures")
+                registry.inc("toolchain.missing")
                 raise ToolchainError(
-                    f"{tool} exited with status {completed.returncode}",
-                    tool=tool, returncode=completed.returncode,
-                    stderr=_decode(completed.stderr), binary=binary, stage=stage,
+                    f"tool {tool!r} not found on PATH",
+                    tool=tool, missing=True, missing_tools=(tool,),
+                    binary=binary, stage=stage,
+                ) from exc
+            except subprocess.TimeoutExpired as exc:
+                last_transient = exc
+            except OSError as exc:
+                last_transient = exc
+            else:
+                if completed.returncode != 0 and check:
+                    registry.inc("toolchain.failures")
+                    raise ToolchainError(
+                        f"{tool} exited with status {completed.returncode}",
+                        tool=tool, returncode=completed.returncode,
+                        stderr=_decode(completed.stderr), binary=binary, stage=stage,
+                    )
+                return ToolResult(
+                    tool=tool, argv=tuple(argv), returncode=completed.returncode,
+                    stdout=_decode(completed.stdout), stderr=_decode(completed.stderr),
+                    attempts=attempts,
                 )
-            return ToolResult(
-                tool=tool, argv=tuple(argv), returncode=completed.returncode,
-                stdout=_decode(completed.stdout), stderr=_decode(completed.stderr),
-                attempts=attempts,
-            )
-        if attempt < retries:
-            sleep(backoff * (2 ** attempt))
+            if attempt < retries:
+                delay = backoff * (2 ** attempt)
+                registry.inc("toolchain.retries")
+                registry.inc("toolchain.backoff_s", delay)
+                sleep(delay)
+    registry.inc("toolchain.failures")
     assert last_transient is not None
     stderr = ""
     if isinstance(last_transient, subprocess.TimeoutExpired):

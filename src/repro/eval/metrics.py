@@ -9,6 +9,7 @@ classes).
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
@@ -68,10 +69,16 @@ def evaluate(y_true: Sequence[Hashable], y_pred: Sequence[Hashable]) -> Report:
 
     n = len(y_true)
     accuracy = sum(hit_counts.values()) / n
-    weights = {cls: true_counts.get(cls, 0) / n for cls in classes}
-    weighted_precision = sum(per_class[c].precision * weights[c] for c in classes)
-    weighted_recall = sum(per_class[c].recall * weights[c] for c in classes)
-    weighted_f1 = sum(per_class[c].f1 * weights[c] for c in classes)
+    # Weight by integer supports and divide once: each product is bounded
+    # by its support and math.fsum is exactly rounded, so the aggregate
+    # cannot drift above 1.0 (per-class weights of 1/n accumulate enough
+    # rounding error to break the [0, 1] bound on perfect predictions).
+    weighted_precision = math.fsum(
+        per_class[c].precision * per_class[c].support for c in classes) / n
+    weighted_recall = math.fsum(
+        per_class[c].recall * per_class[c].support for c in classes) / n
+    weighted_f1 = math.fsum(
+        per_class[c].f1 * per_class[c].support for c in classes) / n
     return Report(
         per_class=per_class,
         accuracy=accuracy,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.codegen.binary import Binary, debug_variables
 from repro.codegen.strip import strip
+from repro.core import observability
 from repro.core.errors import FailureReport, handle_failure
 from repro.core.types import TypeName
 from repro.vuc.context import DEFAULT_WINDOW, extract_vuc
@@ -163,6 +164,7 @@ def extract_unlabeled_vucs(
     window: int = DEFAULT_WINDOW,
     on_error: str = "raise",
     failures: FailureReport | None = None,
+    metrics: bool = True,
 ) -> list[tuple[str, tuple[Tokens, ...]]]:
     """Inference-side extraction: (variable_id, tokens) pairs.
 
@@ -173,8 +175,14 @@ def extract_unlabeled_vucs(
     a function whose listing cannot be located/windowed (undecodable
     bytes, hostile instructions) is recorded into ``failures`` and
     dropped, and every healthy function still contributes its VUCs.
+
+    With ``metrics`` (callers pass ``CatiConfig.metrics_enabled``),
+    per-function ``locate``/``window`` spans are recorded into the
+    global registry, nested under whatever span the caller holds.
     """
     out: list[tuple[str, tuple[Tokens, ...]]] = []
+    registry = observability.get_registry() if metrics else observability.MetricsRegistry(
+        enabled=False)
     for func_index, func in enumerate(stripped.functions):
         extents = extents_by_function[func_index] if func_index < len(extents_by_function) else []
         if not extents:
@@ -182,11 +190,14 @@ def extract_unlabeled_vucs(
         scope = f"{stripped.name}/{func_index}"
         func_out: list[tuple[str, tuple[Tokens, ...]]] = []
         try:
-            targets = locate_targets(func)
-            for group in group_targets(targets, extents, scope):
-                for target in group.targets:
-                    vuc = extract_vuc(func, target.index, window)
-                    func_out.append((group.variable_id, generalize_window(vuc.window)))
+            with registry.span("locate"):
+                targets = locate_targets(func)
+                groups = group_targets(targets, extents, scope)
+            with registry.span("window"):
+                for group in groups:
+                    for target in group.targets:
+                        vuc = extract_vuc(func, target.index, window)
+                        func_out.append((group.variable_id, generalize_window(vuc.window)))
         except Exception as exc:
             handle_failure(exc, on_error=on_error, failures=failures,
                            stage="extract", binary=stripped.name,
