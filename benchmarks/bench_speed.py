@@ -15,6 +15,11 @@ on the classify+vote and occlusion hot paths, records throughput
 observability counters and the measured overhead of instrumentation
 (metrics enabled vs disabled on the engine hot path), which the
 acceptance criteria cap at 5%.
+
+``test_bundle_io`` adds the artifact-I/O trajectory: ModelBundle
+save / checksum verify / load (cold and warm-started) on the full
+trained model, merged into the same ``BENCH_speed.json`` under
+``"artifacts"``.
 """
 
 import json
@@ -212,3 +217,55 @@ def test_engine_speedup(gcc_context):
     assert occlusion_speedup >= 5.0
     # Observability must be effectively free on the hot path.
     assert metrics_overhead < 0.05
+
+
+def test_bundle_io(gcc_context, tmp_path):
+    """ModelBundle save / verify / load microbenchmark; merges into
+    BENCH_speed.json so artifact I/O joins the perf trajectory."""
+    from repro.core.artifacts import ModelBundle
+    from repro.core.pipeline import Cati
+
+    cati = gcc_context.cati
+    directory = tmp_path / "bundle"
+
+    cati.save(str(directory))  # warm up (allocators, page cache)
+    save_s = _best_of(lambda: cati.save(str(directory)))
+
+    bundle = ModelBundle.open(str(directory))
+    verify_s = _best_of(bundle.verify)
+    load_s = _best_of(lambda: Cati.load(str(directory)))
+    warm_load_s = _best_of(lambda: Cati.load(str(directory), warm_start=True))
+
+    total_bytes = sum(entry["bytes"] for entry in bundle.manifest["files"].values())
+    total_bytes += (directory / "manifest.json").stat().st_size
+
+    # Round trip must preserve the model bit-for-bit at engine precision.
+    windows = [sample.tokens for sample in list(gcc_context.corpus.test)[:200]]
+    loaded = Cati.load(str(directory), warm_start=True)
+    assert np.abs(
+        loaded.engine.leaf_proba(windows) - cati.predict_vuc_proba(windows)
+    ).max() <= 1e-6
+
+    report = json.loads(_ARTIFACT.read_text()) if _ARTIFACT.exists() else {}
+    report["artifacts"] = {
+        "bundle_bytes": total_bytes,
+        "save_seconds": save_s,
+        "verify_seconds": verify_s,
+        "load_seconds": load_s,
+        "load_warm_start_seconds": warm_load_s,
+        "save_mb_per_s": total_bytes / save_s / 1e6,
+        "verify_mb_per_s": total_bytes / verify_s / 1e6,
+    }
+    _ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(f"bundle: {total_bytes / 1e6:.1f} MB; save {save_s * 1e3:.0f} ms, "
+          f"verify {verify_s * 1e3:.0f} ms, load {load_s * 1e3:.0f} ms "
+          f"(warm-start {warm_load_s * 1e3:.0f} ms)")
+    print(f"wrote {_ARTIFACT}")
+
+    # Artifact I/O must stay interactive: well under the per-binary
+    # inference budget.
+    assert save_s < 30.0
+    assert load_s < 10.0
+    assert verify_s < 10.0

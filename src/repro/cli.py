@@ -2,11 +2,14 @@
 
 Commands:
 
-* ``train``       — build a corpus, train CATI, save the model.
+* ``train``       — build a corpus, train CATI, save the model bundle.
 * ``infer``       — load a model, compile+strip a seeded demo binary,
                     print inferred variable types against ground truth.
 * ``experiment``  — run one paper experiment by name and print its table.
 * ``corpus-stats``— print Table I-style statistics for a corpus.
+* ``model``       — artifact tooling: ``inspect`` prints a bundle's
+                    manifest and verifies its checksums; ``migrate``
+                    upgrades a pre-bundle model directory.
 
 ``infer`` and ``experiment`` take ``--metrics-out PATH`` to dump the
 run's observability report (per-phase spans, engine cache counters,
@@ -84,7 +87,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     config = CatiConfig(job_timeout=args.job_timeout,
                         tool_timeout=args.tool_timeout,
                         metrics_enabled=not args.no_metrics)
-    cati = Cati.load(args.model_dir, config=config)
+    cati = Cati.load(args.model_dir, config=config, warm_start=True)
     compiler = compiler_by_name(args.compiler)
     binary = compiler.compile_fresh(seed=args.seed, name="cli-demo", opt_level=args.opt_level)
     truth = {}
@@ -179,6 +182,46 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_model_inspect(args: argparse.Namespace) -> int:
+    from repro.core.artifacts import ModelBundle
+    from repro.core.errors import ArtifactError
+
+    try:
+        bundle = ModelBundle.open(args.model_dir)
+    except ArtifactError as error:
+        print(f"not a readable bundle: {error}", file=sys.stderr)
+        return 2
+    problems = bundle.problems()
+    if args.json:
+        print(json.dumps({"manifest": bundle.manifest, "problems": problems},
+                         indent=2, sort_keys=True))
+    else:
+        print(bundle.describe())
+        if problems:
+            print("\nintegrity: FAILED")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print("\nintegrity: OK (all checksums verified)")
+    return 1 if problems else 0
+
+
+def _cmd_model_migrate(args: argparse.Namespace) -> int:
+    from repro.core.artifacts import ModelBundle
+    from repro.core.config import CatiConfig
+    from repro.core.errors import ArtifactError
+
+    config = CatiConfig(window=args.window)
+    try:
+        bundle = ModelBundle.migrate(args.model_dir, dest=args.dest, config=config)
+    except ArtifactError as error:
+        print(f"migration failed: {error}", file=sys.stderr)
+        return 2
+    print(f"migrated {args.model_dir} -> {bundle.directory}")
+    print(bundle.describe())
+    return 0
+
+
 def _cmd_corpus_stats(args: argparse.Namespace) -> int:
     from repro.datasets.corpus import build_corpus, build_small_corpus
     from repro.experiments import table1
@@ -224,6 +267,26 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("corpus-stats", help="Table I statistics for a corpus")
     stats.add_argument("--small", action="store_true")
     stats.set_defaults(func=_cmd_corpus_stats)
+
+    model = sub.add_parser("model", help="inspect or migrate saved model artifacts")
+    model_sub = model.add_subparsers(dest="model_command", required=True)
+
+    inspect = model_sub.add_parser(
+        "inspect", help="print a bundle's manifest and verify its checksums")
+    inspect.add_argument("model_dir")
+    inspect.add_argument("--json", action="store_true",
+                         help="emit the manifest + problems as JSON")
+    inspect.set_defaults(func=_cmd_model_inspect)
+
+    migrate = model_sub.add_parser(
+        "migrate", help="upgrade a legacy word2vec.npz + stages/ directory to a bundle")
+    migrate.add_argument("model_dir")
+    migrate.add_argument("--dest", default=None,
+                         help="write the bundle here (default: upgrade in place)")
+    migrate.add_argument("--window", type=int, default=10,
+                         help="context window the legacy model was trained with "
+                              "(not recoverable from the arrays; default 10)")
+    migrate.set_defaults(func=_cmd_model_migrate)
     return parser
 
 

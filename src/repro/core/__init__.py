@@ -26,6 +26,11 @@ from repro.core.types import (
 from repro.core.voting import DEFAULT_THRESHOLD, clip_confidences, vote, vote_many, vote_scores
 
 _LAZY = {
+    "ModelBundle": ("repro.core.artifacts", "ModelBundle"),
+    "ArtifactError": ("repro.core.errors", "ArtifactError"),
+    "BundleSchemaError": ("repro.core.errors", "BundleSchemaError"),
+    "BundleIntegrityError": ("repro.core.errors", "BundleIntegrityError"),
+    "ConfigMismatchError": ("repro.core.errors", "ConfigMismatchError"),
     "CatiError": ("repro.core.errors", "CatiError"),
     "ToolchainError": ("repro.core.errors", "ToolchainError"),
     "DecodeError": ("repro.core.errors", "DecodeError"),
@@ -68,6 +73,11 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "ModelBundle",
+    "ArtifactError",
+    "BundleSchemaError",
+    "BundleIntegrityError",
+    "ConfigMismatchError",
     "CatiError",
     "ToolchainError",
     "DecodeError",

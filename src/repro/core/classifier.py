@@ -151,12 +151,28 @@ class MultiStageClassifier:
 
     # -- persistence ---------------------------------------------------------------
 
-    def save(self, directory: str) -> None:
-        os.makedirs(directory, exist_ok=True)
-        for stage, stage_model in self.stages.items():
-            stage_model.model.save(os.path.join(directory, f"{stage.value}.npz"))
+    def get_state(self) -> dict[str, dict[str, np.ndarray]]:
+        """Per-stage weight dicts keyed by stage name (``"Stage1"``...).
 
-    def load(self, directory: str, input_length: int, input_channels: int) -> None:
+        This is the classifier's contribution to a
+        :class:`repro.core.artifacts.ModelBundle`; ``save``/``load``
+        below remain as the legacy one-file-per-stage directory format.
+        """
+        return {stage.value: stage_model.model.get_state()
+                for stage, stage_model in self.stages.items()}
+
+    def load_state(self, states: dict[str, dict[str, np.ndarray]],
+                   input_length: int, input_channels: int) -> None:
+        """Restore all six stages from a :meth:`get_state` dict.
+
+        Rebuilds each stage's architecture from the config and validates
+        every array shape (``ValueError`` on any mismatch, nothing
+        half-applied).
+        """
+        for stage, spec in STAGE_SPECS.items():
+            if stage.value not in states:
+                raise ValueError(f"classifier state lacks stage {stage.value!r}")
+        fresh: dict[Stage, StageModel] = {}
         for stage, spec in STAGE_SPECS.items():
             model = build_cati_cnn(
                 input_length=input_length,
@@ -167,5 +183,22 @@ class MultiStageClassifier:
                 dropout=self.config.dropout,
                 seed=self.config.seed,
             )
-            model.load(os.path.join(directory, f"{stage.value}.npz"))
-            self.stages[stage] = StageModel(spec=spec, model=model)
+            try:
+                model.load_state(states[stage.value])
+            except ValueError as error:
+                raise ValueError(f"stage {stage.value}: {error}") from error
+            fresh[stage] = StageModel(spec=spec, model=model)
+        self.stages = fresh
+
+    def save(self, directory: str) -> None:
+        os.makedirs(directory, exist_ok=True)
+        for stage, stage_model in self.stages.items():
+            stage_model.model.save(os.path.join(directory, f"{stage.value}.npz"))
+
+    def load(self, directory: str, input_length: int, input_channels: int) -> None:
+        states: dict[str, dict[str, np.ndarray]] = {}
+        for stage in STAGE_SPECS:
+            path = os.path.join(directory, f"{stage.value}.npz")
+            with np.load(path) as data:
+                states[stage.value] = dict(data)
+        self.load_state(states, input_length, input_channels)

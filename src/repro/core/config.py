@@ -7,6 +7,7 @@ Defaults follow the paper where it states values (window 10, token dim
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.embedding.word2vec import Word2VecConfig
@@ -60,6 +61,42 @@ class CatiConfig:
         if self.job_timeout is not None and self.job_timeout <= 0:
             raise ValueError("job_timeout must be > 0 (or None to wait forever)")
         self.word2vec.dim = self.token_dim
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every knob (nested word2vec included).
+
+        The exact inverse of :meth:`from_dict`; this is what
+        :class:`repro.core.artifacts.ModelBundle` freezes into
+        ``manifest.json`` so a load can restore the training-time
+        configuration instead of trusting the caller's.
+        """
+        data = dataclasses.asdict(self)
+        data["conv_channels"] = list(self.conv_channels)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CatiConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown fields raise ``ValueError`` — a manifest written by a
+        newer code version must not be silently half-applied.
+        """
+        data = dict(data)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown CatiConfig fields: {', '.join(unknown)}")
+        word2vec = data.get("word2vec")
+        if isinstance(word2vec, dict):
+            w2v_known = {f.name for f in dataclasses.fields(Word2VecConfig)}
+            w2v_unknown = sorted(set(word2vec) - w2v_known)
+            if w2v_unknown:
+                raise ValueError(
+                    f"unknown Word2VecConfig fields: {', '.join(w2v_unknown)}")
+            data["word2vec"] = Word2VecConfig(**word2vec)
+        if "conv_channels" in data:
+            data["conv_channels"] = tuple(data["conv_channels"])
+        return cls(**data)
 
     @property
     def vuc_length(self) -> int:

@@ -319,6 +319,18 @@ class InferenceEngine:
         first = self._ops[0][0][1].shape
         return all(ops[0][1].shape == first for ops in self._ops)  # type: ignore[union-attr]
 
+    def warm_start(self) -> None:
+        """Compile the float32 kernels now instead of on the first batch.
+
+        ``Cati.load(..., warm_start=True)`` calls this right after a
+        bundle load so a freshly deserialized model serves its first
+        request at steady-state latency (the stacked conv mirrors and
+        cascade applicability check are built from the just-restored
+        weights).
+        """
+        with self._span("engine.warm_start"):
+            self._require_ops()
+
     def refresh(self) -> None:
         """Drop compiled kernels and cached rows (call after retraining)."""
         self._ops = None

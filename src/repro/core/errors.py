@@ -14,7 +14,11 @@ Everything the pipeline can throw at a caller derives from
     ├── DwarfError       malformed or truncated debug information
     │   └── repro.dwarf.native.NativeDwarfError
     │   └── repro.dwarf.decode.DwarfDecodeError
-    └── InferenceError   extraction / voting / worker-pool failures
+    ├── InferenceError   extraction / voting / worker-pool failures
+    └── ArtifactError    model-bundle persistence failures
+        ├── BundleSchemaError     missing/malformed manifest, unknown schema
+        ├── BundleIntegrityError  checksum/shape mismatch, missing payload
+        └── ConfigMismatchError   caller config conflicts with the saved one
 
 The concrete subclasses double-inherit ``ValueError`` so existing
 ``except ValueError`` call sites (and tests) keep working.
@@ -125,6 +129,45 @@ class InferenceError(CatiError, ValueError):
     """Extraction, voting, or worker-pool failure during inference."""
 
 
+class ArtifactError(CatiError):
+    """A model bundle is missing, malformed, or failed verification.
+
+    ``path`` is the bundle directory (or file) the failure is about;
+    it also rides along in :meth:`CatiError.context` output.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None, **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.path = path
+
+    def context(self) -> dict[str, str]:
+        out = super().context()
+        if self.path is not None:
+            out["path"] = self.path
+        return out
+
+
+class BundleSchemaError(ArtifactError):
+    """The manifest is missing, unparseable, or a foreign/stale schema."""
+
+
+class BundleIntegrityError(ArtifactError):
+    """A payload file is missing, tampered with, or mis-shaped."""
+
+
+class ConfigMismatchError(ArtifactError):
+    """The caller's config conflicts with the bundle's saved config.
+
+    ``mismatches`` maps each conflicting field name to its
+    ``(saved, given)`` value pair.
+    """
+
+    def __init__(self, message: str, *, mismatches: dict[str, tuple] | None = None,
+                 **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.mismatches = dict(mismatches or {})
+
+
 #: Which taxonomy class wraps a foreign exception raised at each stage.
 _STAGE_WRAPPERS: dict[str, type[CatiError]] = {
     "toolchain": ToolchainError,
@@ -132,6 +175,7 @@ _STAGE_WRAPPERS: dict[str, type[CatiError]] = {
     "elf": DecodeError,
     "decode": DecodeError,
     "dwarf": DwarfError,
+    "artifacts": ArtifactError,
 }
 
 

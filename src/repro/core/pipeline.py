@@ -21,6 +21,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.artifacts import ModelBundle, provenance_from_training
+from repro.core.errors import ArtifactError
+
 from repro.codegen.binary import Binary
 from repro.core.classifier import MultiStageClassifier
 from repro.core.config import CatiConfig
@@ -103,6 +106,8 @@ class Cati:
         self.encoder: VucEncoder | None = None
         self.classifier = MultiStageClassifier(self.config)
         self._engine: InferenceEngine | None = None
+        #: Train provenance stamped into saved bundles (who/when/on what).
+        self.provenance: dict = {}
 
     # -- training ------------------------------------------------------------------
 
@@ -117,6 +122,7 @@ class Cati:
         self.embedding = Word2Vec(vocab, self.config.word2vec).train(sequences)
         self.encoder = VucEncoder(self.embedding)
         self._engine = None
+        self.provenance = provenance_from_training(len(dataset), len(vocab))
         x = self.encoder.encode_batch([sample.tokens for sample in dataset])
         labels = [sample.label for sample in dataset]
         self.classifier.train(x, labels, verbose=verbose)
@@ -127,7 +133,7 @@ class Cati:
         return [token for triple in tokens for token in triple]
 
     def _require_trained(self) -> VucEncoder:
-        if self.encoder is None:
+        if self.encoder is None or self.embedding is None:
             raise RuntimeError("Cati is not trained; call train() or load() first")
         return self.encoder
 
@@ -199,21 +205,71 @@ class Cati:
 
     # -- persistence ------------------------------------------------------------------------------
 
-    def save(self, directory: str) -> None:
-        os.makedirs(directory, exist_ok=True)
-        assert self.embedding is not None, "train before saving"
-        self.embedding.save(os.path.join(directory, "word2vec.npz"))
-        self.classifier.save(os.path.join(directory, "stages"))
+    def save(self, directory: str) -> "ModelBundle":
+        """Write a versioned, checksummed model bundle (atomic).
+
+        The bundle's ``manifest.json`` freezes this Cati's full config,
+        vocab size, per-file SHA-256 checksums, tensor shapes and train
+        provenance; see :mod:`repro.core.artifacts`.
+        """
+        self._require_trained()
+        assert self.embedding is not None  # narrowed by _require_trained
+        return ModelBundle.save(
+            directory,
+            config=self.config,
+            embedding=self.embedding,
+            classifier=self.classifier,
+            provenance=self.provenance,
+        )
 
     @classmethod
-    def load(cls, directory: str, config: CatiConfig | None = None) -> "Cati":
-        cati = cls(config)
-        cati.embedding = Word2Vec.load(os.path.join(directory, "word2vec.npz"))
-        cati.encoder = VucEncoder(cati.embedding)
+    def load(cls, directory: str, config: CatiConfig | None = None,
+             warm_start: bool = False) -> "Cati":
+        """Load a saved model, restoring its saved config.
+
+        For a bundle directory the manifest's config snapshot is
+        authoritative: with ``config=None`` it is restored verbatim, and
+        an explicit ``config`` whose structural fields disagree raises
+        :class:`~repro.core.errors.ConfigMismatchError` naming each
+        mismatched field (see
+        :data:`repro.core.artifacts.STRUCTURAL_FIELDS`).  Every payload
+        is checksum-verified before its arrays are trusted.
+
+        Pre-bundle (legacy) directories — bare ``word2vec.npz`` +
+        ``stages/`` — still load, shaped by ``config`` exactly as
+        before; ``python -m repro model migrate`` upgrades them.
+
+        ``warm_start=True`` additionally compiles the inference
+        engine's float32 kernels now, so the first ``infer_binary``
+        call does not pay the compile latency.
+        """
+        if ModelBundle.is_bundle(directory):
+            bundle = ModelBundle.open(directory)
+            resolved = bundle.resolve_config(config)
+            cati = cls(resolved)
+            cati.embedding = bundle.load_embedding()
+            cati.encoder = VucEncoder(cati.embedding)
+            cati.classifier.load_state(
+                bundle.load_classifier_state(),
+                input_length=resolved.vuc_length,
+                input_channels=resolved.instruction_dim,
+            )
+            cati.provenance = dict(bundle.manifest.get("provenance") or {})
+        elif ModelBundle.is_legacy(directory):
+            cati = cls(config)
+            cati.embedding = Word2Vec.load(os.path.join(directory, "word2vec.npz"))
+            cati.encoder = VucEncoder(cati.embedding)
+            cati.classifier.load(
+                os.path.join(directory, "stages"),
+                input_length=cati.config.vuc_length,
+                input_channels=cati.config.instruction_dim,
+            )
+            cati.provenance = {"legacy_dir": str(directory)}
+        else:
+            raise ArtifactError(
+                f"{directory} is neither a model bundle nor a legacy "
+                "model directory", path=str(directory), stage="artifacts")
         cati._engine = None
-        cati.classifier.load(
-            os.path.join(directory, "stages"),
-            input_length=cati.config.vuc_length,
-            input_channels=cati.config.instruction_dim,
-        )
+        if warm_start:
+            cati.engine.warm_start()
         return cati

@@ -179,26 +179,49 @@ class Word2Vec:
 
     # -- persistence -----------------------------------------------------------------
 
-    def save(self, path: str) -> None:
+    def get_state(self) -> dict[str, np.ndarray]:
+        """Serializable array dict: vectors, vocab tokens/counts, dim.
+
+        Consumed by :class:`repro.core.artifacts.ModelBundle`; the
+        legacy ``save``/``load`` pair below writes the same dict to a
+        standalone ``.npz``.
+        """
         tokens = list(self.vocab.token_to_id)
-        np.savez_compressed(
-            path,
-            vectors=self.vectors,
-            context_vectors=self.context_vectors,
-            tokens=np.asarray(tokens, dtype=object),
-            counts=self.vocab.counts,
-            dim=self.config.dim,
+        return {
+            "vectors": self.vectors,
+            "context_vectors": self.context_vectors,
+            "tokens": np.asarray(tokens, dtype=object),
+            "counts": self.vocab.counts,
+            "dim": np.asarray(self.config.dim),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "Word2Vec":
+        """Rebuild a trained embedding from a :meth:`get_state` dict."""
+        for key in ("vectors", "context_vectors", "tokens", "counts", "dim"):
+            if key not in state:
+                raise ValueError(f"embedding state lacks array {key!r}")
+        vocab = Vocab(
+            token_to_id={str(t): i for i, t in enumerate(state["tokens"])},
+            counts=np.asarray(state["counts"]),
         )
+        model = cls(vocab, Word2VecConfig(dim=int(state["dim"])))
+        vectors = np.asarray(state["vectors"])
+        context_vectors = np.asarray(state["context_vectors"])
+        expected = (len(vocab), model.config.dim)
+        if vectors.shape != expected or context_vectors.shape != expected:
+            raise ValueError(
+                f"embedding arrays have shapes {vectors.shape}/"
+                f"{context_vectors.shape}, vocabulary expects {expected}")
+        model.vectors = vectors
+        model.context_vectors = context_vectors
+        model._trained = True
+        return model
+
+    def save(self, path: str) -> None:
+        np.savez_compressed(path, **self.get_state())
 
     @classmethod
     def load(cls, path: str) -> "Word2Vec":
-        data = np.load(path, allow_pickle=True)
-        vocab = Vocab(
-            token_to_id={str(t): i for i, t in enumerate(data["tokens"])},
-            counts=data["counts"],
-        )
-        model = cls(vocab, Word2VecConfig(dim=int(data["dim"])))
-        model.vectors = data["vectors"]
-        model.context_vectors = data["context_vectors"]
-        model._trained = True
-        return model
+        with np.load(path, allow_pickle=True) as data:
+            return cls.from_state(dict(data))

@@ -16,6 +16,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.codegen.compilers import ClangCompiler, Compiler, GccCompiler
+from repro.core.artifacts import ModelBundle
 from repro.core.config import CatiConfig
 from repro.core.pipeline import Cati
 from repro.core.types import STAGE_SPECS, Stage, TypeName, stage_label
@@ -55,11 +56,40 @@ def _build_corpus(compiler: Compiler) -> Corpus:
     return corpus
 
 
+def _load_cached_model(cache_dir: Path, config: CatiConfig) -> Cati | None:
+    """A verified model from the cache, or None when a retrain is due.
+
+    The cache is trusted only when it is a :class:`ModelBundle` whose
+    manifest parses (current schema) and whose checksums all hold —
+    corrupt, tampered, or stale-schema caches retrain exactly as a
+    missing cache does.  A pre-bundle (legacy) cache is loaded once and
+    upgraded to a bundle in place.
+    """
+    if ModelBundle.is_bundle(cache_dir):
+        try:
+            bundle = ModelBundle.open(cache_dir)
+            bundle.verify()
+            return Cati.load(str(cache_dir), config, warm_start=True)
+        except Exception as error:  # corrupt/stale cache -> retrain
+            print(f"[context] cached model failed verification ({error!r}); retraining")
+            return None
+    if ModelBundle.is_legacy(cache_dir):
+        try:
+            cati = Cati.load(str(cache_dir), config)
+            cati.save(str(cache_dir))
+            print(f"[context] migrated legacy model cache {cache_dir} to a bundle")
+            return cati
+        except Exception as error:
+            print(f"[context] legacy cache unreadable ({error!r}); retraining")
+    return None
+
+
 def get_context(compiler_name: str = "gcc", refresh: bool = False) -> ExperimentContext:
     """The shared trained context for one compiler's corpus.
 
     Training happens once; the trained embedding + stage models are
-    cached under ``.cache/cati-<compiler>/`` and reloaded afterwards.
+    cached as a verified model bundle under ``.cache/cati-<compiler>/``
+    and reloaded (checksums and schema checked) afterwards.
     """
     cached = _MEMORY_CACHE.get(compiler_name)
     if cached is not None and not refresh:
@@ -68,13 +98,7 @@ def get_context(compiler_name: str = "gcc", refresh: bool = False) -> Experiment
     config = default_config()
     corpus = _build_corpus(compiler)
     cache_dir = CACHE_ROOT / f"cati-{compiler_name}"
-    marker = cache_dir / "stages" / "Stage1.npz"
-    cati = None
-    if marker.exists() and not refresh:
-        try:
-            cati = Cati.load(str(cache_dir), config)
-        except Exception as error:  # corrupt/stale cache -> retrain
-            print(f"[context] cached model unreadable ({error!r}); retraining")
+    cati = None if refresh else _load_cached_model(cache_dir, config)
     if cati is None:
         cati = Cati(config).train(corpus.train)
         cati.save(str(cache_dir))

@@ -110,14 +110,33 @@ class Sequential:
 
     # -- persistence ------------------------------------------------------------------
 
+    def get_state(self) -> dict[str, np.ndarray]:
+        """Flat ``{"<layer>.<param>": array}`` snapshot of every weight."""
+        return {key: value for key, value, _grad in self.params()}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore weights from a :meth:`get_state` dict, validating shapes.
+
+        Missing keys and shape mismatches raise ``ValueError`` naming the
+        offending parameter — a mis-sized load must never half-apply.
+        """
+        for key, value, _grad in self.params():
+            if key not in state:
+                raise ValueError(f"model state lacks parameter {key!r}")
+            source = np.asarray(state[key])
+            if source.shape != value.shape:
+                raise ValueError(
+                    f"parameter {key!r} has shape {source.shape}, "
+                    f"model expects {value.shape}")
+        for key, value, _grad in self.params():
+            value[...] = state[key]
+
     def save(self, path: str) -> None:
-        state = {key: value for key, value, _grad in self.params()}
-        np.savez_compressed(path, **state)
+        np.savez_compressed(path, **self.get_state())
 
     def load(self, path: str) -> None:
-        data = np.load(path)
-        for key, value, _grad in self.params():
-            value[...] = data[key]
+        with np.load(path) as data:
+            self.load_state(dict(data))
 
 
 def build_cati_cnn(
