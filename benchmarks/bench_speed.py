@@ -20,9 +20,17 @@ acceptance criteria cap at 5%.
 save / checksum verify / load (cold and warm-started) on the full
 trained model, merged into the same ``BENCH_speed.json`` under
 ``"artifacts"``.
+
+``test_serve_throughput`` races the serving daemon (8 concurrent HTTP
+clients through the micro-batching scheduler) against the raw engine
+run over the same request-sized chunks, and records served VUC/s,
+client-side p50/p99 latency and scheduler queue/batch statistics under
+``"serve"``.
 """
 
 import json
+import os
+import threading
 import time
 from pathlib import Path
 
@@ -217,6 +225,161 @@ def test_engine_speedup(gcc_context):
     assert occlusion_speedup >= 5.0
     # Observability must be effectively free on the hot path.
     assert metrics_overhead < 0.05
+
+
+def test_serve_throughput(gcc_context, tmp_path):
+    """Served vs raw-engine throughput on one request stream.
+
+    Both sides run the same 16 chunks cold-cache: offline as serial
+    ``engine.predict_variables`` calls (the raw per-request engine
+    path), served as 8 concurrent clients whose requests the scheduler
+    coalesces into larger engine batches — which is what must pay for
+    the HTTP + JSON overhead.  Acceptance: served throughput within 10%
+    of the raw path (given a core to overlap on — see the assertion),
+    and byte-identical prediction identities.
+    """
+    from repro.serve import protocol
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeDaemon
+
+    cati = gcc_context.cati
+    engine = cati.engine
+    samples = list(gcc_context.corpus.test)[:4000]
+    windows = [sample.tokens for sample in samples]
+    variable_ids = [f"var{i // 4}" for i in range(len(windows))]
+    n_clients, n_requests = 8, 16
+    per_request = (len(windows) + n_requests - 1) // n_requests
+    chunks = [(windows[i:i + per_request], variable_ids[i:i + per_request])
+              for i in range(0, len(windows), per_request)]
+
+    def offline():
+        engine.clear_cache()
+        return [engine.predict_variables(w, v) for w, v in chunks]
+
+    offline_results = offline()  # also warms the f32 kernels
+    offline_s = _best_of(offline, repeats=3)
+
+    bundle_dir = tmp_path / "serve-bundle"
+    cati.save(str(bundle_dir))
+    daemon = ServeDaemon(str(bundle_dir), port=0, queue_limit=64)
+    serve_thread = threading.Thread(target=daemon.run, daemon=True)
+    serve_thread.start()
+    client = ServeClient(daemon.host, daemon.port, timeout=300)
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        try:
+            client.health()
+            break
+        except OSError:
+            time.sleep(0.05)
+
+    # The packed wire form — what ServeClient.infer_windows sends; the
+    # nested-list form costs ~10x more JSON parsing server-side.
+    bodies = [{"windows_packed": protocol.pack_windows(chunk_windows),
+               "variable_ids": chunk_ids}
+              for chunk_windows, chunk_ids in chunks]
+
+    responses: list = [None] * len(bodies)
+    latencies: list = [None] * len(bodies)
+
+    def run_clients() -> float:
+        def worker(client_index: int) -> None:
+            for request_index in range(client_index, len(bodies), n_clients):
+                t0 = time.perf_counter()
+                responses[request_index] = client.infer(bodies[request_index])
+                latencies[request_index] = time.perf_counter() - t0
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(n_clients)]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - t0
+
+    # Warm the HTTP/scheduler path with windows that don't seed the
+    # daemon engine's dedup cache for the measured stream.
+    client.infer({"windows": [[["warm", "reg", "mem"]]], "variable_ids": ["w"]})
+    # Cold barrages are the served twin of the offline cold-cache
+    # measurement: clear the daemon engine's dedup cache before each
+    # repeat (same best-of discipline as offline()).
+    daemon_engine = daemon.model_host.acquire()[1]
+
+    def served_cold() -> float:
+        daemon_engine.clear_cache()
+        return run_clients()
+
+    served_cold_s = _best_of(served_cold, repeats=3)
+    cold_latencies = list(latencies)
+    served_warm_s = run_clients()  # dedup-cache-warm, for the record
+
+    served = sorted(cold_latencies)
+    report_serve = {
+        "cpu_count": os.cpu_count(),
+        "n_windows": len(windows),
+        "n_requests": len(bodies),
+        "n_clients": n_clients,
+        "windows_per_request": per_request,
+        "offline_engine_seconds": offline_s,
+        "served_seconds": served_cold_s,
+        "served_warm_cache_seconds": served_warm_s,
+        "offline_vucs_per_s": len(windows) / offline_s,
+        "served_vucs_per_s": len(windows) / served_cold_s,
+        "served_over_offline": offline_s / served_cold_s,
+        "latency": {
+            "p50_s": served[len(served) // 2],
+            "p99_s": served[-1],
+            "mean_s": sum(served) / len(served),
+        },
+    }
+    snapshot = client.metrics()
+    for key, out in (("serve.batch.windows", "batch_windows"),
+                     ("serve.batch.requests", "batch_requests"),
+                     ("serve.queue.depth", "queue_depth")):
+        hist = snapshot["histograms"].get(key)
+        if hist:
+            report_serve[out] = {"count": hist["count"], "mean": hist["mean"],
+                                 "max": hist["max"]}
+    health = client.health()
+    report_serve["healthz_latency"] = health["latency"]
+
+    daemon.request_shutdown()
+    serve_thread.join(timeout=30)
+    assert not serve_thread.is_alive()
+
+    # Served results must carry the same prediction identities.
+    for response, reference in zip(responses, offline_results):
+        assert ([(p["variable_id"], p["type"], p["n_vucs"])
+                 for p in response["predictions"]]
+                == [(p.variable_id, str(p.predicted), p.n_vucs)
+                    for p in reference])
+
+    report = json.loads(_ARTIFACT.read_text()) if _ARTIFACT.exists() else {}
+    report["serve"] = report_serve
+    _ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(f"serve: {len(windows)} VUCs over {len(bodies)} requests x "
+          f"{n_clients} clients: offline {offline_s * 1e3:.0f} ms "
+          f"({report_serve['offline_vucs_per_s']:.0f} VUC/s), served "
+          f"{served_cold_s * 1e3:.0f} ms "
+          f"({report_serve['served_vucs_per_s']:.0f} VUC/s, warm "
+          f"{served_warm_s * 1e3:.0f} ms)")
+    print(f"serve latency: p50 {report_serve['latency']['p50_s'] * 1e3:.0f} ms, "
+          f"p99 {report_serve['latency']['p99_s'] * 1e3:.0f} ms; "
+          f"batches {report_serve.get('batch_windows', {})}")
+    print(f"wrote {_ARTIFACT}")
+
+    # The daemon must sustain the raw engine path's throughput (the
+    # coalesced batches have to pay for HTTP + JSON + scheduling).
+    # Overlapping that overhead with the engine's GEMMs needs a second
+    # core; on a one-core box wall time is necessarily engine CPU plus
+    # serving CPU, so the floor grows by the measured serving-only cost
+    # (the cache-warm barrage, where engine time is nil).
+    cores = os.cpu_count() or 1
+    pipeline_floor_s = offline_s + (served_warm_s if cores == 1 else 0.0)
+    assert served_cold_s <= 1.1 * pipeline_floor_s
 
 
 def test_bundle_io(gcc_context, tmp_path):

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local quality gate: lint + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [--faults | --docs] [extra pytest args...]
+# Usage: scripts/check.sh [--faults | --docs | --serve] [extra pytest args...]
 #
 #   --faults   run the fault-injection suite (tests/test_fault_tolerance.py)
 #              instead of the full tier-1 suite.
@@ -9,6 +9,10 @@
 #              EXPERIMENTS.md matches its generator section-for-section
 #              and every public CatiConfig field is documented in
 #              docs/OPERATIONS.md.
+#   --serve    run the serving smoke only (scripts/smoke_serve.py):
+#              train a mini model, launch `python -m repro serve` as a
+#              subprocess, check healthz / packed infer / hot reload /
+#              SIGTERM drain end to end.
 #
 # Lint is a hard gate: when ruff is installed, any finding fails the
 # script (set -e).  When ruff is absent we warn and continue, because
@@ -19,17 +23,26 @@ cd "$(dirname "$0")/.."
 
 FAULTS=0
 DOCS=0
+SERVE=0
 if [[ "${1:-}" == "--faults" ]]; then
     FAULTS=1
     shift
 elif [[ "${1:-}" == "--docs" ]]; then
     DOCS=1
     shift
+elif [[ "${1:-}" == "--serve" ]]; then
+    SERVE=1
+    shift
 fi
 
 if [[ "$DOCS" == "1" ]]; then
     echo "== docs drift gate =="
     exec python scripts/check_docs.py
+fi
+
+if [[ "$SERVE" == "1" ]]; then
+    echo "== serve smoke =="
+    exec python scripts/smoke_serve.py
 fi
 
 if command -v ruff >/dev/null 2>&1; then

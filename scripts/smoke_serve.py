@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""End-to-end smoke for the serving daemon (``scripts/check.sh --serve``).
+
+Trains a throwaway mini model, saves it as a bundle, launches
+``python -m repro serve`` as a real subprocess, then walks the serving
+surface the way an operator would:
+
+1. ``GET /healthz`` — version, model generation, queue snapshot;
+2. a packed ``windows`` job — predictions must match the offline
+   engine on the same windows;
+3. ``POST /v1/reload`` — generation bumps without dropping traffic;
+4. SIGTERM — the daemon drains and exits 0.
+
+Exit status is the smoke's verdict, so CI can run it directly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.codegen.compilers import GccCompiler  # noqa: E402
+from repro.codegen.strip import strip  # noqa: E402
+from repro.core.config import CatiConfig  # noqa: E402
+from repro.core.pipeline import Cati  # noqa: E402
+from repro.datasets.corpus import build_small_corpus  # noqa: E402
+from repro.embedding.word2vec import Word2VecConfig  # noqa: E402
+from repro.experiments.speed import extents_from_debug  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.vuc.dataset import extract_unlabeled_vucs  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"smoke_serve: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    print("smoke_serve: training mini model ...", flush=True)
+    corpus = build_small_corpus()
+    config = CatiConfig(
+        epochs=5, fc_width=64,
+        word2vec=Word2VecConfig(dim=32, window=5, epochs=1,
+                                subsample_pairs=0.4))
+    cati = Cati(config).train(corpus.train)
+
+    compiler = GccCompiler()
+    binary = compiler.compile_fresh(seed=77, name="smoke-serve", opt_level=1)
+    stripped, extents = strip(binary), extents_from_debug(binary)
+    pairs = extract_unlabeled_vucs(stripped, extents, config.window)
+    windows = [tokens for _variable_id, tokens in pairs]
+    variable_ids = [variable_id for variable_id, _tokens in pairs]
+    offline = cati.engine.predict_variables(windows, variable_ids)
+    expected = [(p.variable_id, str(p.predicted), p.n_vucs) for p in offline]
+
+    with tempfile.TemporaryDirectory(prefix="smoke-serve-") as scratch:
+        bundle_dir = os.path.join(scratch, "bundle")
+        cati.save(bundle_dir)
+
+        print("smoke_serve: starting daemon ...", flush=True)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--model-dir", bundle_dir, "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env={**os.environ,
+                 "PYTHONPATH": os.path.join(os.path.dirname(__file__),
+                                            "..", "src")})
+        try:
+            port = None
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if not line:
+                    fail("daemon exited before binding "
+                         f"(rc={process.poll()})")
+                print(f"  [daemon] {line.rstrip()}", flush=True)
+                if line.startswith("serving on http://"):
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            if port is None:
+                fail("daemon never printed its address")
+
+            client = ServeClient("127.0.0.1", port, timeout=120)
+
+            health = client.health()
+            if health["status"] != "ok":
+                fail(f"healthz status {health['status']!r}")
+            generation = health["model"]["generation"]
+            print(f"smoke_serve: healthz ok (repro {health['version']}, "
+                  f"model generation {generation})", flush=True)
+
+            response = client.infer_windows(windows, variable_ids)
+            served = [(p["variable_id"], p["type"], p["n_vucs"])
+                      for p in response["predictions"]]
+            if served != expected:
+                fail("served predictions diverge from the offline engine")
+            print(f"smoke_serve: {len(served)} served predictions match "
+                  "offline", flush=True)
+
+            reloaded = client.reload()
+            if reloaded["model"]["generation"] != generation + 1:
+                fail(f"reload did not bump the generation: {reloaded}")
+            response = client.infer_windows(windows, variable_ids)
+            served = [(p["variable_id"], p["type"], p["n_vucs"])
+                      for p in response["predictions"]]
+            if served != expected:
+                fail("post-reload predictions diverge")
+            print("smoke_serve: hot reload ok (generation "
+                  f"{reloaded['model']['generation']})", flush=True)
+
+            process.send_signal(signal.SIGTERM)
+            try:
+                rc = process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                fail("daemon did not drain within 60s of SIGTERM")
+            for line in process.stdout:
+                print(f"  [daemon] {line.rstrip()}", flush=True)
+            if rc != 0:
+                fail(f"daemon exited {rc} after SIGTERM")
+            print("smoke_serve: SIGTERM drain ok", flush=True)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+    print("smoke_serve: PASS", flush=True)
+
+
+if __name__ == "__main__":
+    main()

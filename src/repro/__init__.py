@@ -14,9 +14,11 @@ Public API tour:
 * :mod:`repro.datasets` / :mod:`repro.experiments` — corpora and the
   per-table/figure reproduction harness.
 * :mod:`repro.frontend` — optional real-binary path via gcc/objdump/readelf.
+* :mod:`repro.serve` — the batching inference daemon
+  (``python -m repro serve``) with admission control and hot reload.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 _LAZY = {
     "Cati": ("repro.core.pipeline", "Cati"),

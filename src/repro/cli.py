@@ -4,7 +4,12 @@ Commands:
 
 * ``train``       — build a corpus, train CATI, save the model bundle.
 * ``infer``       — load a model, compile+strip a seeded demo binary,
-                    print inferred variable types against ground truth.
+                    print inferred variable types against ground truth
+                    (``--json`` emits the serve wire schema instead).
+* ``serve``       — run the batching inference daemon over a bundle
+                    (see :mod:`repro.serve` and docs/OPERATIONS.md §7).
+* ``client``      — talk to a running daemon: health, metrics, reload,
+                    or a round-trip inference demo.
 * ``experiment``  — run one paper experiment by name and print its table.
 * ``corpus-stats``— print Table I-style statistics for a corpus.
 * ``model``       — artifact tooling: ``inspect`` prints a bundle's
@@ -24,7 +29,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 
 def _add_metrics_flags(parser: argparse.ArgumentParser) -> None:
@@ -54,9 +61,22 @@ def _dump_metrics(args: argparse.Namespace, failures=None) -> None:
         "metrics": observability.snapshot(),
         "failures": report.to_dict(),
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    # Atomic: a crash mid-dump (or a concurrent reader) must never see a
+    # truncated report, and a nested path must not require a manual mkdir.
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
     print(f"metrics report written to {path}")
 
 
@@ -74,19 +94,38 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _config_for_model(model_dir: str, **overrides) -> "CatiConfig":
+    """A config for loading ``model_dir`` with runtime knobs overridden.
+
+    For a bundle the manifest's config snapshot is authoritative for
+    the structural fields, so start from it and replace only the given
+    runtime knobs — a CLI built from defaults must load bundles trained
+    with any architecture. Legacy directories get plain defaults.
+    """
+    import dataclasses
+
+    from repro.core.artifacts import ModelBundle
+    from repro.core.config import CatiConfig
+
+    if ModelBundle.is_bundle(model_dir):
+        saved = ModelBundle.open(model_dir).saved_config()
+        return dataclasses.replace(saved, **overrides)
+    return CatiConfig(**overrides)
+
+
 def _cmd_infer(args: argparse.Namespace) -> int:
     from repro.codegen.compilers import compiler_by_name
     from repro.codegen.strip import strip
     from repro.codegen.binary import debug_variables
-    from repro.core.config import CatiConfig
     from repro.core.errors import FailureReport
     from repro.core.pipeline import Cati
     from repro.experiments.speed import extents_from_debug
 
     _apply_metrics_flags(args)
-    config = CatiConfig(job_timeout=args.job_timeout,
-                        tool_timeout=args.tool_timeout,
-                        metrics_enabled=not args.no_metrics)
+    config = _config_for_model(args.model_dir,
+                               job_timeout=args.job_timeout,
+                               tool_timeout=args.tool_timeout,
+                               metrics_enabled=not args.no_metrics)
     cati = Cati.load(args.model_dir, config=config, warm_start=True)
     compiler = compiler_by_name(args.compiler)
     binary = compiler.compile_fresh(seed=args.seed, name="cli-demo", opt_level=args.opt_level)
@@ -100,6 +139,20 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     failures = FailureReport()
     predictions = cati.infer_binary(strip(binary), extents_from_debug(binary),
                                     on_error=args.on_error, failures=failures)
+    if getattr(args, "json", False):
+        import repro
+        from repro.serve.protocol import build_infer_response
+
+        model = {
+            "bundle": args.model_dir,
+            "repro_version": repro.__version__,
+            "provenance": dict(cati.provenance or {}),
+        }
+        print(json.dumps(build_infer_response(
+            list(predictions), failures, model=model, binary="cli-demo"),
+            indent=2))
+        _dump_metrics(args, failures)
+        return 0
     hits = 0
     for prediction in predictions:
         true_label = truth.get(prediction.variable_id)
@@ -115,6 +168,93 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             where = record.function or record.binary or "?"
             print(f"  [{record.stage}] {where}: {record.kind}: {record.message}")
     _dump_metrics(args, failures)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeDaemon
+
+    _apply_metrics_flags(args)
+    config = _config_for_model(args.model_dir,
+                               metrics_enabled=not args.no_metrics,
+                               serve_max_batch=args.max_batch,
+                               serve_max_delay_ms=args.max_delay_ms)
+    daemon = ServeDaemon(
+        args.model_dir,
+        host=args.host,
+        port=args.port,
+        config=config,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline_s,
+        default_on_error=args.on_error,
+        watch=args.watch,
+        watch_interval_s=args.watch_interval,
+        verbose=args.verbose,
+    )
+    daemon.install_signal_handlers()
+    try:
+        return daemon.run()
+    finally:
+        _dump_metrics(args)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeClientError
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.client_command == "health":
+            print(json.dumps(client.health(), indent=2))
+        elif args.client_command == "metrics":
+            print(json.dumps(client.metrics(), indent=2))
+        elif args.client_command == "reload":
+            print(json.dumps(client.reload(args.new_model_dir), indent=2))
+        else:  # infer: compile the demo locally, upload it, score vs truth
+            return _client_infer(args, client)
+    except ServeClientError as error:
+        print(f"request failed: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _client_infer(args: argparse.Namespace, client) -> int:
+    from repro.codegen.binary import debug_variables
+    from repro.codegen.compilers import compiler_by_name
+    from repro.codegen.strip import strip
+    from repro.experiments.speed import extents_from_debug
+
+    compiler = compiler_by_name(args.compiler)
+    binary = compiler.compile_fresh(seed=args.seed, name="cli-demo",
+                                    opt_level=args.opt_level)
+    truth = {}
+    for func_index, func in enumerate(binary.functions):
+        for record in debug_variables(binary):
+            if record.function != func.name:
+                continue
+            base = "rbp" if record.frame_offset < 0 else "rsp"
+            truth[f"cli-demo/{func_index}::{base}{record.frame_offset:+d}"] = record.type_label
+    response = client.infer_binary(strip(binary), extents_from_debug(binary),
+                                   on_error=args.on_error)
+    if args.json:
+        print(json.dumps(response, indent=2))
+        return 0
+    hits = 0
+    for prediction in response["predictions"]:
+        true_label = truth.get(prediction["variable_id"])
+        match = true_label is not None and str(true_label) == prediction["type"]
+        hits += match
+        mark = "ok" if match else "  "
+        print(f"{mark} {prediction['variable_id']:30s} -> {prediction['type']:22s}"
+              f" (truth: {true_label}, {prediction['n_vucs']} VUCs)")
+    if response["predictions"]:
+        n = len(response["predictions"])
+        print(f"\naccuracy: {hits}/{n} = {hits / n:.0%}")
+    model = response.get("model", {})
+    print(f"served by generation {model.get('generation')} "
+          f"(repro {model.get('repro_version')})")
     return 0
 
 
@@ -256,8 +396,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds per worker-pool job (default: wait)")
     infer.add_argument("--tool-timeout", type=float, default=60.0,
                        help="seconds per external tool invocation")
+    infer.add_argument("--json", action="store_true",
+                       help="emit the serve wire schema (cati-infer-response/1) "
+                            "instead of the human-readable table")
     _add_metrics_flags(infer)
     infer.set_defaults(func=_cmd_infer)
+
+    serve = sub.add_parser(
+        "serve", help="run the batching inference daemon over a model bundle")
+    serve.add_argument("--model-dir", default=".cache/cli-model")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8417,
+                       help="listen port (0 picks a free one and prints it)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="pending requests beyond this are answered 503")
+    serve.add_argument("--max-batch", type=int, default=4096,
+                       help="max VUC windows coalesced per engine call")
+    serve.add_argument("--max-delay-ms", type=float, default=5.0,
+                       help="max wait to coalesce concurrent requests")
+    serve.add_argument("--deadline-s", type=float, default=None,
+                       help="default per-request deadline (504 past it)")
+    serve.add_argument("--on-error", choices=("raise", "skip"), default="skip",
+                       help="default per-request degradation policy")
+    serve.add_argument("--watch", action="store_true",
+                       help="poll the bundle dir and hot-reload on change")
+    serve.add_argument("--watch-interval", type=float, default=2.0,
+                       help="seconds between --watch polls")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    _add_metrics_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser("client", help="talk to a running serve daemon")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8417)
+    client.add_argument("--timeout", type=float, default=300.0)
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+    client_sub.add_parser("health", help="GET /healthz")
+    client_sub.add_parser("metrics", help="GET /metricsz")
+    reload_cmd = client_sub.add_parser("reload", help="POST /v1/reload")
+    reload_cmd.add_argument("--new-model-dir", default=None,
+                            help="switch the daemon to this bundle "
+                                 "(default: re-read its current one)")
+    client_infer = client_sub.add_parser(
+        "infer", help="compile a demo binary locally, type it via the daemon")
+    client_infer.add_argument("--compiler", default="gcc",
+                              choices=("gcc", "clang"))
+    client_infer.add_argument("--opt-level", type=int, default=1,
+                              choices=(0, 1, 2, 3))
+    client_infer.add_argument("--seed", type=int, default=1234)
+    client_infer.add_argument("--on-error", choices=("raise", "skip"),
+                              default="raise")
+    client_infer.add_argument("--json", action="store_true",
+                              help="print the raw response body")
+    client.set_defaults(func=_cmd_client)
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("name", choices=_EXPERIMENTS)

@@ -104,6 +104,12 @@ def _utc_now() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
+def _repro_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
 class ModelBundle:
     """One versioned model artifact directory (see module docstring)."""
 
@@ -337,6 +343,10 @@ class ModelBundle:
                         "bytes": path.stat().st_size,
                         "tensors": _npz_shapes(arrays),
                     }
+                stamped = dict(provenance or {})
+                # Which code version wrote the bundle; surfaced by
+                # `model inspect` and the serving daemon's /healthz.
+                stamped.setdefault("repro_version", _repro_version())
                 manifest = {
                     "format": BUNDLE_FORMAT,
                     "schema_version": SCHEMA_VERSION,
@@ -344,7 +354,7 @@ class ModelBundle:
                     "config": config.to_dict(),
                     "vocab_size": len(embedding.vocab),
                     "files": files,
-                    "provenance": dict(provenance or {}),
+                    "provenance": stamped,
                 }
                 # The manifest lands last: an interrupted save leaves a
                 # temp dir that is not even recognizable as a bundle.
@@ -466,18 +476,19 @@ class ModelBundle:
     def describe(self) -> str:
         """Human-readable manifest summary for ``model inspect``."""
         manifest = self.manifest
+        provenance = manifest.get("provenance") or {}
         lines = [
             f"bundle:         {self.directory}",
             f"format:         {manifest['format']} "
             f"(schema v{manifest['schema_version']})",
-            f"created:        {manifest.get('created_at', '?')}",
+            f"created:        {manifest.get('created_at', '?')} "
+            f"by repro {provenance.get('repro_version', '?')}",
             f"vocab size:     {manifest['vocab_size']}",
         ]
         config = manifest["config"]
         structural = ", ".join(f"{name}={config.get(name)!r}"
                                for name in STRUCTURAL_FIELDS)
         lines.append(f"config:         {structural}")
-        provenance = manifest.get("provenance") or {}
         if provenance:
             detail = ", ".join(f"{key}={value}"
                                for key, value in sorted(provenance.items()))
@@ -498,6 +509,7 @@ def provenance_from_training(n_vucs: int, vocab_size: int) -> dict:
         "trained_at": _utc_now(),
         "n_train_vucs": int(n_vucs),
         "vocab_size": int(vocab_size),
+        "repro_version": _repro_version(),
     }
 
 

@@ -37,6 +37,8 @@ class CatiConfig:
     job_timeout: float | None = None   # engine: seconds per infer_binary_many job (None = wait)
     metrics_enabled: bool = True       # observability: record pipeline metrics/spans
     metrics_vote_detail: bool = True   # observability: per-leaf-type vote-margin histograms
+    serve_max_batch: int = 4096        # serve: max VUC windows coalesced per engine call
+    serve_max_delay_ms: float = 5.0    # serve: max wait to coalesce concurrent requests
     word2vec: Word2VecConfig = field(default_factory=lambda: Word2VecConfig(
         dim=32, window=5, epochs=2, subsample_pairs=0.5,
     ))
@@ -60,6 +62,10 @@ class CatiConfig:
             raise ValueError("tool_retries must be >= 0")
         if self.job_timeout is not None and self.job_timeout <= 0:
             raise ValueError("job_timeout must be > 0 (or None to wait forever)")
+        if self.serve_max_batch < 1:
+            raise ValueError("serve_max_batch must be >= 1")
+        if self.serve_max_delay_ms < 0:
+            raise ValueError("serve_max_delay_ms must be >= 0")
         self.word2vec.dim = self.token_dim
 
     def to_dict(self) -> dict:

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import threading
 from collections import OrderedDict
 from collections.abc import Sequence
 from contextlib import nullcontext
@@ -269,6 +270,12 @@ class InferenceEngine:
         #: Why the last infer_binary_many call ran serially although
         #: parallelism was requested (None = it did not fall back).
         self.last_parallel_fallback: str | None = None
+        # The leaf-row cache is shared across threads when the engine
+        # sits behind repro.serve: handler threads and the batching
+        # scheduler may race clear_cache/refresh against lookups, so
+        # every cache access holds this lock (one acquisition per
+        # leaf_proba_ids call, not per window).
+        self._cache_lock = threading.Lock()
         self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
         self._stage_order: list[Stage] = []
         self._ops: list[list[tuple] | None] | None = None
@@ -341,15 +348,18 @@ class InferenceEngine:
     # -- caching -----------------------------------------------------------------
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
 
-    def _cache_put(self, key: bytes, row: np.ndarray) -> None:
+    def _cache_put_many(self, pairs: list[tuple[bytes, np.ndarray]]) -> None:
         limit = self.config.dedup_cache_size
-        if limit <= 0:
+        if limit <= 0 or not pairs:
             return
-        self._cache[key] = row
-        while len(self._cache) > limit:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            for key, row in pairs:
+                self._cache[key] = row
+            while len(self._cache) > limit:
+                self._cache.popitem(last=False)
 
     # -- classify + vote ---------------------------------------------------------
 
@@ -389,14 +399,15 @@ class InferenceEngine:
         todo: list[int] = []
         keys = list(index_of)
         if self.config.dedup_cache_size > 0:
-            for j, key in enumerate(keys):
-                row = self._cache.get(key)
-                if row is None:
-                    todo.append(j)
-                else:
-                    self._cache.move_to_end(key)
-                    probs[j] = row
-                    self.stats.cache_hits += 1
+            with self._cache_lock:
+                for j, key in enumerate(keys):
+                    row = self._cache.get(key)
+                    if row is None:
+                        todo.append(j)
+                    else:
+                        self._cache.move_to_end(key)
+                        probs[j] = row
+                        self.stats.cache_hits += 1
         else:
             todo = list(range(unique))
         if record:
@@ -407,7 +418,8 @@ class InferenceEngine:
             fresh = self._leaf_proba_dense(ids[np.asarray([owner_row[j] for j in todo])])
             for t, j in enumerate(todo):
                 probs[j] = fresh[t]
-                self._cache_put(keys[j], fresh[t].copy())
+            self._cache_put_many([(keys[j], fresh[t].copy())
+                                  for t, j in enumerate(todo)])
         return probs[assign]
 
     def _leaf_proba_dense(self, ids: np.ndarray) -> np.ndarray:

@@ -15,10 +15,15 @@ Everything the pipeline can throw at a caller derives from
     │   └── repro.dwarf.native.NativeDwarfError
     │   └── repro.dwarf.decode.DwarfDecodeError
     ├── InferenceError   extraction / voting / worker-pool failures
-    └── ArtifactError    model-bundle persistence failures
-        ├── BundleSchemaError     missing/malformed manifest, unknown schema
-        ├── BundleIntegrityError  checksum/shape mismatch, missing payload
-        └── ConfigMismatchError   caller config conflicts with the saved one
+    ├── ArtifactError    model-bundle persistence failures
+    │   ├── BundleSchemaError     missing/malformed manifest, unknown schema
+    │   ├── BundleIntegrityError  checksum/shape mismatch, missing payload
+    │   └── ConfigMismatchError   caller config conflicts with the saved one
+    └── ServeError       inference-service failures (repro.serve)
+        ├── RequestError          malformed/undecodable request payload
+        ├── QueueFullError        admission control rejected the request
+        ├── DeadlineExceededError request deadline elapsed before completion
+        └── ServerClosedError     the daemon is draining or stopped
 
 The concrete subclasses double-inherit ``ValueError`` so existing
 ``except ValueError`` call sites (and tests) keep working.
@@ -168,6 +173,54 @@ class ConfigMismatchError(ArtifactError):
         self.mismatches = dict(mismatches or {})
 
 
+class ServeError(CatiError):
+    """The inference service could not complete a request.
+
+    ``status`` is the HTTP status code the daemon maps the failure to,
+    so the error → response translation lives with the taxonomy instead
+    of being scattered over handler code.
+    """
+
+    status: int = 500
+
+    def __init__(self, message: str, *, status: int | None = None, **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        if status is not None:
+            self.status = status
+
+
+class RequestError(ServeError, ValueError):
+    """The request payload is malformed or names an unknown job kind."""
+
+    status = 400
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected the request (queue at capacity).
+
+    ``retry_after_s`` is the server's backoff hint, surfaced to clients
+    as the ``Retry-After`` response header.
+    """
+
+    status = 503
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0, **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.retry_after_s = max(float(retry_after_s), 0.0)
+
+
+class DeadlineExceededError(ServeError):
+    """The per-request deadline elapsed before the work completed."""
+
+    status = 504
+
+
+class ServerClosedError(ServeError):
+    """The daemon is draining (SIGTERM) or already stopped."""
+
+    status = 503
+
+
 #: Which taxonomy class wraps a foreign exception raised at each stage.
 _STAGE_WRAPPERS: dict[str, type[CatiError]] = {
     "toolchain": ToolchainError,
@@ -176,6 +229,7 @@ _STAGE_WRAPPERS: dict[str, type[CatiError]] = {
     "decode": DecodeError,
     "dwarf": DwarfError,
     "artifacts": ArtifactError,
+    "serve": ServeError,
 }
 
 

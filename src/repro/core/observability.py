@@ -150,6 +150,35 @@ class Histogram:
             if high > self.max:
                 self.max = high
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the containing bucket, clamped to
+        the observed min/max so a coarse bucketing cannot report a
+        quantile outside the data.  ``None`` when nothing was observed.
+        This is what ``/healthz`` and the serve benchmark use for
+        p50/p99 latency without keeping raw samples.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if not self.count:
+                return None
+            rank = q * self.count
+            seen = 0
+            for index, bucket in enumerate(self.counts):
+                if not bucket:
+                    continue
+                if seen + bucket >= rank:
+                    lower = self.boundaries[index - 1] if index else self.min
+                    upper = (self.boundaries[index]
+                             if index < len(self.boundaries) else self.max)
+                    fraction = (rank - seen) / bucket
+                    value = lower + (upper - lower) * fraction
+                    return min(max(value, self.min), self.max)
+                seen += bucket
+            return self.max
+
     def to_dict(self) -> dict:
         with self._lock:
             return {

@@ -13,6 +13,7 @@ uses for content-hash deduplication without materializing embeddings.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 
 import numpy as np
@@ -27,8 +28,14 @@ class VucEncoder:
     def __init__(self, embedding: Word2Vec) -> None:
         self.embedding = embedding
         self._triple_index: dict[Tokens, int] = {}
+        #: Packed-line memo ("mn\top1\top2" → row), sharing rows with
+        #: the triple memo so both encode paths hit one table.
+        self._line_index: dict[str, int] = {}
         self._triple_rows: list[tuple[int, int, int]] = []
         self._triple_table: np.ndarray | None = None
+        # Serve handler threads encode concurrently; the two-step memo
+        # insert (index slot, then row append) must stay consistent.
+        self._memo_lock = threading.Lock()
 
     @property
     def token_dim(self) -> int:
@@ -62,14 +69,71 @@ class VucEncoder:
         misses = set(flat).difference(index)
         if misses:
             lookup = self.embedding.vocab.id_of
-            for triple in misses:
-                index[triple] = len(self._triple_rows)
-                self._triple_rows.append(
-                    (lookup(triple[0]), lookup(triple[1]), lookup(triple[2])))
-            self._triple_table = None
+            with self._memo_lock:
+                for triple in misses:
+                    if triple in index:
+                        continue  # another thread got here first
+                    index[triple] = len(self._triple_rows)
+                    self._triple_rows.append(
+                        (lookup(triple[0]), lookup(triple[1]), lookup(triple[2])))
+                self._triple_table = None
         table = self._triple_table
         if table is None:
-            table = self._triple_table = np.asarray(self._triple_rows, dtype=np.int32)
+            with self._memo_lock:
+                table = self._triple_table = np.asarray(self._triple_rows,
+                                                        dtype=np.int32)
+        idx = np.fromiter(map(index.__getitem__, flat), dtype=np.int64, count=len(flat))
+        return table[idx].reshape(n, inferred, 3)
+
+    def encode_packed_ids(
+        self,
+        packed: Sequence[str],
+        length: int | None = None,
+    ) -> np.ndarray:
+        """Packed windows → [N, L, 3] int32 ids, skipping tuple building.
+
+        A packed window is one string: instructions joined by ``"\\n"``,
+        the three tokens of each by ``"\\t"`` (the serving wire format —
+        see :func:`repro.serve.protocol.pack_windows`).  Memoizing on
+        the raw instruction line means the hot path is just string
+        splits and dict hits; only *distinct* lines ever get parsed
+        into token triples and vocabulary-resolved.
+        """
+        if not packed:
+            return np.zeros((0, length or 0, 3), dtype=np.int32)
+        n = len(packed)
+        split = [window.split("\n") for window in packed]
+        inferred = len(split[0])
+        flat = [line for lines in split for line in lines]
+        if len(flat) != n * inferred:
+            raise ValueError("all windows must share the same length")
+        index = self._line_index
+        misses = set(flat).difference(index)
+        if misses:
+            lookup = self.embedding.vocab.id_of
+            with self._memo_lock:
+                for line in misses:
+                    if line in index:
+                        continue  # another thread got here first
+                    triple = tuple(line.split("\t"))
+                    if len(triple) != 3:
+                        raise ValueError(
+                            f"packed instruction must be 3 tab-separated "
+                            f"tokens, got {line!r}")
+                    row = self._triple_index.get(triple)
+                    if row is None:
+                        row = len(self._triple_rows)
+                        self._triple_index[triple] = row
+                        self._triple_rows.append(
+                            (lookup(triple[0]), lookup(triple[1]),
+                             lookup(triple[2])))
+                        self._triple_table = None
+                    index[line] = row
+        table = self._triple_table
+        if table is None:
+            with self._memo_lock:
+                table = self._triple_table = np.asarray(self._triple_rows,
+                                                        dtype=np.int32)
         idx = np.fromiter(map(index.__getitem__, flat), dtype=np.int64, count=len(flat))
         return table[idx].reshape(n, inferred, 3)
 

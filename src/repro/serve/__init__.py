@@ -1,0 +1,37 @@
+"""repro.serve — the long-lived inference service over a trained CATI.
+
+``python -m repro serve --model DIR --port N`` starts a JSON-over-HTTP
+daemon (stdlib only: ``http.server`` + threads) that keeps one verified
+:class:`~repro.core.artifacts.ModelBundle` resident and answers typing
+queries at interactive latency — the workload shape decompiler plugins
+and decompiled-code pipelines assume.
+
+The moving parts:
+
+* :mod:`repro.serve.protocol` — the wire format: request/response JSON
+  schemas and the :class:`~repro.codegen.binary.Binary` ↔ JSON codec
+  (shared with ``python -m repro infer --json`` so offline and served
+  outputs are diffable);
+* :mod:`repro.serve.scheduler` — the dynamic micro-batching scheduler:
+  concurrent requests' VUC windows coalesce into single
+  :class:`~repro.core.engine.InferenceEngine` calls
+  (``CatiConfig.serve_max_batch`` / ``serve_max_delay_ms``), behind a
+  bounded admission queue with per-request deadlines;
+* :mod:`repro.serve.host` — the resident model: thread-safe engine
+  swap, ``POST /v1/reload`` verification off the serving threads, and
+  the ``--watch`` mtime poller;
+* :mod:`repro.serve.server` — the HTTP daemon: ``POST /v1/infer``,
+  ``POST /v1/reload``, ``GET /healthz``, ``GET /metricsz``, 503 +
+  ``Retry-After`` on overload, SIGTERM drain;
+* :mod:`repro.serve.client` — the small blocking client behind
+  ``python -m repro client``.
+
+See docs/OPERATIONS.md §7 "Serving" for the operator story.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.host import ModelHost
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.server import ServeDaemon
+
+__all__ = ["MicroBatchScheduler", "ModelHost", "ServeClient", "ServeDaemon"]

@@ -1,0 +1,270 @@
+"""The serving wire format: JSON request/response schemas + codecs.
+
+Everything that crosses the HTTP boundary is defined here so the
+daemon, the client and the offline CLI (``python -m repro infer
+--json``) agree on one schema.
+
+An ``/v1/infer`` request body is a JSON object with exactly one *job*
+key:
+
+* ``{"binary": <wire binary>, "extents": <wire extents>}`` — an
+  uploaded stripped binary: per-function instruction listings (rendered
+  through the canonical AT&T text the asm parser round-trips) plus the
+  given variable locations (§VII-B's assumption);
+* ``{"windows": [[[m, op1, op2], ...], ...], "variable_ids": [...]}``
+  — pre-extracted generalized VUC windows, for clients that run
+  location/extraction themselves (decompiler plugins);
+* ``{"windows_packed": ["m\\top1\\top2\\n...", ...], "variable_ids":
+  [...]}`` — the same windows with each window packed into one string
+  (instructions joined by newlines, tokens by tabs).  Parsing a flat
+  string list is an order of magnitude cheaper than a deeply nested
+  JSON array, so this is what :class:`~repro.serve.client.ServeClient`
+  sends on the hot path;
+* ``{"path": "/abs/job.json"}`` — a job file on the server's
+  filesystem containing one of the above;
+* ``{"demo": {"seed": N, "compiler": "gcc", "opt_level": 1}}`` — the
+  server compiles, strips and types a seeded demo binary (smoke tests).
+
+Optional request fields: ``on_error`` (``"skip"``/``"raise"``),
+``deadline_ms`` (per-request deadline).
+
+The response schema (:func:`build_infer_response`) is shared verbatim
+with ``python -m repro infer --json``: ``schema``, ``model`` info,
+``predictions`` (variable id, type, VUC count, confidence, per-type
+scores) and a machine-readable ``failures`` report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from repro.asm.instruction import FunctionListing
+from repro.asm.parser import AsmParseError, parse_instruction
+from repro.codegen.binary import Binary
+from repro.core.errors import FailureReport, RequestError
+from repro.vuc.dataflow import VariableExtent
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import VariablePrediction
+
+#: Version tag stamped into every /v1/infer response (and the CLI's
+#: ``--json`` output); bump on any response-shape change.
+RESPONSE_SCHEMA = "cati-infer-response/1"
+
+#: Job kinds an /v1/infer request may carry (exactly one).
+JOB_KINDS = ("binary", "windows", "windows_packed", "path", "demo")
+
+
+# -- Binary <-> wire ------------------------------------------------------------
+
+
+def binary_to_wire(binary: Binary) -> dict:
+    """A :class:`Binary`'s inference-relevant view as JSON-ready data.
+
+    Instructions travel as ``[address, "mnemonic op1,op2"]`` pairs in
+    the canonical AT&T text that :func:`repro.asm.parser
+    .parse_instruction` round-trips exactly (asserted by
+    ``tests/test_serve.py``), so the served pipeline sees the same
+    instruction stream the offline pipeline would.
+    """
+    return {
+        "name": binary.name,
+        "compiler": binary.compiler,
+        "opt_level": binary.opt_level,
+        "functions": [
+            {
+                "name": func.name,
+                "address": func.address,
+                "instructions": [[ins.address, str(ins)] for ins in func.instructions],
+            }
+            for func in binary.functions
+        ],
+    }
+
+
+def binary_from_wire(data: object) -> Binary:
+    """Rebuild a stripped :class:`Binary` from :func:`binary_to_wire` data."""
+    if not isinstance(data, dict):
+        raise RequestError("'binary' must be an object", stage="serve")
+    functions: list[FunctionListing] = []
+    for func_data in _expect(data, "functions", list):
+        if not isinstance(func_data, dict):
+            raise RequestError("each function must be an object", stage="serve")
+        listing = FunctionListing(
+            name=str(func_data.get("name", "?")),
+            address=int(func_data.get("address", 0)),
+        )
+        for entry in _expect(func_data, "instructions", list):
+            try:
+                address, text = entry
+                listing.instructions.append(
+                    parse_instruction(str(text), address=int(address)))
+            except (AsmParseError, TypeError, ValueError) as error:
+                raise RequestError(
+                    f"bad instruction entry {entry!r}: {error}",
+                    function=listing.name, stage="serve") from error
+        functions.append(listing)
+    return Binary(
+        name=str(data.get("name", "uploaded")),
+        compiler=str(data.get("compiler", "unknown")),
+        opt_level=int(data.get("opt_level", 0)),
+        functions=functions,
+    )
+
+
+def extents_to_wire(extents_by_function: list[list[VariableExtent]]) -> list:
+    """Per-function variable locations as JSON-ready data."""
+    return [
+        [{"name": e.name, "base": e.base, "offset": e.offset, "size": e.size}
+         for e in extents]
+        for extents in extents_by_function
+    ]
+
+
+def extents_from_wire(data: object) -> list[list[VariableExtent]]:
+    if not isinstance(data, list):
+        raise RequestError("'extents' must be a list of per-function lists",
+                           stage="serve")
+    out: list[list[VariableExtent]] = []
+    for extents in data:
+        if not isinstance(extents, list):
+            raise RequestError("each function's extents must be a list",
+                               stage="serve")
+        row = []
+        for entry in extents:
+            try:
+                row.append(VariableExtent(
+                    name=str(entry["name"]), base=str(entry["base"]),
+                    offset=int(entry["offset"]), size=int(entry["size"])))
+            except (KeyError, TypeError, ValueError) as error:
+                raise RequestError(
+                    f"bad extent entry {entry!r}: {error}",
+                    stage="serve") from error
+        out.append(row)
+    return out
+
+
+def windows_from_wire(data: object) -> list[tuple[tuple[str, str, str], ...]]:
+    """Pre-extracted generalized windows → hashable token-triple tuples.
+
+    The encoder memoizes triple → id lookups in a dict, so triples must
+    arrive as tuples (JSON gives lists).
+    """
+    if not isinstance(data, list):
+        raise RequestError("'windows' must be a list of windows", stage="serve")
+    out = []
+    for window in data:
+        try:
+            out.append(tuple(
+                (str(triple[0]), str(triple[1]), str(triple[2]))
+                for triple in window))
+        except (IndexError, TypeError) as error:
+            raise RequestError(
+                f"bad window entry (expected [mnemonic, op1, op2] triples): "
+                f"{error}", stage="serve") from error
+    return out
+
+
+def pack_windows(windows) -> list[str]:
+    """Windows → the packed wire form (one string per window).
+
+    Instructions are joined by ``"\\n"``, each instruction's three
+    tokens by ``"\\t"``.  Generalized tokens never contain whitespace,
+    so the packing round-trips; :func:`unpack_windows` is the inverse
+    and :meth:`VucEncoder.encode_packed_ids
+    <repro.embedding.encoder.VucEncoder.encode_packed_ids>` consumes
+    the packed form directly without rebuilding tuples.
+    """
+    return ["\n".join("\t".join(triple) for triple in window)
+            for window in windows]
+
+
+def windows_from_packed(data: object) -> list[str]:
+    """Validate a ``windows_packed`` payload; returns it as ``list[str]``.
+
+    Structure (3 tokens per line, equal window lengths) is enforced by
+    the encoder when the ids are built; here we only reject payloads
+    the encoder could misread.
+    """
+    if not isinstance(data, list):
+        raise RequestError("'windows_packed' must be a list of strings",
+                           stage="serve")
+    for window in data:
+        if not isinstance(window, str) or not window:
+            raise RequestError(
+                "each packed window must be a non-empty string "
+                "(instructions joined by newlines, tokens by tabs)",
+                stage="serve")
+    return data
+
+
+def unpack_windows(packed: Sequence[str]) -> list[tuple]:
+    """Packed windows → the hashable token-triple tuples form."""
+    return [tuple(tuple(line.split("\t")) for line in window.split("\n"))
+            for window in packed]
+
+
+def job_kind(request: dict) -> str:
+    """Which job key the request carries; exactly one must be present."""
+    present = [kind for kind in JOB_KINDS if kind in request]
+    if len(present) != 1:
+        raise RequestError(
+            f"request must carry exactly one of {JOB_KINDS}, got {present or 'none'}",
+            stage="serve")
+    return present[0]
+
+
+# -- responses ------------------------------------------------------------------
+
+
+def prediction_to_dict(prediction: "VariablePrediction") -> dict:
+    """One VariablePrediction as the wire schema's prediction object."""
+    scores = prediction.scores
+    return {
+        "variable_id": prediction.variable_id,
+        "type": str(prediction.predicted),
+        "n_vucs": prediction.n_vucs,
+        "confidence": float(scores.max()),
+        "scores": [float(s) for s in scores],
+    }
+
+
+def build_infer_response(
+    predictions: list,
+    failures: FailureReport | None = None,
+    *,
+    model: dict | None = None,
+    binary: str | None = None,
+) -> dict:
+    """The /v1/infer response body (also ``repro infer --json`` output).
+
+    ``model`` is the server's model-info block (bundle path, generation,
+    provenance); the offline CLI passes its own. ``predictions`` keep
+    the extraction order, which both paths share.
+    """
+    report = failures if failures is not None else FailureReport()
+    return {
+        "schema": RESPONSE_SCHEMA,
+        "binary": binary,
+        "model": dict(model or {}),
+        "n_predictions": len(predictions),
+        "n_vucs": int(sum(p.n_vucs for p in predictions)),
+        "predictions": [prediction_to_dict(p) for p in predictions],
+        "failures": report.to_dict(),
+    }
+
+
+def error_body(kind: str, message: str, **extra) -> dict:
+    """The uniform error response body: ``{"error": {...}}``."""
+    body = {"error": {"kind": kind, "message": message}}
+    body["error"].update(extra)
+    return body
+
+
+def _expect(data: dict, key: str, kind: type) -> object:
+    value = data.get(key)
+    if not isinstance(value, kind):
+        raise RequestError(
+            f"request field {key!r} must be a {kind.__name__}", stage="serve")
+    return value

@@ -1,0 +1,400 @@
+"""The HTTP daemon: routing, error mapping, overload headers, drain.
+
+Stdlib only (``http.server``'s :class:`ThreadingHTTPServer`): each
+connection gets a handler thread that parses the request and — for
+binary jobs — runs VUC extraction (pure Python, so it overlaps other
+threads' engine GEMMs), then blocks on the
+:class:`~repro.serve.scheduler.MicroBatchScheduler` for the coalesced
+engine call.
+
+Endpoints:
+
+* ``POST /v1/infer``  — one job (``binary``/``windows``/
+  ``windows_packed``/``path``/``demo``, see
+  :mod:`repro.serve.protocol`); 200 with the shared
+  response schema, 400 on malformed requests, 503 + ``Retry-After`` on
+  overload or drain, 504 past the deadline, 422 when the pipeline
+  itself rejects the job under ``on_error="raise"``.
+* ``POST /v1/reload`` — verify + swap a model bundle; 409 when the
+  bundle is rejected (corrupt, schema drift, structural config
+  mismatch) — the old model keeps serving.
+* ``GET /healthz``    — status, ``repro.__version__``, uptime, model
+  generation/provenance, queue depth, request-latency quantiles.
+* ``GET /metricsz``   — the full observability snapshot.
+
+Shutdown: SIGTERM/SIGINT set the draining flag and call
+``shutdown()`` from a helper thread (calling it on the signal-handling
+main thread — the one inside ``serve_forever`` — would deadlock). The
+listener stops; ``server_close`` then *joins* the handler threads
+(``daemon_threads = False`` below — socketserver silently skips daemon
+threads when joining), so every in-flight request finishes with a real
+response before the scheduler drains its queue and the process exits.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import repro
+from repro.core import observability
+from repro.core.config import CatiConfig
+from repro.core.errors import (
+    ArtifactError,
+    CatiError,
+    FailureReport,
+    QueueFullError,
+    RequestError,
+    ServeError,
+    check_on_error,
+    handle_failure,
+)
+from repro.serve import protocol
+from repro.serve.host import ModelHost
+from repro.serve.scheduler import MicroBatchScheduler, encode_request_ids
+
+#: Request bodies past this size are refused with 413 before parsing.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _Server(ThreadingHTTPServer):
+    # socketserver only tracks (and server_close only joins) NON-daemon
+    # handler threads; the SIGTERM drain contract depends on that join.
+    daemon_threads = False
+    allow_reuse_address = True
+    #: Set by ServeDaemon right after construction.
+    daemon_ref: "ServeDaemon"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Connection-per-request keeps drain simple: no idle keep-alive
+    # sockets pinning handler threads past their one response.
+    protocol_version = "HTTP/1.0"
+    timeout = 120  # a stalled client must not block server_close's join
+
+    @property
+    def daemon(self) -> "ServeDaemon":
+        return self.server.daemon_ref  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.daemon.verbose:
+            super().log_message(format, *args)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _send_json(self, status: int, body: dict,
+                   headers: dict | None = None) -> None:
+        data = json.dumps(body).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_failure(self, error: BaseException) -> None:
+        headers = {}
+        if isinstance(error, ServeError):
+            status = error.status
+            retry_after = getattr(error, "retry_after_s", None)
+            if status == 503:
+                headers["Retry-After"] = str(max(1, round(retry_after or 1)))
+        elif isinstance(error, CatiError):
+            status = 422  # well-formed request, pipeline rejected the job
+        else:
+            status = 500
+        observability.inc(f"serve.http.{status}")
+        self._send_json(status, protocol.error_body(
+            type(error).__name__, str(error)), headers)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise RequestError(f"body of {length} bytes exceeds the "
+                               f"{MAX_BODY_BYTES} byte limit",
+                               status=413, stage="serve")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except ValueError as error:
+            raise RequestError(f"body is not valid JSON: {error}",
+                               stage="serve") from error
+        if not isinstance(body, dict):
+            raise RequestError("body must be a JSON object", stage="serve")
+        return body
+
+    # -- routing ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.daemon.health_body())
+            elif self.path == "/metricsz":
+                self._send_json(200, observability.snapshot())
+            else:
+                self._send_json(404, protocol.error_body(
+                    "NotFound", f"no route {self.path}"))
+        except Exception as error:  # noqa: BLE001 — must answer something
+            self._send_failure(error)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        try:
+            if self.path == "/v1/infer":
+                self._handle_infer()
+            elif self.path == "/v1/reload":
+                self._handle_reload()
+            else:
+                self._send_json(404, protocol.error_body(
+                    "NotFound", f"no route {self.path}"))
+        except Exception as error:  # noqa: BLE001 — must answer something
+            self._send_failure(error)
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def _handle_infer(self) -> None:
+        daemon = self.daemon
+        started = time.monotonic()
+        request = self._read_body()
+        on_error = str(request.get("on_error", daemon.default_on_error))
+        check_on_error(on_error)
+        deadline_s = daemon.default_deadline_s
+        if request.get("deadline_ms") is not None:
+            deadline_s = float(request["deadline_ms"]) / 1000.0
+        failures = FailureReport()
+        windows, variable_ids, binary_name = daemon.prepare_job(
+            request, on_error=on_error, failures=failures)
+        # Pre-encode on this handler thread (overlapping other requests'
+        # engine time); the scheduler re-encodes only if a reload swaps
+        # the engine before the batch runs.
+        cati, engine, generation = daemon.model_host.acquire()
+        try:
+            ids = (encode_request_ids(engine.encoder, windows,
+                                      cati.config.vuc_length)
+                   if windows else None)
+        except ValueError as error:  # ragged lengths, malformed packing
+            raise RequestError(str(error), stage="serve") from error
+        pending = daemon.scheduler.submit(windows, variable_ids,
+                                          deadline_s=deadline_s,
+                                          ids=ids, generation=generation)
+        try:
+            predictions = daemon.scheduler.wait(pending, timeout=deadline_s)
+        except ServeError:
+            raise
+        except Exception as error:  # engine failure inside the batch
+            handle_failure(error, on_error=on_error, failures=failures,
+                           stage="classify", binary=binary_name)
+            predictions = []  # on_error="skip": degrade, report, answer
+        body = protocol.build_infer_response(
+            predictions, failures, model=daemon.model_host.model_info(),
+            binary=binary_name)
+        observability.inc("serve.requests")
+        observability.observe("serve.request.seconds",
+                              time.monotonic() - started)
+        self._send_json(200, body)
+
+    def _handle_reload(self) -> None:
+        request = self._read_body()
+        model_dir = request.get("model_dir")
+        try:
+            info = self.daemon.model_host.reload(model_dir)
+        except ArtifactError as error:
+            observability.inc("serve.http.409")
+            self._send_json(409, protocol.error_body(
+                type(error).__name__, str(error)))
+            return
+        self._send_json(200, {"reloaded": True, "model": info})
+
+
+class ServeDaemon:
+    """One serving process: model host + scheduler + HTTP front end."""
+
+    def __init__(
+        self,
+        model_dir: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        config: CatiConfig | None = None,
+        queue_limit: int = 64,
+        default_deadline_s: float | None = None,
+        default_on_error: str = "skip",
+        watch: bool = False,
+        watch_interval_s: float = 2.0,
+        verbose: bool = False,
+    ) -> None:
+        check_on_error(default_on_error)
+        self.started_at = time.time()
+        self.verbose = verbose
+        self.default_deadline_s = default_deadline_s
+        self.default_on_error = default_on_error
+        self.model_host = ModelHost(model_dir, config=config)
+        self.scheduler = MicroBatchScheduler(self.model_host,
+                                             queue_limit=queue_limit)
+        self.httpd = _Server((host, port), _Handler)
+        self.httpd.daemon_ref = self
+        self.draining = False
+        self._watch = watch
+        self._watch_interval_s = watch_interval_s
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``--port 0``)."""
+        return self.httpd.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    # -- request helpers (thread-safe; called from handler threads) --------------
+
+    def prepare_job(self, request: dict, *, on_error: str,
+                    failures: FailureReport):
+        """Turn a request body into ``(windows, variable_ids, binary_name)``.
+
+        Extraction runs here — on the handler thread — so concurrent
+        uploads extract in parallel while the scheduler's engine call
+        for earlier batches is in flight.
+        """
+        kind = protocol.job_kind(request)
+        if kind == "path":
+            request = self._load_job_file(request["path"])
+            kind = protocol.job_kind(request)
+            if kind == "path":
+                raise RequestError("job files must not nest 'path' jobs",
+                                   stage="serve")
+        if kind in ("windows", "windows_packed"):
+            if kind == "windows":
+                windows = protocol.windows_from_wire(request["windows"])
+            else:
+                windows = protocol.windows_from_packed(
+                    request["windows_packed"])
+            variable_ids = request.get("variable_ids")
+            if (not isinstance(variable_ids, list)
+                    or len(variable_ids) != len(windows)):
+                raise RequestError(
+                    f"'variable_ids' must be a list aligned with {kind!r}",
+                    stage="serve")
+            return windows, [str(v) for v in variable_ids], None
+        if kind == "demo":
+            stripped, extents = self._compile_demo(request["demo"])
+        else:  # binary
+            stripped = protocol.binary_from_wire(request["binary"])
+            extents = protocol.extents_from_wire(request.get("extents") or [])
+            if len(extents) != len(stripped.functions):
+                raise RequestError(
+                    f"'extents' has {len(extents)} function entries, "
+                    f"binary has {len(stripped.functions)} functions",
+                    stage="serve")
+        from repro.vuc.dataset import extract_unlabeled_vucs
+
+        config = self.model_host.config
+        with observability.span("serve.extract"):
+            pairs = extract_unlabeled_vucs(
+                stripped, extents, config.window,
+                on_error=on_error, failures=failures,
+                metrics=config.metrics_enabled)
+        return ([tokens for _variable_id, tokens in pairs],
+                [variable_id for variable_id, _tokens in pairs],
+                stripped.name)
+
+    @staticmethod
+    def _load_job_file(path: object) -> dict:
+        job_path = Path(str(path))
+        try:
+            body = json.loads(job_path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise RequestError(f"cannot read job file {job_path}: {error}",
+                               stage="serve") from error
+        except ValueError as error:
+            raise RequestError(f"job file {job_path} is not valid JSON: "
+                               f"{error}", stage="serve") from error
+        if not isinstance(body, dict):
+            raise RequestError(f"job file {job_path} must hold a JSON object",
+                               stage="serve")
+        return body
+
+    @staticmethod
+    def _compile_demo(spec: object):
+        from repro.codegen.binary import debug_variables  # noqa: F401 — keeps demo import surface one place
+        from repro.codegen.compilers import compiler_by_name
+        from repro.codegen.strip import strip
+        from repro.experiments.speed import extents_from_debug
+
+        spec = spec if isinstance(spec, dict) else {}
+        try:
+            compiler = compiler_by_name(str(spec.get("compiler", "gcc")))
+            binary = compiler.compile_fresh(
+                seed=int(spec.get("seed", 1234)),
+                name=str(spec.get("name", "serve-demo")),
+                opt_level=int(spec.get("opt_level", 1)))
+        except (KeyError, TypeError, ValueError) as error:
+            raise RequestError(f"bad demo spec {spec!r}: {error}",
+                               stage="serve") from error
+        return strip(binary), extents_from_debug(binary)
+
+    def health_body(self) -> dict:
+        registry = observability.get_registry()
+        latency = registry.histogram("serve.request.seconds")
+        return {
+            "status": "draining" if self.draining else "ok",
+            "version": repro.__version__,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "model": self.model_host.model_info(),
+            "queue": {
+                "depth": self.scheduler.queue_depth,
+                "limit": self.scheduler.queue_limit,
+            },
+            "latency": {
+                "p50_s": latency.quantile(0.5),
+                "p99_s": latency.quantile(0.99),
+            },
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT start a drain (main thread only)."""
+        signal.signal(signal.SIGTERM, self._on_signal)
+        signal.signal(signal.SIGINT, self._on_signal)
+
+    def _on_signal(self, signum, _frame) -> None:
+        print(f"[serve] {signal.Signals(signum).name}: draining", flush=True)
+        self.request_shutdown()
+
+    def request_shutdown(self) -> None:
+        """Begin draining; safe from any thread, returns immediately.
+
+        ``shutdown()`` must not run on the thread inside
+        ``serve_forever`` (it would deadlock), so it gets its own.
+        """
+        self.draining = True
+        threading.Thread(target=self.httpd.shutdown,
+                         name="serve-shutdown", daemon=True).start()
+
+    def run(self) -> int:
+        """Serve until shutdown; drain handler threads and the queue."""
+        self.scheduler.start()
+        if self._watch:
+            self.model_host.start_watching(self._watch_interval_s)
+        print(f"[serve] model generation {self.model_host.generation} "
+              f"from {self.model_host.model_dir}", flush=True)
+        print(f"serving on http://{self.host}:{self.port}", flush=True)
+        try:
+            self.httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self.draining = True
+            # Joins in-flight handler threads (daemon_threads=False), so
+            # every accepted request gets its response...
+            self.httpd.server_close()
+            # ...then the scheduler finishes whatever they had queued.
+            self.scheduler.close(timeout=60.0)
+            self.model_host.stop_watching()
+        print("[serve] drained, exiting", flush=True)
+        return 0

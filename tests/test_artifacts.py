@@ -82,7 +82,7 @@ class TestManifest:
         assert manifest["vocab_size"] == len(mini_cati.embedding.vocab)
         assert manifest["config"]["fc_width"] == mini_cati.config.fc_width
         assert set(manifest["provenance"]) == {
-            "trained_at", "n_train_vucs", "vocab_size"}
+            "trained_at", "n_train_vucs", "vocab_size", "repro_version"}
         names = set(manifest["files"])
         assert artifacts.EMBEDDING_FILE in names
         assert {n for n in names if n.startswith("stages/")} == {
