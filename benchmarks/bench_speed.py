@@ -8,13 +8,24 @@ not that the absolute number matches foreign hardware.
 
 ``test_engine_speedup`` additionally races the batched dedup engine
 against the pre-PR implementation (per-window encoding into the float64
-classifier — the acceptance baseline) and the current naive reference
-on the classify+vote and occlusion hot paths, records throughput
-(VUCs/s) for encode/classify/occlusion, and writes the measurements to
-``BENCH_speed.json`` at the repo root — including the run's
+classifier — the acceptance baseline), the current naive reference, and
+a faithful in-process reproduction of the PR 5 cascade (per-stage
+Python loop, fresh allocations — the baseline the PR 6 kernel
+restructure is judged against) on the classify+vote and occlusion hot
+paths.  It records throughput (VUCs/s) for encode/classify/occlusion,
+a per-cascade-stage wall/cpu breakdown plus per-chunk latency
+quantiles under ``classify_vote.stages``/``chunk_latency``, a
+duplicated-window scenario (the dedup layer must collapse a 2x stream
+for ~free), and the opt-in int8 embedding path's speed and measured
+accuracy delta under ``classify_vote.quantized`` — all written to
+``BENCH_speed.json`` at the repo root, together with the run's
 observability counters and the measured overhead of instrumentation
 (metrics enabled vs disabled on the engine hot path), which the
 acceptance criteria cap at 5%.
+
+Run directly with ``--smoke`` (see ``scripts/check.sh --smoke``) to
+execute only the correctness gates on a freshly trained mini model —
+no cached full models, no wall-clock assertions.
 
 ``test_bundle_io`` adds the artifact-I/O trajectory: ModelBundle
 save / checksum verify / load (cold and warm-started) on the full
@@ -79,6 +90,166 @@ def _pre_pr_predict(cati, windows, variable_ids):
     return predictions_from_probs(probs, variable_ids, cati.config.confidence_threshold)
 
 
+def _pr5_compile(engine):
+    """PR-5-shaped kernels from the engine's float32 op mirrors.
+
+    The stacked conv1 operand is built exactly as PR 5 built it
+    (stage-column concatenation), so the PR 5 reproduction below runs
+    the same arithmetic it shipped with."""
+    from repro.core.engine import _CONV2_INDEX, _DENSE1_INDEX, _DENSE2_INDEX
+
+    engine.warm_start()
+    ops = engine._ops
+    weight1 = np.ascontiguousarray(np.concatenate([o[0][1] for o in ops], axis=1))
+    bias1 = np.concatenate([o[0][2] for o in ops])
+    per_stage = [
+        (o[_CONV2_INDEX][1], o[_CONV2_INDEX][2],
+         o[_DENSE1_INDEX][1], o[_DENSE1_INDEX][2],
+         o[_DENSE2_INDEX][1], o[_DENSE2_INDEX][2])
+        for o in ops
+    ]
+    return weight1, bias1, per_stage
+
+
+def _pr5_unique_rows(rows):
+    """PR 5's row dedup, verbatim: ``np.unique`` over packed int64 keys
+    (stable mergesort).  PR 6 replaced this with an unstable-quicksort
+    unique, so the reproduction must NOT borrow the current helper."""
+    rows = np.ascontiguousarray(rows)
+    n, k = rows.shape
+    if n:
+        lo = int(rows.min())
+        span = int(rows.max()) - lo + 1
+        if k * np.log2(max(span, 2)) < 62:
+            keys = rows[:, 0].astype(np.int64) - lo
+            for j in range(1, k):
+                keys = keys * span + (rows[:, j] - lo)
+            _, first, inverse = np.unique(keys, return_index=True, return_inverse=True)
+            return rows[first], inverse
+    view = rows.view(np.dtype((np.void, rows.dtype.itemsize * rows.shape[1]))).ravel()
+    _, first, inverse = np.unique(view, return_index=True, return_inverse=True)
+    return rows[first], inverse
+
+
+def _pr5_cascade_logits(kernels, emb_table, ids):
+    """PR 5's cascade, reproduced faithfully for a same-run baseline:
+    ``np.unique``-based dedup, stacked conv1 GEMM into fresh
+    allocations, pool-pair dedup at BOTH pooling levels, then a
+    per-stage Python loop for conv2 and the dense head (PR 6 swaps the
+    dedup sort for an unstable quicksort, postpones conv bias+ReLU past
+    the pools, stacks the heads into batched GEMMs, and reuses arena
+    buffers for the GEMM outputs)."""
+    from repro.core.engine import _gather_contexts, _neighbor_rows
+
+    _unique_rows = _pr5_unique_rows
+
+    weight1, bias1, per_stage = kernels
+    batch, length, _ = ids.shape
+    n_stages = len(per_stage)
+    c1 = weight1.shape[1] // n_stages
+
+    instr_u, pos = _unique_rows(ids.reshape(batch * length, 3))
+    emb_u = emb_table[instr_u.reshape(-1)].astype(np.float32, copy=False)
+    emb_u = emb_u.reshape(len(instr_u), -1)
+    pos = pos.reshape(batch, length)
+
+    ctx1_u, pos_c1 = _unique_rows(_neighbor_rows(pos).reshape(batch * length, 3))
+    pos_c1 = pos_c1.reshape(batch, length)
+    hidden1 = _gather_contexts(emb_u, ctx1_u) @ weight1 + bias1
+    np.maximum(hidden1, 0.0, out=hidden1)
+
+    out1 = length // 2
+    pairs1 = np.stack([pos_c1[:, 0:out1 * 2:2], pos_c1[:, 1:out1 * 2:2]], axis=2)
+    pairs1_u, pos_p1 = _unique_rows(pairs1.reshape(batch * out1, 2))
+    pos_p1 = pos_p1.reshape(batch, out1)
+    pooled1 = np.maximum(hidden1[pairs1_u[:, 0]], hidden1[pairs1_u[:, 1]])
+    pooled1_t = np.ascontiguousarray(
+        pooled1.reshape(len(pooled1), n_stages, c1).transpose(1, 0, 2))
+
+    ctx2_u, pos_c2 = _unique_rows(_neighbor_rows(pos_p1).reshape(batch * out1, 3))
+    pos_c2 = pos_c2.reshape(batch, out1)
+    out2 = out1 // 2
+    pairs2 = np.stack([pos_c2[:, 0:out2 * 2:2], pos_c2[:, 1:out2 * 2:2]], axis=2)
+    pairs2_u, pos_p2 = _unique_rows(pairs2.reshape(batch * out2, 2))
+    flat_p2 = pos_p2.reshape(batch, out2)
+
+    logits = []
+    for index, (w2, b2, wfc, bfc, wout, bout) in enumerate(per_stage):
+        x2 = _gather_contexts(pooled1_t[index], ctx2_u)
+        hidden2 = x2 @ w2 + b2
+        np.maximum(hidden2, 0.0, out=hidden2)
+        pooled2 = np.maximum(hidden2[pairs2_u[:, 0]], hidden2[pairs2_u[:, 1]])
+        flat = pooled2[flat_p2].reshape(batch, out2 * hidden2.shape[1])
+        z = flat @ wfc + bfc
+        np.maximum(z, 0.0, out=z)
+        logits.append(z @ wout + bout)
+    return logits
+
+
+def _pr5_leaf_proba(engine, kernels, ids, max_batch):
+    """PR 5's window-dedup + chunk loop around the cascade above.
+
+    Shares the current (interned, packed-id) encoder with every other
+    contestant, so encode-side gains are deliberately NOT credited to
+    either side here — this isolates the kernel-execution delta."""
+    from repro.core.classifier import compose_leaves
+    from repro.nn.losses import softmax
+
+    n = len(ids)
+    flat = ids.reshape(n, -1)
+    index_of: dict[bytes, int] = {}
+    owner: list[int] = []
+    assign = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        key = flat[i].tobytes()
+        j = index_of.get(key)
+        if j is None:
+            j = len(owner)
+            index_of[key] = j
+            owner.append(i)
+        assign[i] = j
+    unique_ids = ids[np.asarray(owner)]
+    emb_table = engine.encoder.embedding.vectors
+    stage_order = list(engine.classifier.stages)
+    chunks = []
+    for start in range(0, len(unique_ids), max_batch):
+        logits = _pr5_cascade_logits(
+            kernels, emb_table, unique_ids[start:start + max_batch])
+        stage_probs = {stage: softmax(out.astype(np.float64))
+                       for stage, out in zip(stage_order, logits)}
+        chunks.append(compose_leaves(stage_probs))
+    return np.concatenate(chunks)[assign]
+
+
+def _pr5_predict(engine, kernels, windows, variable_ids, config):
+    """PR 5's classify+vote end to end, including its per-variable
+    Python vote loop (PR 6 vectorized the vote with one grouped
+    reduceat)."""
+    from repro.core.pipeline import VariablePrediction
+    from repro.core.types import ALL_TYPES
+    from repro.core.voting import clip_confidences
+
+    ids = engine.encoder.encode_ids(windows, length=config.vuc_length)
+    probs = _pr5_leaf_proba(engine, kernels, ids, config.max_batch)
+    groups: dict[str, list[int]] = {}
+    for index, variable_id in enumerate(variable_ids):
+        groups.setdefault(variable_id, []).append(index)
+    clipped = clip_confidences(probs, config.confidence_threshold)
+    out = []
+    for variable_id, indices in groups.items():
+        scores = clipped[indices].sum(axis=0)
+        out.append(VariablePrediction(
+            variable_id=variable_id, predicted=ALL_TYPES[int(scores.argmax())],
+            n_vucs=len(indices), scores=scores))
+    return out
+
+
+#: PR 5's recorded classify_vote.engine_seconds at N=2000 (the number
+#: this PR's acceptance compares against; measured on the PR 5 runner,
+#: so the same-run ``pr5_seconds`` below is the honest baseline).
+_PR5_RECORDED_ENGINE_SECONDS = 0.117
+
+
 def test_engine_speedup(gcc_context):
     """Engine vs naive on the hot paths; writes BENCH_speed.json."""
     from repro.core.occlusion import occlusion_epsilons, occlusion_epsilons_many
@@ -105,10 +276,90 @@ def test_engine_speedup(gcc_context):
         engine.predict_variables(windows, variable_ids)
 
     engine_cold()  # warm up kernels (f32 mirrors compile on first use)
-    engine_s = _best_of(engine_cold)
     engine_warm_s = _best_of(lambda: engine.predict_variables(windows, variable_ids))
+
+    # -- PR 5 cascade, reproduced in-process for a same-run baseline ------------
+    # Interleave the two contestants so clock drift on a noisy runner
+    # hits both equally; best-of per side.
+    pr5_kernels = _pr5_compile(engine)
+    _pr5_predict(engine, pr5_kernels, windows[:200], variable_ids[:200],
+                 cati.config)  # warm up
+    engine_s = pr5_s = float("inf")
+    for _ in range(5):
+        engine_s = min(engine_s, _best_of(engine_cold, repeats=1))
+        pr5_s = min(pr5_s, _best_of(
+            lambda: _pr5_predict(engine, pr5_kernels, windows, variable_ids,
+                                 cati.config), repeats=1))
     classify_speedup = pre_pr_s / engine_s
     classify_vs_reference = naive_s / engine_s
+    classify_vs_pr5 = pr5_s / engine_s
+
+    # -- duplicated windows: the dedup layer must keep paying -------------------
+    # Every window appears twice; cold (cache cleared) the engine must
+    # collapse the stream to its 2000 unique windows before any kernel
+    # runs, and a warm repeat must be pure cache hits.
+    dup_windows = windows + windows
+    dup_ids = variable_ids + [f"dup-{v}" for v in variable_ids]
+
+    def engine_dup_cold():
+        engine.clear_cache()
+        engine.predict_variables(dup_windows, dup_ids)
+
+    engine_dup_cold()  # warm up
+    engine_dup_s = _best_of(engine_dup_cold)
+    engine_dup_warm_s = _best_of(
+        lambda: engine.predict_variables(dup_windows, dup_ids))
+    engine.clear_cache()
+    engine.stats.reset()
+    engine.leaf_proba(dup_windows)
+    engine.leaf_proba(dup_windows)  # warm repeat: all cache hits
+    dup_stats = engine.stats
+    # Each pass sees 2N windows but only N unique; the warm repeat is
+    # then pure cache hits — no kernel runs at all.
+    assert dup_stats.windows == 2 * len(dup_windows)
+    assert dup_stats.unique_windows == 2 * len(windows)
+    assert dup_stats.cache_hits == len(windows)
+    # Duplication must be nearly free: 2x the windows, ~1x the cold time.
+    assert engine_dup_s <= 1.35 * engine_s
+
+    # -- per-stage timing + per-chunk latency quantiles -------------------------
+    from repro.core import observability
+
+    observability.reset()
+    for _ in range(5):
+        engine_cold()
+    span_snapshot = observability.snapshot()["spans"]
+    stage_spans = {
+        path.rsplit("cascade.", 1)[1]: data
+        for path, data in span_snapshot.items() if "cascade." in path
+    }
+    chunk_hist = observability.get_registry().histogram("engine.chunk_seconds")
+    chunk_p50 = chunk_hist.quantile(0.5)
+    chunk_p99 = chunk_hist.quantile(0.99)
+
+    # -- opt-in int8 embedding table: speed vs measured accuracy delta ----------
+    import dataclasses as _dataclasses
+
+    from repro.core.engine import InferenceEngine
+
+    q_config = _dataclasses.replace(cati.config, quantize_embeddings=True)
+    q_engine = InferenceEngine(cati.classifier, cati.encoder, q_config)
+
+    def q_engine_cold():
+        q_engine.clear_cache()
+        q_engine.predict_variables(windows, variable_ids)
+
+    q_engine_cold()  # warm up (compiles kernels, builds the int8 table)
+    q_engine_s = _best_of(q_engine_cold)
+    naive_probs_full = cati.predict_vuc_proba(windows)
+    q_probs = q_engine.leaf_proba(windows)
+    q_max_delta = float(np.abs(q_probs - naive_probs_full).max())
+    q_agreement = float(
+        (q_probs.argmax(axis=1) == naive_probs_full.argmax(axis=1)).mean())
+    # The quantized path trades the 1e-6 gate for a bounded leaf-level
+    # drift; the argmax decision must stay effectively unchanged.
+    assert q_max_delta <= 0.05
+    assert q_agreement >= 0.98
 
     # -- occlusion: per-window reference vs batched id-level variants ----------
     occ_windows = windows[:24]
@@ -167,13 +418,40 @@ def test_engine_speedup(gcc_context):
         "classify_vote": {
             "pre_pr_seconds": pre_pr_s,
             "naive_seconds": naive_s,
+            "pr5_seconds": pr5_s,
             "engine_seconds": engine_s,
             "engine_warm_cache_seconds": engine_warm_s,
             "speedup_vs_pre_pr": classify_speedup,
             "speedup_vs_current_reference": classify_vs_reference,
+            "speedup_vs_pr5": classify_vs_pr5,
+            "pr5_recorded_engine_seconds": _PR5_RECORDED_ENGINE_SECONDS,
+            "ratio_vs_pr5_recorded": _PR5_RECORDED_ENGINE_SECONDS / engine_s,
             "pre_pr_vucs_per_s": len(windows) / pre_pr_s,
             "naive_vucs_per_s": len(windows) / naive_s,
             "engine_vucs_per_s": len(windows) / engine_s,
+            "stages": {
+                name: {"count": data["count"], "wall_s": data["wall_s"],
+                       "cpu_s": data["cpu_s"]}
+                for name, data in sorted(stage_spans.items())
+            },
+            "chunk_latency": {
+                "count": chunk_hist.count,
+                "p50_s": chunk_p50,
+                "p99_s": chunk_p99,
+            },
+            "duplicated": {
+                "n_vucs": len(dup_windows),
+                "unique_windows": len(windows),
+                "engine_seconds": engine_dup_s,
+                "engine_warm_cache_seconds": engine_dup_warm_s,
+                "cold_overhead_vs_unique": engine_dup_s / engine_s,
+            },
+            "quantized": {
+                "engine_seconds": q_engine_s,
+                "speedup_vs_float_engine": engine_s / q_engine_s,
+                "max_leaf_prob_delta": q_max_delta,
+                "argmax_agreement": q_agreement,
+            },
         },
         "occlusion": {
             "n_vucs": len(occ_windows),
@@ -204,9 +482,23 @@ def test_engine_speedup(gcc_context):
     print()
     print(f"classify+vote over {len(windows)} VUCs: "
           f"pre-PR {pre_pr_s * 1e3:.0f} ms, reference {naive_s * 1e3:.0f} ms, "
-          f"engine {engine_s * 1e3:.0f} ms "
+          f"PR5 {pr5_s * 1e3:.0f} ms, engine {engine_s * 1e3:.0f} ms "
           f"(warm cache {engine_warm_s * 1e3:.0f} ms) -> {classify_speedup:.1f}x "
-          f"vs pre-PR, {classify_vs_reference:.1f}x vs reference")
+          f"vs pre-PR, {classify_vs_reference:.1f}x vs reference, "
+          f"{classify_vs_pr5:.2f}x vs PR5 same-run")
+    stage_ms = ", ".join(
+        f"{name} {data['wall_s'] / max(data['count'], 1) * 1e3:.1f}"
+        for name, data in sorted(stage_spans.items()))
+    print(f"per-chunk stages (ms/chunk): {stage_ms}; chunk latency "
+          f"p50 {chunk_p50 * 1e3:.1f} ms, p99 {chunk_p99 * 1e3:.1f} ms "
+          f"over {chunk_hist.count} chunks")
+    print(f"duplicated stream (2x {len(windows)} windows): cold "
+          f"{engine_dup_s * 1e3:.0f} ms "
+          f"({engine_dup_s / engine_s:.2f}x the unique stream), warm "
+          f"{engine_dup_warm_s * 1e3:.0f} ms")
+    print(f"int8 embeddings: {q_engine_s * 1e3:.0f} ms "
+          f"({engine_s / q_engine_s:.2f}x vs float engine), max leaf delta "
+          f"{q_max_delta:.2e}, argmax agreement {q_agreement:.4f}")
     print(f"occlusion over {len(occ_windows)} VUCs ({length + 1} variants each): "
           f"naive {naive_occ_s * 1e3:.0f} ms, engine {engine_occ_s * 1e3:.0f} ms "
           f"-> {occlusion_speedup:.1f}x")
@@ -216,12 +508,24 @@ def test_engine_speedup(gcc_context):
           f"on {metrics_on_s * 1e3:.0f} ms -> {metrics_overhead:+.1%}")
     print(f"wrote {_ARTIFACT}")
 
-    # The engine must still agree with the reference it races.
+    # The engine must still agree with the reference it races (the
+    # float path keeps the exact-equivalence gate; the quantized path
+    # was bounded above).
     naive_probs = cati.predict_vuc_proba(occ_windows)
     engine_probs = engine.leaf_proba(occ_windows)
     assert np.abs(engine_probs - naive_probs).max() <= 1e-6
+    # The PR 5 reproduction must itself agree with the reference, or
+    # the baseline it provides is meaningless.
+    pr5_probs = _pr5_leaf_proba(
+        engine, pr5_kernels,
+        engine.encoder.encode_ids(occ_windows, length=length),
+        cati.config.max_batch)
+    assert np.abs(pr5_probs - naive_probs).max() <= 1e-6
 
     assert classify_speedup >= 3.0
+    # The restructured kernels must not regress against the PR 5
+    # cascade measured in this same process (2% noise allowance).
+    assert engine_s <= 1.02 * pr5_s
     assert occlusion_speedup >= 5.0
     # Observability must be effectively free on the hot path.
     assert metrics_overhead < 0.05
@@ -432,3 +736,87 @@ def test_bundle_io(gcc_context, tmp_path):
     assert save_s < 30.0
     assert load_s < 10.0
     assert verify_s < 10.0
+
+
+def _smoke() -> int:
+    """CI-sized correctness smoke over a freshly trained mini model.
+
+    Runs the same equivalence gates as ``test_engine_speedup`` — float
+    engine vs naive reference, the PR 5 reproduction, the int8 path's
+    bounded drift, and the duplicated-stream dedup invariants — but on
+    the tiny corpus and with NO wall-clock assertions, so it is safe on
+    arbitrarily noisy CI runners.  Wired into ``scripts/check.sh
+    --smoke``."""
+    import dataclasses
+
+    from repro.core.config import CatiConfig
+    from repro.core.engine import InferenceEngine
+    from repro.core.pipeline import Cati
+    from repro.datasets.corpus import build_small_corpus
+    from repro.embedding.word2vec import Word2VecConfig
+
+    config = CatiConfig(
+        epochs=5,
+        fc_width=64,
+        word2vec=Word2VecConfig(dim=32, window=5, epochs=1, subsample_pairs=0.4),
+    )
+    corpus = build_small_corpus()
+    cati = Cati(config).train(corpus.train)
+    samples = list(corpus.test)
+    windows = [sample.tokens for sample in samples][:400] or \
+        [sample.tokens for sample in corpus.train][:400]
+    variable_ids = [f"var{i // 4}" for i in range(len(windows))]
+
+    naive_probs = cati.predict_vuc_proba(windows)
+    engine = cati.engine
+    engine_probs = engine.leaf_proba(windows)
+    drift = float(np.abs(engine_probs - naive_probs).max())
+    assert drift <= 1e-6, f"engine drifted {drift:g} from the reference"
+
+    pr5_kernels = _pr5_compile(engine)
+    pr5_probs = _pr5_leaf_proba(
+        engine, pr5_kernels,
+        engine.encoder.encode_ids(windows, length=config.vuc_length),
+        config.max_batch)
+    pr5_drift = float(np.abs(pr5_probs - naive_probs).max())
+    assert pr5_drift <= 1e-6, f"PR5 reproduction drifted {pr5_drift:g}"
+
+    q_config = dataclasses.replace(config, quantize_embeddings=True)
+    q_engine = InferenceEngine(cati.classifier, cati.encoder, q_config)
+    q_probs = q_engine.leaf_proba(windows)
+    q_delta = float(np.abs(q_probs - naive_probs).max())
+    q_agreement = float(
+        (q_probs.argmax(axis=1) == naive_probs.argmax(axis=1)).mean())
+    assert q_delta <= 0.05, f"int8 leaf drift {q_delta:g} out of bound"
+    assert q_agreement >= 0.98, f"int8 argmax agreement {q_agreement:.3f}"
+
+    engine.clear_cache()
+    engine.stats.reset()
+    dup = windows + windows
+    engine.leaf_proba(dup)
+    engine.leaf_proba(dup)
+    stats = engine.stats
+    assert stats.unique_windows <= 2 * len(windows)
+    assert stats.cache_hits >= stats.unique_windows // 2
+
+    predictions = engine.predict_variables(windows, variable_ids)
+    assert len(predictions) == len(set(variable_ids))
+
+    print(f"smoke OK: {len(windows)} windows; engine drift {drift:.2e}, "
+          f"PR5 drift {pr5_drift:.2e}, int8 delta {q_delta:.2e} "
+          f"(agreement {q_agreement:.3f})")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="train a mini model and run the correctness gates only "
+             "(no trained-model cache, no wall-clock assertions)")
+    cli_args = parser.parse_args()
+    if cli_args.smoke:
+        raise SystemExit(_smoke())
+    parser.error("run under pytest for the full benchmark, or pass --smoke")

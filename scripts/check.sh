@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local quality gate: lint + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [--faults | --docs | --serve] [extra pytest args...]
+# Usage: scripts/check.sh [--faults | --docs | --serve | --smoke] [extra pytest args...]
 #
 #   --faults   run the fault-injection suite (tests/test_fault_tolerance.py)
 #              instead of the full tier-1 suite.
@@ -13,6 +13,11 @@
 #              train a mini model, launch `python -m repro serve` as a
 #              subprocess, check healthz / packed infer / hot reload /
 #              SIGTERM drain end to end.
+#   --smoke    run the engine speed bench's correctness gates only
+#              (benchmarks/bench_speed.py --smoke): train a mini model,
+#              assert engine/naive equivalence, the previous-generation
+#              reproduction, the int8 drift bound and the dedup-cache
+#              invariants.  No wall-clock assertions.
 #
 # Lint is a hard gate: when ruff is installed, any finding fails the
 # script (set -e).  When ruff is absent we warn and continue, because
@@ -24,6 +29,7 @@ cd "$(dirname "$0")/.."
 FAULTS=0
 DOCS=0
 SERVE=0
+SMOKE=0
 if [[ "${1:-}" == "--faults" ]]; then
     FAULTS=1
     shift
@@ -32,6 +38,9 @@ elif [[ "${1:-}" == "--docs" ]]; then
     shift
 elif [[ "${1:-}" == "--serve" ]]; then
     SERVE=1
+    shift
+elif [[ "${1:-}" == "--smoke" ]]; then
+    SMOKE=1
     shift
 fi
 
@@ -43,6 +52,11 @@ fi
 if [[ "$SERVE" == "1" ]]; then
     echo "== serve smoke =="
     exec python scripts/smoke_serve.py
+fi
+
+if [[ "$SMOKE" == "1" ]]; then
+    echo "== engine speed smoke (correctness gates) =="
+    exec env PYTHONPATH=src python benchmarks/bench_speed.py --smoke
 fi
 
 if command -v ruff >/dev/null 2>&1; then

@@ -123,6 +123,29 @@ class MultiStageClassifier:
         probs = self.leaf_proba(x)
         return [ALL_TYPES[i] for i in probs.argmax(axis=1)]
 
+    def padded_output_heads(self) -> tuple[np.ndarray, np.ndarray, tuple[int, ...]]:
+        """Final-layer weights stacked across stages, zero-padded on classes.
+
+        The stage heads share their input width (``fc_width``) but output
+        different class counts, so stacking them into one ``[S, F,
+        C_max]`` batched-GEMM operand zero-pads the missing columns; a
+        padded column contributes a constant 0 logit that callers slice
+        off (``counts[s]``) before softmax.  Stage order matches
+        iteration over ``self.stages`` — the same order the inference
+        engine compiles its kernels in.
+        """
+        heads = [stage_model.model.layers[-1] for stage_model in self.stages.values()]
+        widths = {head.weight.shape[0] for head in heads}
+        if len(widths) != 1:
+            raise ValueError(f"stage heads disagree on input width: {sorted(widths)}")
+        counts = tuple(head.weight.shape[1] for head in heads)
+        weight = np.zeros((len(heads), widths.pop(), max(counts)))
+        bias = np.zeros((len(heads), 1, max(counts)))
+        for index, head in enumerate(heads):
+            weight[index, :, :counts[index]] = head.weight
+            bias[index, 0, :counts[index]] = head.bias
+        return weight, bias, counts
+
     def vote_variable(self, stage_probs: dict[Stage, np.ndarray],
                       indices: list[int], threshold: float = 0.9) -> TypeName:
         """Hierarchical per-variable decision (the paper's §V-B flow).

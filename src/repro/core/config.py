@@ -32,6 +32,7 @@ class CatiConfig:
     max_batch: int = 1024              # engine: windows per dense inference chunk
     n_workers: int = 0                 # engine: processes for infer_binary_many (0/1 = serial)
     dedup_cache_size: int = 65536      # engine: cached leaf rows for repeated windows (0 = off)
+    quantize_embeddings: bool = False  # engine: int8 embedding gather (trades exactness for speed)
     tool_timeout: float = 60.0         # toolchain: seconds per external tool run
     tool_retries: int = 2              # toolchain: retries after a transient tool failure
     job_timeout: float | None = None   # engine: seconds per infer_binary_many job (None = wait)

@@ -17,9 +17,22 @@ numbers.  The engine exploits that redundancy at every level:
   positions), max-pooling once per unique position pair, and conv2 once
   per unique pooled context, before the dense head runs per window;
 * **stacked float32 kernels** — all six stage CNNs read the same input,
-  so their first convolutions are fused into a single GEMM over
-  float32 mirrors of the trained weights (float64 storage is kept for
-  training; inference agrees with the naive path to ~1e-7);
+  so conv1 is one fused kernel across stages and the sibling stage
+  heads (conv2, dense1, the class-padded dense2) run as single batched
+  GEMMs (``np.matmul`` over ``[S, N, K] @ [S, K, M]``) instead of six
+  sequential matmuls (float64 storage is kept for training; inference
+  agrees with the naive path to ~1e-7);
+* **arena-fused execution** — every cascade intermediate lives in a
+  per-engine :class:`_KernelArena` of named, grow-on-demand float32
+  buffers (thread-local, sized by the ``CatiConfig.max_batch`` chunk
+  and reused across ``_stage_probs_chunk`` calls), with
+  ``np.matmul(..., out=)`` / ``np.take(..., out=)`` / in-place
+  activations eliminating per-call allocation churn;
+* **opt-in int8 embeddings** — ``CatiConfig.quantize_embeddings``
+  swaps the float32 embedding gather for an int8 table with per-row
+  scales (4x less memory traffic, dequantized per unique instruction);
+  this trades ≤1e-6 equivalence for a measured, bounded accuracy delta
+  (reported by ``benchmarks/bench_speed.py``);
 * **chunking** — dense passes proceed in ``CatiConfig.max_batch`` window
   chunks so arbitrarily large corpora run in bounded memory;
 * **occlusion at the id level** — all L+1 occluded variants of a window
@@ -40,9 +53,11 @@ per job under ``on_error="skip"`` (everything dropped is enumerated in
 the result's :attr:`InferenceResult.failures`), and reports what it did
 into the global metrics registry when ``CatiConfig.metrics_enabled``:
 ``engine.windows`` / ``engine.unique_windows`` / ``engine.cache_hits`` /
-``engine.cache_misses`` counters, an ``engine.batch_size`` histogram,
-per-stage cascade spans (``cascade.embed`` / ``cascade.conv1`` /
-``cascade.conv2_dense``), per-phase spans under ``infer_binary``
+``engine.cache_misses`` counters, ``engine.batch_size`` and
+``engine.chunk_seconds`` histograms (the latter gives per-chunk p50/p99
+latency), per-stage cascade spans (``cascade.embed`` /
+``cascade.conv1`` / ``cascade.conv2`` / ``cascade.heads``),
+per-phase spans under ``infer_binary``
 (extract → encode → classify → vote), and worker-pool accounting
 (``engine.pool.*``).  A cumulative metrics snapshot rides along on
 :attr:`InferenceResult.metrics`.  See ``docs/OPERATIONS.md``.
@@ -53,6 +68,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Sequence
 from contextlib import nullcontext
@@ -70,11 +86,12 @@ from repro.core.errors import (
     check_on_error,
     handle_failure,
 )
-from repro.core.observability import SIZE_BUCKETS
+from repro.core.observability import SIZE_BUCKETS, TIME_BUCKETS
 from repro.core.types import ALL_TYPES, Stage
 from repro.embedding.encoder import VucEncoder
-from repro.nn.layers import Conv1d, Dense, Dropout, Flatten, MaxPool1d, ReLU
+from repro.nn.layers import quantize_rows_int8
 from repro.nn.losses import softmax
+from repro.nn.model import layer_kind
 from repro.vuc.dataflow import VariableExtent
 from repro.vuc.dataset import extract_unlabeled_vucs
 from repro.vuc.generalize import BLANK_TOKENS, Tokens
@@ -154,20 +171,17 @@ def _compile_ops(model) -> list[tuple] | None:
     """float32 mirror program of a Sequential; None if a layer is unknown."""
     ops: list[tuple] = []
     for layer in model.layers:
-        if isinstance(layer, Conv1d):
+        kind = layer_kind(layer)
+        if kind == "conv":
             ops.append(("conv", layer.weight.astype(np.float32),
                         layer.bias.astype(np.float32), layer.kernel_size))
-        elif isinstance(layer, ReLU):
-            ops.append(("relu",))
-        elif isinstance(layer, MaxPool1d):
-            ops.append(("pool", layer.pool))
-        elif isinstance(layer, Flatten):
-            ops.append(("flatten",))
-        elif isinstance(layer, Dense):
+        elif kind == "dense":
             ops.append(("dense", layer.weight.astype(np.float32),
                         layer.bias.astype(np.float32)))
-        elif isinstance(layer, Dropout):
-            ops.append(("noop",))
+        elif kind == "pool":
+            ops.append(("pool", layer.pool))
+        elif kind in ("relu", "flatten", "noop"):
+            ops.append((kind,))
         else:
             return None
     return ops
@@ -225,8 +239,18 @@ def _unique_rows(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
             keys = rows[:, 0].astype(np.int64) - lo
             for j in range(1, k):
                 keys = keys * span + (rows[:, j] - lo)
-            _, first, inverse = np.unique(keys, return_index=True, return_inverse=True)
-            return rows[first], inverse
+            # Hand-rolled unique: plain (unstable) quicksort beats
+            # np.unique's stable mergesort, and equal keys mean equal
+            # rows, so any duplicate may represent its group.
+            order = np.argsort(keys)
+            sorted_keys = keys[order]
+            is_first = np.empty(n, dtype=bool)
+            is_first[0] = True
+            np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=is_first[1:])
+            group_of_sorted = np.cumsum(is_first) - 1
+            inverse = np.empty(n, dtype=np.int64)
+            inverse[order] = group_of_sorted
+            return rows[order[is_first]], inverse
     view = rows.view(np.dtype((np.void, rows.dtype.itemsize * rows.shape[1]))).ravel()
     _, first, inverse = np.unique(view, return_index=True, return_inverse=True)
     return rows[first], inverse
@@ -255,6 +279,74 @@ def _gather_contexts(table: np.ndarray, contexts: np.ndarray) -> np.ndarray:
     return padded[safe.ravel()].reshape(count, kernel * dim)
 
 
+# -- arena + compiled cascade kernels --------------------------------------------
+
+
+class _KernelArena:
+    """Named, grow-on-demand scratch buffers for the fused cascade.
+
+    Every cascade intermediate (conv activations, pooled rows, the flat
+    head input, logits) is a prefix view of a named 1-D buffer, so a
+    steady stream of same-shaped chunks allocates nothing after the
+    first: ``np.matmul(..., out=)`` and in-place activations write into
+    the same memory every call.  Buffers grow geometrically when a
+    larger chunk arrives and are never shrunk (peak size is bounded by
+    ``CatiConfig.max_batch``).  One arena per thread (see
+    ``InferenceEngine._arena``) — views handed out are only valid until
+    the same thread's next chunk.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def take(self, name: str, shape: tuple[int, ...],
+             dtype=np.float32) -> np.ndarray:
+        """A C-contiguous [shape] view of the named buffer (uninitialized)."""
+        size = 1
+        for extent in shape:
+            size *= int(extent)
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.size < size or buffer.dtype != dtype:
+            capacity = size if buffer is None else max(size, (buffer.size * 3) // 2)
+            buffer = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer[:size].reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+
+@dataclass
+class _CascadeKernels:
+    """Float32 weight tensors of the fused cascade, laid out for speed.
+
+    ``w1`` stacks every stage's conv1 kernel side by side so one GEMM
+    over the unique contexts computes all stages' conv1 at once (in the
+    same tap-sequential accumulation order as the float64 reference —
+    reordering the summation costs ~2e-6 of leaf drift, past the 1e-6
+    equivalence gate); the conv2 / dense operands are stacked
+    stage-major for batched ``np.matmul``; the output heads are
+    zero-padded to the widest stage (``class_counts`` slices the
+    padding back off).
+    """
+
+    w1: np.ndarray            # [3*dim, S*C1]
+    bias1: np.ndarray         # [S*C1]
+    w2: np.ndarray            # [S, 3*C1, C2]
+    b2: np.ndarray            # [S, 1, C2]
+    wfc: np.ndarray           # [S, out2*C2, F]
+    bfc: np.ndarray           # [S, 1, F]
+    wout: np.ndarray          # [S, F, C_max] (class-padded)
+    bout: np.ndarray          # [S, 1, C_max]
+    class_counts: tuple[int, ...]
+    c1: int
+    c2: int
+    fc: int
+
+
 # -- the engine ------------------------------------------------------------------
 
 
@@ -280,8 +372,13 @@ class InferenceEngine:
         self._stage_order: list[Stage] = []
         self._ops: list[list[tuple] | None] | None = None
         self._cascade = False
-        self._stacked: tuple[np.ndarray, np.ndarray] | None = None
-        self._conv1_out = 0
+        self._kernels: _CascadeKernels | None = None
+        #: int8 embedding table + per-row scales when
+        #: ``config.quantize_embeddings`` (None = exact float32 path).
+        self._q_table: tuple[np.ndarray, np.ndarray] | None = None
+        # Scratch arenas are thread-local: serve handler threads may run
+        # chunks concurrently and must not share buffers.
+        self._arena_store = threading.local()
 
     # -- observability -----------------------------------------------------------
 
@@ -305,14 +402,31 @@ class InferenceEngine:
             raise RuntimeError("classifier has no trained stages")
         self._ops = [_compile_ops(self.classifier.stages[stage].model)
                      for stage in self._stage_order]
+        if self.config.quantize_embeddings:
+            self._q_table = quantize_rows_int8(self.encoder.embedding.vectors)
         self._cascade = self._cascade_applicable()
         if self._cascade:
-            assert self._ops is not None
-            self._stacked = (
-                np.concatenate([ops[0][1] for ops in self._ops], axis=1),  # type: ignore[index]
-                np.concatenate([ops[0][2] for ops in self._ops]),          # type: ignore[index]
-            )
-            self._conv1_out = self._ops[0][0][1].shape[1]  # type: ignore[index]
+            self._kernels = self._compile_cascade_kernels()
+
+    def _compile_cascade_kernels(self) -> _CascadeKernels:
+        assert self._ops is not None
+        ops = self._ops
+        w1 = np.ascontiguousarray(
+            np.concatenate([o[0][1] for o in ops], axis=1))        # type: ignore[index]
+        sc1 = w1.shape[1]
+        bias1 = np.concatenate([o[0][2] for o in ops])             # type: ignore[index]
+        w2 = np.ascontiguousarray(np.stack([o[_CONV2_INDEX][1] for o in ops]))  # type: ignore[index]
+        b2 = np.ascontiguousarray(np.stack([o[_CONV2_INDEX][2] for o in ops])[:, None, :])  # type: ignore[index]
+        wfc = np.ascontiguousarray(np.stack([o[_DENSE1_INDEX][1] for o in ops]))  # type: ignore[index]
+        bfc = np.ascontiguousarray(np.stack([o[_DENSE1_INDEX][2] for o in ops])[:, None, :])  # type: ignore[index]
+        wout64, bout64, counts = self.classifier.padded_output_heads()
+        return _CascadeKernels(
+            w1=w1, bias1=bias1, w2=w2, b2=b2, wfc=wfc, bfc=bfc,
+            wout=np.ascontiguousarray(wout64.astype(np.float32)),
+            bout=np.ascontiguousarray(bout64.astype(np.float32)),
+            class_counts=counts,
+            c1=sc1 // len(ops), c2=w2.shape[2], fc=wfc.shape[2],
+        )
 
     def _cascade_applicable(self) -> bool:
         assert self._ops is not None
@@ -341,9 +455,22 @@ class InferenceEngine:
     def refresh(self) -> None:
         """Drop compiled kernels and cached rows (call after retraining)."""
         self._ops = None
-        self._stacked = None
+        self._kernels = None
+        self._q_table = None
         self._cascade = False
+        self._arena_store = threading.local()
         self.clear_cache()
+
+    def _arena(self) -> _KernelArena:
+        arena = getattr(self._arena_store, "arena", None)
+        if arena is None:
+            arena = self._arena_store.arena = _KernelArena()
+        return arena
+
+    @property
+    def arena_nbytes(self) -> int:
+        """Bytes held by the calling thread's scratch arena."""
+        return self._arena().nbytes
 
     # -- caching -----------------------------------------------------------------
 
@@ -424,9 +551,15 @@ class InferenceEngine:
 
     def _leaf_proba_dense(self, ids: np.ndarray) -> np.ndarray:
         chunks = []
+        record = self._metrics_on()
+        registry = observability.get_registry() if record else None
         for start in range(0, len(ids), self.config.max_batch):
+            began = time.perf_counter() if record else 0.0
             stage_probs = self._stage_probs_chunk(ids[start:start + self.config.max_batch])
             chunks.append(compose_leaves(stage_probs))
+            if registry is not None:
+                registry.observe("engine.chunk_seconds",
+                                 time.perf_counter() - began, TIME_BUCKETS)
         return np.concatenate(chunks)
 
     def _stage_probs_chunk(self, ids: np.ndarray) -> dict[Stage, np.ndarray]:
@@ -435,11 +568,27 @@ class InferenceEngine:
         return {stage: softmax(out.astype(np.float64))
                 for stage, out in zip(self._stage_order, logits)}
 
+    def _embed_rows(self, instr_u: np.ndarray) -> np.ndarray:
+        """[U, 3] id-triples → [U, instruction_dim] float32 embeddings.
+
+        Honors the opt-in int8 table: the gather moves int8 rows (4x
+        less traffic than float32) and dequantizes with the per-row
+        scales afterwards.
+        """
+        flat = instr_u.reshape(-1)
+        if self._q_table is not None:
+            values, scales = self._q_table
+            vectors = values[flat].astype(np.float32)
+            vectors *= scales[flat][:, None]
+        else:
+            vectors = self.encoder.embedding.vectors[flat].astype(
+                np.float32, copy=False)
+        return vectors.reshape(len(instr_u), -1)
+
     def _embed_ids(self, ids: np.ndarray) -> np.ndarray:
         n, length, _ = ids.shape
-        vectors = self.encoder.embedding.vectors[ids.reshape(-1)]
-        return vectors.reshape(n, length, self.encoder.instruction_dim).astype(
-            np.float32, copy=False)
+        return self._embed_rows(ids.reshape(n * length, 3)).reshape(
+            n, length, self.encoder.instruction_dim)
 
     def _generic_logits(self, ids: np.ndarray) -> list[np.ndarray]:
         assert self._ops is not None
@@ -454,21 +603,37 @@ class InferenceEngine:
             return out
 
     def _cascade_logits(self, ids: np.ndarray) -> list[np.ndarray]:
-        """Context-deduplicated trunk + per-window dense head (see module doc)."""
-        assert self._ops is not None and self._stacked is not None
+        """Context-deduplicated trunk + stacked batched heads (module doc).
+
+        Every intermediate is an arena view; the returned per-stage
+        logit slices are only valid until this thread's next chunk —
+        ``_stage_probs_chunk`` copies them out via the float64 softmax.
+        """
+        kernels = self._kernels
+        assert kernels is not None
+        arena = self._arena()
         batch, length, _ = ids.shape
-        dim = self.encoder.instruction_dim
+        n_stages = len(self._stage_order)
+        c1, c2 = kernels.c1, kernels.c2
+        sc1 = n_stages * c1
 
         with self._span("cascade.embed"):
-            # Level 0: unique instructions → their embeddings, computed once.
+            # Level 0: unique instructions → their embeddings, computed
+            # once (through the opt-in int8 table when configured), into
+            # a zero-padded arena row table for the conv1 gather.
             instr_u, pos = _unique_rows(ids.reshape(batch * length, 3))
             pos = pos.reshape(batch, length)
-            table = self.encoder.embedding.vectors[instr_u.reshape(-1)]
-            emb_u = table.reshape(len(instr_u), dim).astype(np.float32, copy=False)
+            dim = self.encoder.instruction_dim
+            emb_ext = arena.take("emb", (len(instr_u) + 1, dim))
+            emb_ext[:len(instr_u)] = self._embed_rows(instr_u)
+            emb_ext[len(instr_u)] = 0.0
 
         with self._span("cascade.conv1"):
-            # Level 1: conv1 over unique 3-instruction contexts, all stages
-            # stacked.
+            # Level 1: conv1 over unique 3-instruction contexts, every
+            # stage in ONE GEMM over the whole deduped batch (position
+            # -1, the conv's 'same' padding, redirects to the zero row).
+            # Gathers use plain fancy indexing: np.take(out=) goes
+            # through a slower buffered path (measured ~2.7x).
             ctx1_u, pos_c1 = _unique_rows(_neighbor_rows(pos).reshape(batch * length, 3))
             pos_c1 = pos_c1.reshape(batch, length)
             self.stats.ctx_positions += batch * length
@@ -477,49 +642,73 @@ class InferenceEngine:
                 registry = observability.get_registry()
                 registry.inc("engine.ctx_positions", batch * length)
                 registry.inc("engine.ctx_unique", len(ctx1_u))
-            weight1, bias1 = self._stacked
-            hidden1 = _gather_contexts(emb_u, ctx1_u) @ weight1 + bias1   # [U1, S*C1]
-            np.maximum(hidden1, 0.0, out=hidden1)
+            u1 = len(ctx1_u)
+            safe1 = np.where(ctx1_u < 0, len(instr_u), ctx1_u).ravel()
+            x1 = emb_ext[safe1]
+            hidden1 = arena.take("hidden1", (u1, sc1))
+            # Bias + ReLU are postponed past pool1: rounding is
+            # monotone, so fl(a+c) <= fl(b+c) whenever a <= b, making
+            # max-then-bias-then-relu bit-identical to the reference
+            # order while touching u_p1 rows instead of u1.
+            np.matmul(x1.reshape(u1, 3 * dim), kernels.w1, out=hidden1)
 
-            # Pool 1 over unique position pairs.
+            # Pool 1 over unique position pairs, then one stage-major
+            # transpose so conv2's context gathers are contiguous per
+            # stage (the extra row u_p1 is conv2's zero 'same' padding,
+            # which bias must not touch).
             out1 = length // 2
             pairs1 = np.stack([pos_c1[:, 0:out1 * 2:2], pos_c1[:, 1:out1 * 2:2]], axis=2)
             pairs1_u, pos_p1 = _unique_rows(pairs1.reshape(batch * out1, 2))
             pos_p1 = pos_p1.reshape(batch, out1)
+            u_p1 = len(pairs1_u)
             pooled1 = np.maximum(hidden1[pairs1_u[:, 0]], hidden1[pairs1_u[:, 1]])
+            pooled1_t = arena.take("pooled1_t", (n_stages, u_p1 + 1, c1))
+            pooled1_t[:, :u_p1] = pooled1.reshape(u_p1, n_stages, c1).transpose(1, 0, 2)
+            pooled1_t[:, u_p1] = 0.0
+            body1 = pooled1_t[:, :u_p1]
+            body1 += kernels.bias1.reshape(n_stages, 1, c1)
+            np.maximum(body1, 0.0, out=body1)
 
-        with self._span("cascade.conv2_dense"):
-            # Level 2: conv2 over unique pooled contexts (per-stage channels).
-            # pooled1's columns interleave the six stages; transpose once to
-            # stage-major so each stage gathers its contexts contiguously.
+        with self._span("cascade.conv2"):
+            # Level 2: conv2 over unique pooled contexts.  The GEMM is
+            # still one batched [S, U, K] @ [S, K, M] contraction, but
+            # its operand is assembled stage by stage with small
+            # ephemeral gathers — a single [S, U*3, C1] slab gather
+            # blows the cache on this memory-bound path (measured).
             ctx2_u, pos_c2 = _unique_rows(_neighbor_rows(pos_p1).reshape(batch * out1, 3))
             pos_c2 = pos_c2.reshape(batch, out1)
-            c1 = self._conv1_out
-            pooled1_t = np.ascontiguousarray(
-                pooled1.reshape(len(pooled1), len(self._ops), c1).transpose(1, 0, 2))
-
-            # Pool 2 pairs are stage-independent position pairs over conv2
-            # output.
+            u2 = len(ctx2_u)
+            safe2 = np.where(ctx2_u < 0, u_p1, ctx2_u).ravel()
             out2 = out1 // 2
+            # Pool 2 over unique position pairs (it pays again at this
+            # depth once the gathers are fancy-indexed), flattening
+            # straight into the [S, B*out2, C2] head layout.
             pairs2 = np.stack([pos_c2[:, 0:out2 * 2:2], pos_c2[:, 1:out2 * 2:2]], axis=2)
             pairs2_u, pos_p2 = _unique_rows(pairs2.reshape(batch * out2, 2))
-            flat_p2 = pos_p2.reshape(-1)
+            flat_index = pos_p2
+            hidden2 = arena.take("hidden2", (u2, c2))
+            flat = arena.take("flat", (n_stages, batch * out2, c2))
+            for s in range(n_stages):
+                x2 = pooled1_t[s][safe2]
+                np.matmul(x2.reshape(u2, 3 * c1), kernels.w2[s], out=hidden2)
+                pooled2 = np.maximum(hidden2[pairs2_u[:, 0]],
+                                     hidden2[pairs2_u[:, 1]])
+                pooled2 += kernels.b2[s]
+                np.maximum(pooled2, 0.0, out=pooled2)
+                flat[s] = pooled2[flat_index]
 
-            logits = []
-            for index, ops in enumerate(self._ops):
-                assert ops is not None
-                x2 = _gather_contexts(pooled1_t[index], ctx2_u)
-                _, weight2, bias2, _ = ops[_CONV2_INDEX]
-                hidden2 = x2 @ weight2 + bias2
-                np.maximum(hidden2, 0.0, out=hidden2)
-                pooled2 = np.maximum(hidden2[pairs2_u[:, 0]], hidden2[pairs2_u[:, 1]])
-                flat = pooled2[flat_p2].reshape(batch, out2 * hidden2.shape[1])
-                _, weight_fc, bias_fc = ops[_DENSE1_INDEX]
-                z = flat @ weight_fc + bias_fc
-                np.maximum(z, 0.0, out=z)
-                _, weight_out, bias_out = ops[_DENSE2_INDEX]
-                logits.append(z @ weight_out + bias_out)
-        return logits
+        with self._span("cascade.heads"):
+            # Sibling stage heads share input shapes: dense1 and the
+            # class-padded dense2 run as stacked batched GEMMs.
+            z = arena.take("z", (n_stages, batch, kernels.fc))
+            np.matmul(flat.reshape(n_stages, batch, out2 * c2), kernels.wfc, out=z)
+            z += kernels.bfc
+            np.maximum(z, 0.0, out=z)
+            raw = arena.take("logits", (n_stages, batch, kernels.wout.shape[2]))
+            np.matmul(z, kernels.wout, out=raw)
+            raw += kernels.bout
+            return [raw[s, :, :count]
+                    for s, count in enumerate(kernels.class_counts)]
 
     # -- variable-level prediction -----------------------------------------------
 

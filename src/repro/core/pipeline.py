@@ -70,30 +70,42 @@ def predictions_from_probs(
     registry; ``vote_detail`` adds the per-winning-leaf-type margin
     histograms.
     """
-    groups: dict[str, list[int]] = {}
+    n = len(variable_ids)
+    group_of: dict[str, int] = {}
+    gid = np.empty(n, dtype=np.int64)
     for index, variable_id in enumerate(variable_ids):
-        groups.setdefault(variable_id, []).append(index)
+        gid[index] = group_of.setdefault(variable_id, len(group_of))
     if metrics:
         observe_clipping(probs, threshold)
-    out = []
-    winners: list[int] = []
-    vuc_counts: list[int] = []
-    for variable_id, indices in groups.items():
-        matrix = probs[indices]
-        scores = clip_confidences(matrix, threshold).sum(axis=0)
-        winner = int(scores.argmax())
-        if metrics:
-            winners.append(winner)
-            vuc_counts.append(len(indices))
-        out.append(VariablePrediction(
+    if not group_of:
+        return []
+    # One clip + one grouped reduction over the whole matrix instead of a
+    # per-variable fancy-index/sum loop.  Extraction emits each
+    # variable's VUCs contiguously, so the stable sort is usually a no-op
+    # and reduceat sums each variable's rows in their original order.
+    clipped = clip_confidences(probs, threshold)
+    if np.all(gid[:-1] <= gid[1:]):
+        ordered, sorted_gid = clipped, gid
+    else:
+        order = np.argsort(gid, kind="stable")
+        ordered, sorted_gid = clipped[order], gid[order]
+    starts = np.searchsorted(sorted_gid, np.arange(len(group_of)))
+    scores = np.add.reduceat(ordered, starts, axis=0)
+    counts = np.bincount(gid, minlength=len(group_of))
+    winners = scores.argmax(axis=1)
+    out = [
+        VariablePrediction(
             variable_id=variable_id,
-            predicted=ALL_TYPES[winner],
-            n_vucs=len(indices),
-            scores=scores,
-        ))
+            predicted=ALL_TYPES[winners[g]],
+            n_vucs=int(counts[g]),
+            scores=scores[g],
+        )
+        for variable_id, g in group_of.items()
+    ]
     if metrics:
         margins = vote_margins([p.scores for p in out])
-        observe_votes(winners, margins, vuc_counts, detail=vote_detail)
+        observe_votes(winners.tolist(), margins, counts.tolist(),
+                      detail=vote_detail)
     return out
 
 

@@ -4,15 +4,21 @@ Each instruction is three tokens (mnemonic, op1, op2); each token embeds
 to a 32-dim vector; the instruction is their concatenation (96 dims);
 the VUC is the stacked ``[21, 96]`` float32 matrix the CNN consumes.
 
-``encode_batch`` is fully vectorized: one vocabulary lookup over the
-flattened token stream of *all* windows, then a single gather from the
-embedding table — no per-window Python loop.  ``encode_ids`` exposes the
-intermediate ``[N, L, 3]`` token-id tensor, which the inference engine
-uses for content-hash deduplication without materializing embeddings.
+Triples arrive *interned* (:mod:`repro.vuc.intern`): generalization
+assigns every distinct triple a dense per-process ``intern_id`` at
+parse time, so the encoder's hot path is one C-level attribute gather
+plus one table lookup — no string hashing, no per-encoder triple memo.
+The only per-encoder state is the flat ``intern_id → vocabulary
+id-triple`` array, grown in id order as new triples appear.
+``encode_ids`` exposes the ``[N, L, 3]`` token-id tensor the inference
+engine uses for content-hash deduplication without materializing
+embeddings; ``encode_packed_ids`` decodes the serving wire format
+through the process-wide line memo, never building throwaway tuples.
 """
 
 from __future__ import annotations
 
+import operator
 import threading
 from collections.abc import Sequence
 
@@ -20,6 +26,9 @@ import numpy as np
 
 from repro.embedding.word2vec import Word2Vec
 from repro.vuc.generalize import Tokens
+from repro.vuc.intern import intern_line, intern_tokens, interned_by_id
+
+_intern_id_of = operator.attrgetter("intern_id")
 
 
 class VucEncoder:
@@ -27,14 +36,13 @@ class VucEncoder:
 
     def __init__(self, embedding: Word2Vec) -> None:
         self.embedding = embedding
-        self._triple_index: dict[Tokens, int] = {}
-        #: Packed-line memo ("mn\top1\top2" → row), sharing rows with
-        #: the triple memo so both encode paths hit one table.
-        self._line_index: dict[str, int] = {}
-        self._triple_rows: list[tuple[int, int, int]] = []
-        self._triple_table: np.ndarray | None = None
-        # Serve handler threads encode concurrently; the two-step memo
-        # insert (index slot, then row append) must stay consistent.
+        #: intern_id → (id(mnemonic), id(op1), id(op2)); rows [0, _resolved)
+        #: are valid.  Resolved in intern-id order so the freshness check
+        #: on the hot path is a single integer compare.
+        self._vocab_rows: np.ndarray = np.empty((0, 3), dtype=np.int32)
+        self._resolved = 0
+        # Serve handler threads encode concurrently; growth replaces the
+        # array atomically under the lock, readers never see a partial row.
         self._memo_lock = threading.Lock()
 
     @property
@@ -45,6 +53,40 @@ class VucEncoder:
     def instruction_dim(self) -> int:
         return 3 * self.token_dim
 
+    # -- intern_id plumbing ------------------------------------------------------
+
+    def _intern_ids(self, flat: list) -> np.ndarray:
+        """[len(flat)] intern ids; tolerates uninterned plain tuples."""
+        try:
+            return np.fromiter(map(_intern_id_of, flat), dtype=np.int64,
+                               count=len(flat))
+        except AttributeError:
+            # External callers (tests, wire decoders that predate
+            # interning) may pass plain tuples; intern them on the fly.
+            return np.fromiter(
+                (intern_tokens(triple).intern_id for triple in flat),
+                dtype=np.int64, count=len(flat))
+
+    def _rows_for(self, idx: np.ndarray) -> np.ndarray:
+        """The vocab-row table covering every intern id in ``idx``."""
+        top = int(idx.max()) + 1 if len(idx) else 0
+        if top <= self._resolved:
+            return self._vocab_rows
+        with self._memo_lock:
+            start = self._resolved
+            if top > start:
+                lookup = self.embedding.vocab.id_of
+                fresh = np.empty((top - start, 3), dtype=np.int32)
+                for intern_id in range(start, top):
+                    triple = interned_by_id(intern_id)
+                    fresh[intern_id - start] = (
+                        lookup(triple[0]), lookup(triple[1]), lookup(triple[2]))
+                self._vocab_rows = np.concatenate([self._vocab_rows[:start], fresh])
+                self._resolved = top
+            return self._vocab_rows
+
+    # -- encoding ----------------------------------------------------------------
+
     def encode_ids(
         self,
         windows: Sequence[Sequence[Tokens]],
@@ -53,10 +95,7 @@ class VucEncoder:
         """Many VUCs → [N, L, 3] int32 token-id tensor.
 
         ``length`` fixes L for empty batches (otherwise inferred from the
-        first window); all windows must share the same length.  Distinct
-        instruction triples are few (same-type clustering), so triple →
-        id-triple lookups are memoized across calls instead of paying a
-        per-token vocabulary lookup for the whole stream.
+        first window); all windows must share the same length.
         """
         if not windows:
             return np.zeros((0, length or 0, 3), dtype=np.int32)
@@ -65,25 +104,8 @@ class VucEncoder:
         flat = [triple for window in windows for triple in window]
         if len(flat) != n * inferred:
             raise ValueError("all windows must share the same length")
-        index = self._triple_index
-        misses = set(flat).difference(index)
-        if misses:
-            lookup = self.embedding.vocab.id_of
-            with self._memo_lock:
-                for triple in misses:
-                    if triple in index:
-                        continue  # another thread got here first
-                    index[triple] = len(self._triple_rows)
-                    self._triple_rows.append(
-                        (lookup(triple[0]), lookup(triple[1]), lookup(triple[2])))
-                self._triple_table = None
-        table = self._triple_table
-        if table is None:
-            with self._memo_lock:
-                table = self._triple_table = np.asarray(self._triple_rows,
-                                                        dtype=np.int32)
-        idx = np.fromiter(map(index.__getitem__, flat), dtype=np.int64, count=len(flat))
-        return table[idx].reshape(n, inferred, 3)
+        idx = self._intern_ids(flat)
+        return self._rows_for(idx)[idx].reshape(n, inferred, 3)
 
     def encode_packed_ids(
         self,
@@ -94,10 +116,10 @@ class VucEncoder:
 
         A packed window is one string: instructions joined by ``"\\n"``,
         the three tokens of each by ``"\\t"`` (the serving wire format —
-        see :func:`repro.serve.protocol.pack_windows`).  Memoizing on
-        the raw instruction line means the hot path is just string
-        splits and dict hits; only *distinct* lines ever get parsed
-        into token triples and vocabulary-resolved.
+        see :func:`repro.serve.protocol.pack_windows`).  Each distinct
+        line is interned once per *process* (:func:`repro.vuc.intern
+        .intern_line`), so the hot path is string splits plus dict hits
+        shared across every encoder and serve generation.
         """
         if not packed:
             return np.zeros((0, length or 0, 3), dtype=np.int32)
@@ -107,35 +129,10 @@ class VucEncoder:
         flat = [line for lines in split for line in lines]
         if len(flat) != n * inferred:
             raise ValueError("all windows must share the same length")
-        index = self._line_index
-        misses = set(flat).difference(index)
-        if misses:
-            lookup = self.embedding.vocab.id_of
-            with self._memo_lock:
-                for line in misses:
-                    if line in index:
-                        continue  # another thread got here first
-                    triple = tuple(line.split("\t"))
-                    if len(triple) != 3:
-                        raise ValueError(
-                            f"packed instruction must be 3 tab-separated "
-                            f"tokens, got {line!r}")
-                    row = self._triple_index.get(triple)
-                    if row is None:
-                        row = len(self._triple_rows)
-                        self._triple_index[triple] = row
-                        self._triple_rows.append(
-                            (lookup(triple[0]), lookup(triple[1]),
-                             lookup(triple[2])))
-                        self._triple_table = None
-                    index[line] = row
-        table = self._triple_table
-        if table is None:
-            with self._memo_lock:
-                table = self._triple_table = np.asarray(self._triple_rows,
-                                                        dtype=np.int32)
-        idx = np.fromiter(map(index.__getitem__, flat), dtype=np.int64, count=len(flat))
-        return table[idx].reshape(n, inferred, 3)
+        idx = np.fromiter(
+            (intern_line(line).intern_id for line in flat),
+            dtype=np.int64, count=len(flat))
+        return self._rows_for(idx)[idx].reshape(n, inferred, 3)
 
     def encode_window(self, tokens: Sequence[Tokens]) -> np.ndarray:
         """One VUC → [len(window), 3*dim] float32 matrix."""

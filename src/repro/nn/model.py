@@ -139,6 +139,20 @@ class Sequential:
             self.load_state(dict(data))
 
 
+#: Layer class → the op kind the inference engine compiles it to; a
+#: layer type missing here has no float32 mirror (the engine then falls
+#: back to the naive float64 forward for that stage).
+_LAYER_KINDS: dict[type, str] = {
+    Conv1d: "conv", ReLU: "relu", MaxPool1d: "pool",
+    Flatten: "flatten", Dense: "dense", Dropout: "noop",
+}
+
+
+def layer_kind(layer: Layer) -> str | None:
+    """The compiled-op kind of a layer (None = unknown to the engine)."""
+    return _LAYER_KINDS.get(type(layer))
+
+
 def build_cati_cnn(
     input_length: int,
     input_channels: int,

@@ -44,6 +44,7 @@ from repro.asm.parser import AsmParseError, parse_instruction
 from repro.codegen.binary import Binary
 from repro.core.errors import FailureReport, RequestError
 from repro.vuc.dataflow import VariableExtent
+from repro.vuc.intern import intern_line, intern_tokens
 
 if TYPE_CHECKING:
     from repro.core.pipeline import VariablePrediction
@@ -148,8 +149,9 @@ def extents_from_wire(data: object) -> list[list[VariableExtent]]:
 def windows_from_wire(data: object) -> list[tuple[tuple[str, str, str], ...]]:
     """Pre-extracted generalized windows → hashable token-triple tuples.
 
-    The encoder memoizes triple → id lookups in a dict, so triples must
-    arrive as tuples (JSON gives lists).
+    Triples are interned at the wire boundary (:func:`repro.vuc.intern
+    .intern_tokens`), so the encoder sees the same canonical objects the
+    offline extraction path produces and skips string hashing entirely.
     """
     if not isinstance(data, list):
         raise RequestError("'windows' must be a list of windows", stage="serve")
@@ -157,7 +159,7 @@ def windows_from_wire(data: object) -> list[tuple[tuple[str, str, str], ...]]:
     for window in data:
         try:
             out.append(tuple(
-                (str(triple[0]), str(triple[1]), str(triple[2]))
+                intern_tokens((str(triple[0]), str(triple[1]), str(triple[2])))
                 for triple in window))
         except (IndexError, TypeError) as error:
             raise RequestError(
@@ -200,8 +202,13 @@ def windows_from_packed(data: object) -> list[str]:
 
 
 def unpack_windows(packed: Sequence[str]) -> list[tuple]:
-    """Packed windows → the hashable token-triple tuples form."""
-    return [tuple(tuple(line.split("\t")) for line in window.split("\n"))
+    """Packed windows → the hashable token-triple tuples form.
+
+    Decodes through the process-wide line memo, so each distinct line
+    costs one split ever and the triples come back interned (zero new
+    tuple objects on the hot path).
+    """
+    return [tuple(intern_line(line) for line in window.split("\n"))
             for window in packed]
 
 

@@ -12,13 +12,18 @@ embedding vocabulary stays small and transfers across binaries:
   one mnemonic and two operand tokens.
 
 The output of :func:`generalize_instruction` is the 3-token tuple the
-Word2Vec embedding consumes.
+Word2Vec embedding consumes — *interned* through
+:mod:`repro.vuc.intern` at creation time, so every distinct triple
+exists once per process and carries a dense ``intern_id`` the encoders
+gather through instead of hashing strings (see
+:class:`~repro.embedding.encoder.VucEncoder`).
 """
 
 from __future__ import annotations
 
 from repro.asm.instruction import Instruction
 from repro.asm.operands import Imm, Label, Mem, Operand, Reg
+from repro.vuc.intern import intern_tokens
 
 #: Padding token (missing operands, window padding, occlusion).
 BLANK = "BLANK"
@@ -30,7 +35,7 @@ FUNC = "FUNC"
 Tokens = tuple[str, str, str]
 
 #: The tokens of a fully padded (occluded / out-of-function) instruction.
-BLANK_TOKENS: Tokens = (BLANK, BLANK, BLANK)
+BLANK_TOKENS: Tokens = intern_tokens((BLANK, BLANK, BLANK))
 
 
 def generalize_operand(op: Operand) -> str:
@@ -67,11 +72,12 @@ def generalize_instruction(ins: Instruction | None) -> Tokens:
         second = BLANK
         if ins.is_call and isinstance(target, Label) and target.symbol is not None:
             second = FUNC
-        return (ins.mnemonic, ADDR if target is not None else BLANK, second)
+        return intern_tokens(
+            (ins.mnemonic, ADDR if target is not None else BLANK, second))
     tokens = [generalize_operand(op) for op in ins.operands[:2]]
     while len(tokens) < 2:
         tokens.append(BLANK)
-    return (ins.mnemonic, tokens[0], tokens[1])
+    return intern_tokens((ins.mnemonic, tokens[0], tokens[1]))
 
 
 def generalize_window(window: tuple[Instruction | None, ...]) -> tuple[Tokens, ...]:

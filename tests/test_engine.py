@@ -265,3 +265,83 @@ class TestPipelineIntegration:
             loaded.engine.leaf_proba(test_windows[:20])
             - mini_cati.predict_vuc_proba(test_windows[:20])
         ).max() <= TOL
+
+
+class TestKernelArena:
+    """The arena-fused cascade must be invisible: any chunking, any call
+    size, buffers reused — identical probabilities."""
+
+    def test_ragged_chunk_boundaries(self, mini_cati, test_windows):
+        naive = mini_cati.predict_vuc_proba(test_windows)
+        n = len(test_windows)
+        for max_batch in (7, 64, n - 1, n, n + 1):
+            engine = fresh_engine(mini_cati, max_batch=max_batch)
+            assert np.abs(engine.leaf_proba(test_windows) - naive).max() <= TOL
+
+    def test_arena_reused_across_differently_sized_calls(self, mini_cati,
+                                                         test_windows):
+        engine = fresh_engine(mini_cati, dedup_cache_size=0)
+        naive = mini_cati.predict_vuc_proba(test_windows)
+        engine.leaf_proba(test_windows)  # peak-size call grows the arena
+        peak = engine.arena_nbytes
+        assert peak > 0
+        for size in (20, 150, 1, len(test_windows)):
+            got = engine.leaf_proba(test_windows[:size])
+            assert np.abs(got - naive[:size]).max() <= TOL
+        # Shrink-and-regrow must reuse the grown buffers, not reallocate.
+        assert engine.arena_nbytes == peak
+
+    def test_refresh_drops_arena(self, mini_cati, test_windows):
+        engine = fresh_engine(mini_cati)
+        engine.leaf_proba(test_windows[:40])
+        assert engine.arena_nbytes > 0
+        engine.refresh()
+        assert engine.arena_nbytes == 0
+        naive = mini_cati.predict_vuc_proba(test_windows[:40])
+        assert np.abs(engine.leaf_proba(test_windows[:40]) - naive).max() <= TOL
+
+
+class TestQuantizedEmbeddings:
+    """The opt-in int8 embedding table trades the exact-equivalence gate
+    for a bounded, measured accuracy delta."""
+
+    def test_leaf_probs_within_bound(self, mini_cati, test_windows):
+        naive = mini_cati.predict_vuc_proba(test_windows)
+        engine = fresh_engine(mini_cati, quantize_embeddings=True)
+        quantized = engine.leaf_proba(test_windows)
+        assert np.abs(quantized - naive).max() <= 0.05
+        agreement = (quantized.argmax(axis=1) == naive.argmax(axis=1)).mean()
+        assert agreement >= 0.98
+
+    def test_table_built_only_when_opted_in(self, mini_cati):
+        engine = fresh_engine(mini_cati)
+        engine.warm_start()
+        assert engine._q_table is None
+        quantized = fresh_engine(mini_cati, quantize_embeddings=True)
+        quantized.warm_start()
+        values, scales = quantized._q_table
+        assert values.dtype == np.int8
+        assert values.shape == quantized.encoder.embedding.vectors.shape
+        assert scales.shape == (len(values),)
+
+    def test_quantize_rows_int8_bounds(self):
+        from repro.nn.layers import quantize_rows_int8
+
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(50, 32)).astype(np.float32)
+        matrix[7] = 0.0
+        values, scales = quantize_rows_int8(matrix)
+        assert values.dtype == np.int8
+        # Dequantization error is at most half a quantization step per row.
+        recon = values.astype(np.float64) * scales[:, None]
+        assert np.all(np.abs(recon - matrix) <= scales[:, None] / 2 + 1e-7)
+        # All-zero rows stay exactly zero with a well-defined scale.
+        assert (values[7] == 0).all()
+        assert scales[7] == 1.0
+
+    def test_refresh_rebuilds_table(self, mini_cati, test_windows):
+        engine = fresh_engine(mini_cati, quantize_embeddings=True)
+        before = engine.leaf_proba(test_windows[:30])
+        engine.refresh()
+        after = engine.leaf_proba(test_windows[:30])
+        assert np.array_equal(before, after)
