@@ -1,0 +1,137 @@
+"""Batch throughput + durable window-cache trajectory -> BENCH_batch.json.
+
+Measures the batch subsystem end to end on a mini model:
+
+1. **cold** — a fresh job over corpus A with an empty durable window
+   cache: every unique window is computed by the cascade and appended;
+2. **warm** — a second job over corpus B, which *overlaps* corpus A in
+   content (a simulated recompile: most binaries unchanged, some new).
+   The overlap must come back as durable-cache hits — the acceptance
+   criterion is a nonzero cross-run hit rate;
+3. **corrupt** — one cache segment gets a flipped byte, then corpus B
+   runs again: the damaged record must be detected (CRC), counted, and
+   recomputed transparently — the job must still exit complete.
+
+Each phase records binaries/s and the cache counters; the whole
+trajectory lands in ``BENCH_batch.json`` at the repo root.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_batch.py``
+(``--smoke`` shrinks the corpora; the correctness gates still apply).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.batch import JobSpec, demo_corpus, run_job
+from repro.core.config import CatiConfig
+from repro.core.pipeline import Cati
+from repro.datasets.corpus import build_small_corpus
+from repro.embedding.word2vec import Word2VecConfig
+
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+
+def _gate(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"bench_batch: FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def _phase(name: str, job_dir: Path, spec: JobSpec, *, model_dir: str,
+           cache_dir: Path) -> dict:
+    began = time.perf_counter()
+    results = run_job(job_dir, spec, model_dir=model_dir,
+                      cache_dir=cache_dir)
+    elapsed = time.perf_counter() - began
+    cache = results.get("window_cache", {})
+    served = cache.get("hits", 0) + cache.get("misses", 0)
+    record = {
+        "binaries": results["items"],
+        "predictions": results["n_predictions"],
+        "elapsed_s": round(elapsed, 3),
+        "binaries_per_s": round(results["items"] / max(elapsed, 1e-9), 3),
+        "cache": {
+            "hits": cache.get("hits", 0),
+            "misses": cache.get("misses", 0),
+            "hit_rate": round(cache.get("hits", 0) / served, 4) if served else 0.0,
+            "appends": cache.get("appends", 0),
+            "corrupt_records": cache.get("corrupt_records", 0),
+        },
+        "quarantined": results["shards"]["quarantined"],
+    }
+    print(f"bench_batch: {name}: {record['binaries_per_s']} binaries/s, "
+          f"cache hit rate {record['cache']['hit_rate']:.0%} "
+          f"({cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses, "
+          f"{cache.get('corrupt_records', 0)} corrupt)", flush=True)
+    return record
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv
+    n_a, n_b, overlap = (3, 3, 2) if smoke else (6, 6, 4)
+
+    print("bench_batch: training mini model ...", flush=True)
+    corpus = build_small_corpus()
+    config = CatiConfig(
+        epochs=5, fc_width=64,
+        word2vec=Word2VecConfig(dim=32, window=5, epochs=1,
+                                subsample_pairs=0.4))
+    cati = Cati(config).train(corpus.train)
+
+    with tempfile.TemporaryDirectory(prefix="bench-batch-") as scratch:
+        scratch_path = Path(scratch)
+        model_dir = str(scratch_path / "model")
+        cati.save(model_dir)
+        cache_dir = scratch_path / "cache"
+
+        # Corpus B re-uses `overlap` of corpus A's seeds and adds fresh
+        # ones — the shape of a recompile where most content is stable.
+        corpus_a = demo_corpus(n_a, base_seed=500)
+        corpus_b = demo_corpus(n_b, base_seed=500 + (n_a - overlap))
+        spec_a = JobSpec(items=corpus_a, shard_size=2)
+        spec_b = JobSpec(items=corpus_b, shard_size=2)
+
+        cold = _phase("cold", scratch_path / "job-cold", spec_a,
+                      model_dir=model_dir, cache_dir=cache_dir)
+        warm = _phase("warm (recompile overlap)", scratch_path / "job-warm",
+                      spec_b, model_dir=model_dir, cache_dir=cache_dir)
+
+        # Flip one payload byte in a cache segment, then run corpus B
+        # again: the damage must be a counted recompute, never a failure.
+        model_key_dirs = [p for p in cache_dir.iterdir() if p.is_dir()]
+        _gate(len(model_key_dirs) == 1, "expected one model-key namespace")
+        segment = next(model_key_dirs[0].glob("seg-*.bin"))
+        blob = bytearray(segment.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        segment.write_bytes(blob)
+        corrupt = _phase("corrupt segment", scratch_path / "job-corrupt",
+                         spec_b, model_dir=model_dir, cache_dir=cache_dir)
+
+    _gate(cold["cache"]["hits"] == 0, "cold run should start from an empty cache")
+    _gate(cold["cache"]["appends"] > 0, "cold run appended nothing")
+    _gate(warm["cache"]["hit_rate"] > 0,
+          "warm run over an overlapping corpus must hit the durable cache")
+    _gate(corrupt["cache"]["corrupt_records"] >= 1,
+          "the flipped byte was never detected")
+    _gate(not corrupt["quarantined"],
+          "cache corruption must be recomputed, not fail the job")
+    _gate(corrupt["predictions"] == warm["predictions"],
+          "corruption recompute changed the prediction count")
+
+    body = {
+        "bench": "batch",
+        "smoke": smoke,
+        "corpora": {"a": n_a, "b": n_b, "overlap": overlap},
+        "trajectory": {"cold": cold, "warm": warm, "corrupt": corrupt},
+    }
+    _ARTIFACT.write_text(json.dumps(body, indent=2, sort_keys=True) + "\n")
+    print(f"bench_batch: OK -> {_ARTIFACT}")
+
+
+if __name__ == "__main__":
+    main()

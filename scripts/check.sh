@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local quality gate: lint + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [--faults | --docs | --serve | --smoke] [extra pytest args...]
+# Usage: scripts/check.sh [--faults | --docs | --serve | --smoke | --batch] [extra pytest args...]
 #
 #   --faults   run the fault-injection suite (tests/test_fault_tolerance.py)
 #              instead of the full tier-1 suite.
@@ -18,6 +18,9 @@
 #              assert engine/naive equivalence, the previous-generation
 #              reproduction, the int8 drift bound and the dedup-cache
 #              invariants.  No wall-clock assertions.
+#   --batch    run the batch-job smoke only (scripts/smoke_batch.py):
+#              tiny corpus -> run -> SIGKILL mid-job -> resume ->
+#              verify bit-identical results + enumerated interruption.
 #
 # Lint is a hard gate: when ruff is installed, any finding fails the
 # script (set -e).  When ruff is absent we warn and continue, because
@@ -30,6 +33,7 @@ FAULTS=0
 DOCS=0
 SERVE=0
 SMOKE=0
+BATCH=0
 if [[ "${1:-}" == "--faults" ]]; then
     FAULTS=1
     shift
@@ -41,6 +45,9 @@ elif [[ "${1:-}" == "--serve" ]]; then
     shift
 elif [[ "${1:-}" == "--smoke" ]]; then
     SMOKE=1
+    shift
+elif [[ "${1:-}" == "--batch" ]]; then
+    BATCH=1
     shift
 fi
 
@@ -57,6 +64,11 @@ fi
 if [[ "$SMOKE" == "1" ]]; then
     echo "== engine speed smoke (correctness gates) =="
     exec env PYTHONPATH=src python benchmarks/bench_speed.py --smoke
+fi
+
+if [[ "$BATCH" == "1" ]]; then
+    echo "== batch kill/resume smoke =="
+    exec python scripts/smoke_batch.py
 fi
 
 if command -v ruff >/dev/null 2>&1; then

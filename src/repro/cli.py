@@ -15,6 +15,10 @@ Commands:
 * ``model``       — artifact tooling: ``inspect`` prints a bundle's
                     manifest and verifies its checksums; ``migrate``
                     upgrades a pre-bundle model directory.
+* ``batch``       — resumable corpus-scale analysis: ``run`` a job spec
+                    to checkpointed shards, ``resume`` an interrupted
+                    job, ``status`` a job directory (see
+                    :mod:`repro.batch` and docs/OPERATIONS.md §8).
 
 ``infer`` and ``experiment`` take ``--metrics-out PATH`` to dump the
 run's observability report (per-phase spans, engine cache counters,
@@ -29,9 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
-import tempfile
 
 
 def _add_metrics_flags(parser: argparse.ArgumentParser) -> None:
@@ -56,6 +58,8 @@ def _dump_metrics(args: argparse.Namespace, failures=None) -> None:
     from repro.core import observability
     from repro.core.errors import FailureReport
 
+    from repro.core.fsutil import atomic_write
+
     report = failures if failures is not None else FailureReport()
     payload = {
         "metrics": observability.snapshot(),
@@ -63,20 +67,7 @@ def _dump_metrics(args: argparse.Namespace, failures=None) -> None:
     }
     # Atomic: a crash mid-dump (or a concurrent reader) must never see a
     # truncated report, and a nested path must not require a manual mkdir.
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-        os.replace(temp_path, path)
-    except BaseException:
-        try:
-            os.unlink(temp_path)
-        except OSError:
-            pass
-        raise
+    atomic_write(path, json.dumps(payload, indent=2) + "\n")
     print(f"metrics report written to {path}")
 
 
@@ -362,6 +353,79 @@ def _cmd_model_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_batch_results(results: dict) -> None:
+    shards = results["shards"]
+    print(f"items: {results['items']}  predictions: {results['n_predictions']}  "
+          f"shards: {shards['total']} total, {results['shards_run']} run, "
+          f"{results['shards_reused']} reused from checkpoints, "
+          f"{len(shards['quarantined'])} quarantined")
+    failures = results["failures"]
+    if failures["total"]:
+        print(f"skipped/failed: {failures['total']} "
+              f"(by stage: {failures['by_stage']})")
+    cache = results.get("window_cache")
+    if cache:
+        print(f"window cache: {cache['hits']} hits, {cache['misses']} misses, "
+              f"{cache['appends']} appended, "
+              f"{cache['corrupt_records']} corrupt record(s) recomputed")
+    print(f"elapsed: {results['elapsed_s']:.2f}s")
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.batch import (
+        JobSpec,
+        demo_corpus,
+        job_status,
+        load_manifest,
+        resume_job,
+        run_job,
+    )
+    from repro.core.errors import CatiError
+
+    _apply_metrics_flags(args)
+    try:
+        if args.batch_command == "status":
+            status = job_status(args.job_dir)
+            if args.json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+            else:
+                shards = status["shards"]
+                state = "complete" if status["complete"] else "in progress"
+                print(f"job {status['job_dir']} ({state}): "
+                      f"{shards['committed']}/{shards['total']} shard(s) "
+                      f"committed, {len(shards['pending'])} pending, "
+                      f"{len(shards['invalid'])} invalid (will recompute), "
+                      f"{len(shards['quarantined'])} quarantined")
+            return 0
+        if args.batch_command == "resume":
+            results = resume_job(args.job_dir, model_dir=args.model_dir,
+                                 force=args.force)
+        else:  # run
+            if args.manifest:
+                items = load_manifest(args.manifest)
+            else:
+                items = demo_corpus(args.demo_corpus,
+                                    compiler=args.compiler,
+                                    opt_level=args.opt_level,
+                                    base_seed=args.base_seed)
+            spec = JobSpec(items=items, shard_size=args.shard_size,
+                           on_error=args.on_error,
+                           max_retries=args.max_retries, seed=args.seed)
+            cache_dir = None if args.no_cache else args.cache_dir
+            config = None
+            if args.model_dir:
+                config = _config_for_model(
+                    args.model_dir, metrics_enabled=not args.no_metrics)
+            results = run_job(args.job_dir, spec, model_dir=args.model_dir,
+                              config=config, cache_dir=cache_dir)
+    except CatiError as error:
+        print(f"batch {args.batch_command} failed: {error}", file=sys.stderr)
+        return 2
+    _print_batch_results(results)
+    _dump_metrics(args)
+    return 0
+
+
 def _cmd_corpus_stats(args: argparse.Namespace) -> int:
     from repro.datasets.corpus import build_corpus, build_small_corpus
     from repro.experiments import table1
@@ -455,6 +519,56 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=_EXPERIMENTS)
     _add_metrics_flags(experiment)
     experiment.set_defaults(func=_cmd_experiment)
+
+    batch = sub.add_parser(
+        "batch", help="resumable corpus-scale analysis over checkpointed shards")
+    batch_sub = batch.add_subparsers(dest="batch_command", required=True)
+
+    batch_run = batch_sub.add_parser(
+        "run", help="create a job from a corpus manifest and run it")
+    batch_run.add_argument("--job-dir", required=True,
+                           help="fresh directory for the job's durable state")
+    batch_run.add_argument("--model-dir", default=".cache/cli-model")
+    batch_run.add_argument("--manifest", default=None,
+                           help="corpus manifest JSON (see docs/OPERATIONS.md §8)")
+    batch_run.add_argument("--demo-corpus", type=int, default=0, metavar="N",
+                           help="instead of --manifest: N seeded demo binaries")
+    batch_run.add_argument("--compiler", default="gcc", choices=("gcc", "clang"),
+                           help="toolchain for --demo-corpus items")
+    batch_run.add_argument("--opt-level", type=int, default=1, choices=(0, 1, 2, 3))
+    batch_run.add_argument("--base-seed", type=int, default=100,
+                           help="first codegen seed for --demo-corpus items")
+    batch_run.add_argument("--shard-size", type=int, default=4,
+                           help="binaries per checkpointed shard")
+    batch_run.add_argument("--on-error", choices=("raise", "skip"), default="skip",
+                           help="per-shard failure policy")
+    batch_run.add_argument("--max-retries", type=int, default=1,
+                           help="re-tries per shard before quarantine")
+    batch_run.add_argument("--seed", type=int, default=0,
+                           help="seeds the retry-backoff jitter (determinism)")
+    batch_run.add_argument("--cache-dir", default=".cache/window-cache",
+                           help="durable window cache location")
+    batch_run.add_argument("--no-cache", action="store_true",
+                           help="disable the durable window cache")
+    _add_metrics_flags(batch_run)
+    batch_run.set_defaults(func=_cmd_batch)
+
+    batch_resume = batch_sub.add_parser(
+        "resume", help="resume an interrupted job from its checkpoints")
+    batch_resume.add_argument("--job-dir", required=True)
+    batch_resume.add_argument("--model-dir", default=None,
+                              help="override the recorded model (drift-checked)")
+    batch_resume.add_argument("--force", action="store_true",
+                              help="accept model/config drift; stale "
+                                   "checkpoints are recomputed")
+    _add_metrics_flags(batch_resume)
+    batch_resume.set_defaults(func=_cmd_batch)
+
+    batch_status = batch_sub.add_parser(
+        "status", help="summarize a job directory's checkpoint state")
+    batch_status.add_argument("--job-dir", required=True)
+    batch_status.add_argument("--json", action="store_true")
+    batch_status.set_defaults(func=_cmd_batch)
 
     stats = sub.add_parser("corpus-stats", help="Table I statistics for a corpus")
     stats.add_argument("--small", action="store_true")

@@ -58,7 +58,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core import observability
+from repro.core import fsutil, observability
 from repro.core.config import CatiConfig
 from repro.core.errors import (
     ArtifactError,
@@ -201,6 +201,25 @@ class ModelBundle:
             raise BundleIntegrityError(
                 "bundle failed verification: " + "; ".join(problems),
                 path=str(self.directory), stage="artifacts")
+
+    def content_key(self) -> str:
+        """SHA-256 fingerprint of the bundle's payload contents.
+
+        Derived from the manifest's per-file checksums (not mtimes or
+        paths), so it is stable across re-opens and directory copies and
+        changes exactly when the model's weights/vocab change.  This is
+        what keys the durable window cache (:mod:`repro.batch.cache`)
+        and the batch job's model-drift check: a retrained or
+        hot-reloaded bundle gets a new key, invalidating stale cached
+        rows and checkpoints cleanly.
+        """
+        digest = hashlib.sha256()
+        for name, entry in sorted(self.manifest["files"].items()):
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(str(entry["sha256"]).encode("utf-8"))
+            digest.update(b"\0")
+        return digest.hexdigest()
 
     def _verified_payload(self, name: str) -> Path:
         entry = self.manifest["files"].get(name)
@@ -377,17 +396,11 @@ class ModelBundle:
     def _swap_into_place(staging: Path, directory: Path) -> None:
         """Atomically promote ``staging`` to ``directory``.
 
-        ``os.rename`` cannot replace a non-empty directory, so an
-        existing target is first renamed aside and removed only after
-        the new bundle is in place.
+        Delegates to :func:`repro.core.fsutil.atomic_replace_dir`, the
+        shared rename-aside swap (with directory-entry fsync) every
+        persistence path uses.
         """
-        if directory.exists():
-            doomed = staging.with_name(staging.name + ".old")
-            os.rename(directory, doomed)
-            os.rename(staging, directory)
-            shutil.rmtree(doomed, ignore_errors=True)
-        else:
-            os.rename(staging, directory)
+        fsutil.atomic_replace_dir(staging, directory)
 
     # -- migration -----------------------------------------------------------------
 

@@ -53,7 +53,9 @@ per job under ``on_error="skip"`` (everything dropped is enumerated in
 the result's :attr:`InferenceResult.failures`), and reports what it did
 into the global metrics registry when ``CatiConfig.metrics_enabled``:
 ``engine.windows`` / ``engine.unique_windows`` / ``engine.cache_hits`` /
-``engine.cache_misses`` counters, ``engine.batch_size`` and
+``engine.cache_misses`` counters (plus ``engine.store_hits`` when a
+durable window store is attached — see :meth:`InferenceEngine.attach_window_store`),
+``engine.batch_size`` and
 ``engine.chunk_seconds`` histograms (the latter gives per-chunk p50/p99
 latency), per-stage cascade spans (``cascade.embed`` /
 ``cascade.conv1`` / ``cascade.conv2`` / ``cascade.heads``),
@@ -104,11 +106,13 @@ class EngineStats:
     windows: int = 0          # windows submitted to leaf_proba
     unique_windows: int = 0   # distinct windows per call, summed
     cache_hits: int = 0       # distinct windows answered from the LRU cache
+    store_hits: int = 0       # distinct windows answered from the durable store
     ctx_positions: int = 0    # conv1 positions submitted to the cascade
     ctx_unique: int = 0       # unique 3-instruction contexts actually convolved
 
     def reset(self) -> None:
         self.windows = self.unique_windows = self.cache_hits = 0
+        self.store_hits = 0
         self.ctx_positions = self.ctx_unique = 0
 
 
@@ -369,6 +373,10 @@ class InferenceEngine:
         # leaf_proba_ids call, not per window).
         self._cache_lock = threading.Lock()
         self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        #: Optional durable window cache (repro.batch.cache.WindowCacheStore):
+        #: consulted between the in-memory LRU and the dense compute, and fed
+        #: every freshly computed leaf row.  None = LRU only.
+        self.window_store = None
         self._stage_order: list[Stage] = []
         self._ops: list[list[tuple] | None] | None = None
         self._cascade = False
@@ -459,6 +467,7 @@ class InferenceEngine:
         self._q_table = None
         self._cascade = False
         self._arena_store = threading.local()
+        self.window_store = None
         self.clear_cache()
 
     def _arena(self) -> _KernelArena:
@@ -477,6 +486,19 @@ class InferenceEngine:
     def clear_cache(self) -> None:
         with self._cache_lock:
             self._cache.clear()
+
+    def attach_window_store(self, store) -> None:
+        """Back the dedup cache with a durable ``WindowCacheStore``.
+
+        The store is consulted for windows the in-memory LRU misses and
+        receives every freshly computed leaf row; rows served from it
+        are bit-identical to what the cascade once produced (the store
+        verifies each record's checksum and treats damage as a miss).
+        Pass ``None`` to detach.  The caller owns the store's lifecycle
+        (``flush``/``close``) and must only attach a store namespaced to
+        this engine's model (see ``ModelBundle.content_key``).
+        """
+        self.window_store = store
 
     def _cache_put_many(self, pairs: list[tuple[bytes, np.ndarray]]) -> None:
         limit = self.config.dedup_cache_size
@@ -537,9 +559,29 @@ class InferenceEngine:
                         self.stats.cache_hits += 1
         else:
             todo = list(range(unique))
+        lru_hits = unique - len(todo)
+        if todo and self.window_store is not None:
+            # Consult the durable store for what the LRU missed; hits are
+            # promoted into the LRU so repeat windows stay memory-fast.
+            found = self.window_store.get_many([keys[j] for j in todo])
+            if found:
+                still: list[int] = []
+                promote: list[tuple[bytes, np.ndarray]] = []
+                for j in todo:
+                    row = found.get(keys[j])
+                    if row is None:
+                        still.append(j)
+                    else:
+                        probs[j] = row
+                        promote.append((keys[j], row))
+                self.stats.store_hits += len(todo) - len(still)
+                if record:
+                    registry.inc("engine.store_hits", len(todo) - len(still))
+                todo = still
+                self._cache_put_many(promote)
         if record:
             registry.inc("engine.unique_windows", unique)
-            registry.inc("engine.cache_hits", unique - len(todo))
+            registry.inc("engine.cache_hits", lru_hits)
             registry.inc("engine.cache_misses", len(todo))
         if todo:
             fresh = self._leaf_proba_dense(ids[np.asarray([owner_row[j] for j in todo])])
@@ -547,6 +589,9 @@ class InferenceEngine:
                 probs[j] = fresh[t]
             self._cache_put_many([(keys[j], fresh[t].copy())
                                   for t, j in enumerate(todo)])
+            if self.window_store is not None:
+                self.window_store.put_many([(keys[j], fresh[t])
+                                            for t, j in enumerate(todo)])
         return probs[assign]
 
     def _leaf_proba_dense(self, ids: np.ndarray) -> np.ndarray:
@@ -860,18 +905,15 @@ class InferenceEngine:
         out = [result if result is not None else InferenceResult([])
                for result in results]
         if failures is not None:
-            for result in out:
-                failures.extend(result.failures)
+            failures.extend(FailureReport.merge(result.failures for result in out))
         return out
 
     def _infer_many_serial(self, jobs, on_error: str,
                            failures: FailureReport | None) -> list[InferenceResult]:
-        out = []
-        for stripped, extents in jobs:
-            result = self.infer_binary(stripped, extents, on_error=on_error)
-            if failures is not None:
-                failures.extend(result.failures)
-            out.append(result)
+        out = [self.infer_binary(stripped, extents, on_error=on_error)
+               for stripped, extents in jobs]
+        if failures is not None:
+            failures.extend(FailureReport.merge(result.failures for result in out))
         return out
 
     # -- occlusion -----------------------------------------------------------------

@@ -19,6 +19,8 @@ Everything the pipeline can throw at a caller derives from
     │   ├── BundleSchemaError     missing/malformed manifest, unknown schema
     │   ├── BundleIntegrityError  checksum/shape mismatch, missing payload
     │   └── ConfigMismatchError   caller config conflicts with the saved one
+    ├── BatchError       batch-job failures (repro.batch): bad spec or
+    │                    manifest, unresumable job dir, exhausted shard
     └── ServeError       inference-service failures (repro.serve)
         ├── RequestError          malformed/undecodable request payload
         ├── QueueFullError        admission control rejected the request
@@ -48,6 +50,7 @@ from __future__ import annotations
 
 import traceback as _traceback
 from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.core import observability
@@ -173,6 +176,29 @@ class ConfigMismatchError(ArtifactError):
         self.mismatches = dict(mismatches or {})
 
 
+class BatchError(CatiError, ValueError):
+    """A batch job is malformed, unresumable, or exhausted its retries.
+
+    ``job_dir`` is the job directory the failure is about and ``shard``
+    the shard index (when shard-scoped); both ride along in
+    :meth:`CatiError.context` output.
+    """
+
+    def __init__(self, message: str, *, job_dir: str | None = None,
+                 shard: int | None = None, **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.job_dir = job_dir
+        self.shard = shard
+
+    def context(self) -> dict[str, str]:
+        out = super().context()
+        if self.job_dir is not None:
+            out["job_dir"] = self.job_dir
+        if self.shard is not None:
+            out["shard"] = str(self.shard)
+        return out
+
+
 class ServeError(CatiError):
     """The inference service could not complete a request.
 
@@ -230,6 +256,7 @@ _STAGE_WRAPPERS: dict[str, type[CatiError]] = {
     "dwarf": DwarfError,
     "artifacts": ArtifactError,
     "serve": ServeError,
+    "batch": BatchError,
 }
 
 
@@ -264,6 +291,35 @@ class FailureRecord:
     binary: str | None = None
     function: str | None = None
     traceback: str = ""
+
+    def to_dict(self) -> dict:
+        """Full JSON-ready form (traceback included) — the checkpoint
+        serialization; :meth:`from_dict` is the exact inverse."""
+        return {
+            "stage": self.stage,
+            "kind": self.kind,
+            "message": self.message,
+            "binary": self.binary,
+            "function": self.function,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Does *not* re-count the failure into the metrics registry — the
+        record was counted when it was first created; deserializing a
+        checkpoint must not inflate failure totals.
+        """
+        return cls(
+            stage=str(data.get("stage", "?")),
+            kind=str(data.get("kind", "?")),
+            message=str(data.get("message", "")),
+            binary=data.get("binary"),
+            function=data.get("function"),
+            traceback=str(data.get("traceback", "")),
+        )
 
     @classmethod
     def from_exception(cls, exc: BaseException, *, stage: str,
@@ -316,6 +372,31 @@ class FailureReport:
 
     def extend(self, other: "FailureReport") -> None:
         self.records.extend(other.records)
+
+    @classmethod
+    def merge(cls, reports: "Iterable[FailureReport]") -> "FailureReport":
+        """One report aggregating many (multi-shard / multi-binary runs).
+
+        Record order follows the input order, so a merged report's
+        per-stage/per-kind counts and exemplars read exactly as if one
+        report had accumulated everything; ``None`` entries are ignored
+        for convenience at call sites that may hold absent reports.
+        """
+        merged = cls()
+        for report in reports:
+            if report is not None:
+                merged.records.extend(report.records)
+        return merged
+
+    @classmethod
+    def from_records(cls, records: "Iterable[dict]") -> "FailureReport":
+        """Rebuild a report from a list of :meth:`FailureRecord.to_dict`
+        dicts (the checkpoint serialization)."""
+        return cls(records=[FailureRecord.from_dict(r) for r in records])
+
+    def records_to_dicts(self) -> list[dict]:
+        """Every record in full (:meth:`FailureRecord.to_dict`) form."""
+        return [record.to_dict() for record in self.records]
 
     def by_stage(self) -> dict[str, int]:
         return dict(Counter(r.stage for r in self.records))

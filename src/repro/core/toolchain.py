@@ -33,10 +33,11 @@ span ``toolchain.<tool>``.
 from __future__ import annotations
 
 import os.path
+import random as _random
 import shutil
 import subprocess
 import time
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.core import observability
@@ -61,6 +62,31 @@ class ToolResult:
     attempts: int
 
 
+def retry_delays(backoff: float, retries: int, *, jitter: float = 0.0,
+                 rng: _random.Random | None = None) -> Iterator[float]:
+    """The exponential backoff schedule, with optional seedable jitter.
+
+    Yields ``retries`` delays of ``backoff * 2**attempt``, each scaled
+    by a uniform factor in ``[1, 1 + jitter]``.  The jitter source is
+    *injectable*: pass a seeded ``random.Random`` to make the schedule
+    deterministic — the batch runner's fault-injection tests rely on
+    reproducing the exact sleep sequence.  ``rng=None`` draws from the
+    module-global PRNG, and ``jitter=0`` (the default) reproduces the
+    historical un-jittered schedule exactly.
+
+    Shared by :func:`run_tool` and ``repro.batch``'s shard retry so
+    every retry loop in the system backs off the same way.
+    """
+    if jitter < 0:
+        raise ValueError("jitter must be >= 0")
+    for attempt in range(retries):
+        delay = backoff * (2 ** attempt)
+        if jitter > 0:
+            source = rng if rng is not None else _random
+            delay *= 1.0 + jitter * source.random()
+        yield delay
+
+
 def which_missing(tools: Sequence[str]) -> tuple[str, ...]:
     """The subset of ``tools`` not found on PATH."""
     return tuple(tool for tool in tools if shutil.which(tool) is None)
@@ -82,15 +108,23 @@ def run_tool(
     timeout: float | None = DEFAULT_TOOL_TIMEOUT,
     retries: int = DEFAULT_TOOL_RETRIES,
     backoff: float = 0.1,
+    jitter: float = 0.0,
+    rng: _random.Random | None = None,
     check: bool = True,
     binary: str | None = None,
     stage: str = "toolchain",
     runner: Callable | None = None,
     sleep: Callable[[float], None] = time.sleep,
 ) -> ToolResult:
-    """Run one external tool with timeout, bounded retry, and typed errors."""
+    """Run one external tool with timeout, bounded retry, and typed errors.
+
+    ``jitter``/``rng`` shape the backoff schedule via
+    :func:`retry_delays`; a seeded ``rng`` makes the retry timing
+    deterministic for fault-injection tests.
+    """
     argv = [str(arg) for arg in argv]
     tool = argv[0]
+    delays = list(retry_delays(backoff, retries, jitter=jitter, rng=rng))
     run = runner if runner is not None else subprocess.run
     registry = observability.get_registry()
     tool_label = os.path.basename(tool)
@@ -129,7 +163,7 @@ def run_tool(
                     attempts=attempts,
                 )
             if attempt < retries:
-                delay = backoff * (2 ** attempt)
+                delay = delays[attempt]
                 registry.inc("toolchain.retries")
                 registry.inc("toolchain.backoff_s", delay)
                 sleep(delay)

@@ -1,0 +1,192 @@
+"""Durable window cache (repro.batch.cache): persistence + corruption.
+
+The store's contract is "accelerator, never authority": every test that
+damages bytes on disk asserts the damage is detected, counted, and
+answered with a miss (so the engine recomputes) — never a crash, never
+a wrong row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch.cache import _HEADER, _KEY_LEN, WindowCacheStore
+
+ROW_LEN = 19
+
+
+def make_store(tmp_path, key="model-a", **kwargs):
+    kwargs.setdefault("fsync", False)
+    return WindowCacheStore(tmp_path, key, row_len=ROW_LEN, **kwargs)
+
+
+def rows(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [(bytes([i]) * 12, rng.random(ROW_LEN)) for i in range(n)]
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        store = make_store(tmp_path)
+        pairs = rows(5)
+        store.put_many(pairs)
+        store.flush()
+        got = store.get_many([raw for raw, _ in pairs])
+        assert len(got) == 5
+        for raw, row in pairs:
+            np.testing.assert_array_equal(got[raw], row)
+        store.close()
+
+    def test_missing_keys_are_misses(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put_many(rows(2))
+        got = store.get_many([b"absent-key"])
+        assert got == {}
+        assert store.stats["misses"] == 1
+        store.close()
+
+    def test_rows_are_bit_identical(self, tmp_path):
+        store = make_store(tmp_path)
+        row = np.random.default_rng(7).random(ROW_LEN)
+        store.put_many([(b"key", row)])
+        got = store.get_many([b"key"])[b"key"]
+        assert got.tobytes() == row.astype(np.float64).tobytes()
+        store.close()
+
+    def test_duplicate_puts_are_idempotent(self, tmp_path):
+        store = make_store(tmp_path)
+        pairs = rows(3)
+        store.put_many(pairs)
+        appended = store.stats["appends"]
+        store.put_many(pairs)
+        assert store.stats["appends"] == appended
+        store.close()
+
+    def test_wrong_row_width_rejected(self, tmp_path):
+        store = make_store(tmp_path)
+        with pytest.raises(ValueError, match="payload bytes"):
+            store.put_many([(b"key", np.zeros(ROW_LEN + 1))])
+        store.close()
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        pairs = rows(8)
+        with make_store(tmp_path) as store:
+            store.put_many(pairs)
+        reopened = make_store(tmp_path)
+        got = reopened.get_many([raw for raw, _ in pairs])
+        assert len(got) == 8
+        reopened.close()
+
+    def test_index_rebuild_from_segments(self, tmp_path):
+        pairs = rows(4)
+        with make_store(tmp_path) as store:
+            store.put_many(pairs)
+            directory = store.directory
+        (directory / "index.json").unlink()
+        reopened = make_store(tmp_path)
+        assert len(reopened.get_many([raw for raw, _ in pairs])) == 4
+        assert reopened.stats["segments_scanned"] >= 1
+        reopened.close()
+
+    def test_tampered_index_is_rebuilt(self, tmp_path):
+        pairs = rows(4)
+        with make_store(tmp_path) as store:
+            store.put_many(pairs)
+            directory = store.directory
+        index = directory / "index.json"
+        index.write_text(index.read_text().replace('"entries"', '"entr1es"', 1))
+        reopened = make_store(tmp_path)
+        assert len(reopened.get_many([raw for raw, _ in pairs])) == 4
+        reopened.close()
+
+    def test_model_key_namespaces_are_isolated(self, tmp_path):
+        pairs = rows(3)
+        with make_store(tmp_path, key="model-a") as store:
+            store.put_many(pairs)
+        other = make_store(tmp_path, key="model-b")
+        assert other.get_many([raw for raw, _ in pairs]) == {}
+        other.close()
+
+
+class TestCorruption:
+    def test_flipped_byte_is_a_counted_miss(self, tmp_path):
+        pairs = rows(6)
+        with make_store(tmp_path) as store:
+            store.put_many(pairs)
+            directory = store.directory
+        segment = next(directory.glob("seg-*.bin"))
+        blob = bytearray(segment.read_bytes())
+        # flip one payload byte of the third record
+        record_len = _HEADER.size + _KEY_LEN + ROW_LEN * 8
+        victim = 2 * record_len + _HEADER.size + _KEY_LEN + 5
+        blob[victim] ^= 0xFF
+        segment.write_bytes(blob)
+        store = make_store(tmp_path)
+        got = store.get_many([raw for raw, _ in pairs])
+        # the damaged record is a miss (to be recomputed); others intact
+        assert len(got) == 5
+        assert pairs[2][0] not in got
+        assert store.stats["corrupt_records"] == 1
+        # the slot is recomputable: a fresh put serves again
+        store.put_many([pairs[2]])
+        assert len(store.get_many([pairs[2][0]])) == 1
+        store.close()
+
+    def test_torn_tail_is_truncated_not_fatal(self, tmp_path):
+        pairs = rows(3)
+        with make_store(tmp_path) as store:
+            store.put_many(pairs)
+            directory = store.directory
+        (directory / "index.json").unlink()  # force a scan
+        segment = next(directory.glob("seg-*.bin"))
+        with open(segment, "ab") as handle:
+            handle.write(b"\x01\x02\x03 torn half-record")
+        store = make_store(tmp_path)
+        assert len(store.get_many([raw for raw, _ in pairs])) == 3
+        store.close()
+
+    def test_vanished_segment_is_tolerated(self, tmp_path):
+        pairs = rows(3)
+        with make_store(tmp_path) as store:
+            store.put_many(pairs)
+            directory = store.directory
+        next(directory.glob("seg-*.bin")).unlink()
+        store = make_store(tmp_path)
+        assert store.get_many([raw for raw, _ in pairs]) == {}
+        store.close()
+
+
+class TestEngineIntegration:
+    def test_store_serves_after_lru_clear(self, tmp_path, mini_cati, demo_binary):
+        from repro.codegen.strip import strip
+        from repro.experiments.speed import extents_from_debug
+
+        engine = mini_cati.engine
+        stripped, extents = strip(demo_binary), extents_from_debug(demo_binary)
+        store = make_store(tmp_path, key="mini")
+        engine.attach_window_store(store)
+        try:
+            baseline = mini_cati.infer_binary(stripped, extents)
+            assert store.stats["appends"] > 0
+            engine.clear_cache()  # drop the in-memory LRU; keep the disk store
+            engine.stats.reset()
+            again = mini_cati.infer_binary(stripped, extents)
+            assert engine.stats.store_hits > 0
+            assert [(p.variable_id, p.predicted, p.scores.tobytes())
+                    for p in baseline] == \
+                   [(p.variable_id, p.predicted, p.scores.tobytes())
+                    for p in again]
+        finally:
+            engine.attach_window_store(None)
+            store.close()
+
+    def test_refresh_detaches_store(self, tmp_path, mini_cati):
+        engine = mini_cati.engine
+        store = make_store(tmp_path, key="mini2")
+        engine.attach_window_store(store)
+        engine.refresh()
+        assert engine.window_store is None
+        store.close()
