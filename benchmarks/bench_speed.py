@@ -37,6 +37,13 @@ clients through the micro-batching scheduler) against the raw engine
 run over the same request-sized chunks, and records served VUC/s,
 client-side p50/p99 latency and scheduler queue/batch statistics under
 ``"serve"``.
+
+``test_serve_scaling`` runs the same barrage through the pre-fork
+router at 1, 2 and ``min(cores, 4)`` worker processes, recording
+throughput and per-worker RSS under ``"serve.scaling"`` — the mmap'd
+shared bundle mirror is what keeps N workers from costing N model
+copies, and on ≥4-core machines 2 workers must reach ≥1.6x the
+single-worker throughput.
 """
 
 import json
@@ -684,6 +691,153 @@ def test_serve_throughput(gcc_context, tmp_path):
     cores = os.cpu_count() or 1
     pipeline_floor_s = offline_s + (served_warm_s if cores == 1 else 0.0)
     assert served_cold_s <= 1.1 * pipeline_floor_s
+
+
+def _rss_kb(pid: int) -> int | None:
+    """Resident set size of one process, in KiB (Linux /proc)."""
+    try:
+        with open(f"/proc/{pid}/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return None
+
+
+def test_serve_scaling(gcc_context, tmp_path):
+    """Multi-worker throughput + RSS at 1, 2 and min(cores, 4) workers.
+
+    Every worker count runs behind :class:`RouterDaemon` (workers=1
+    included, so the router's forwarding overhead is priced into every
+    point, not just the scaled ones) on freshly spawned workers — the
+    dedup caches start cold, the same discipline as the offline side of
+    ``test_serve_throughput``.  Per-worker RSS comes from
+    ``/proc/<pid>/status``: with the bundle's mmap mirror the embedding
+    table lives in shared page cache, so doubling workers must NOT
+    double resident model memory.  The ≥1.6x scaling gate only applies
+    where the hardware can express it (≥4 cores — below that the GIL-free
+    processes still contend for the same ALUs).
+    """
+    import shutil as _shutil
+    from repro.serve import protocol
+    from repro.serve.client import ServeClient
+    from repro.serve.router import RouterDaemon
+
+    cati = gcc_context.cati
+    samples = list(gcc_context.corpus.test)[:4000]
+    windows = [sample.tokens for sample in samples]
+    variable_ids = [f"var{i // 4}" for i in range(len(windows))]
+    n_clients, n_requests = 8, 16
+    per_request = (len(windows) + n_requests - 1) // n_requests
+    chunks = [(windows[i:i + per_request], variable_ids[i:i + per_request])
+              for i in range(0, len(windows), per_request)]
+    bodies = [{"windows_packed": protocol.pack_windows(chunk_windows),
+               "variable_ids": chunk_ids}
+              for chunk_windows, chunk_ids in chunks]
+
+    bundle_dir = tmp_path / "scaling-bundle"
+    cati.save(str(bundle_dir))
+    cores = os.cpu_count() or 1
+    worker_counts = sorted({1, 2, max(1, min(cores, 4))})
+    scaling: dict = {}
+
+    def barrage(client) -> float:
+        def worker(client_index: int) -> None:
+            for request_index in range(client_index, len(bodies), n_clients):
+                client.infer(bodies[request_index])
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(n_clients)]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - t0
+
+    for n_workers in worker_counts:
+        daemon = RouterDaemon(str(bundle_dir), port=0, workers=n_workers,
+                              queue_limit=64)
+        serve_thread = threading.Thread(target=daemon.run, daemon=True)
+        serve_thread.start()
+        client = ServeClient(daemon.host, daemon.port, timeout=300)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            try:
+                client.health()
+                break
+            except OSError:
+                time.sleep(0.05)
+        # Touch every worker's HTTP path without seeding the measured
+        # stream into any dedup cache.
+        for _ in range(n_workers * 2):
+            client.infer({"windows": [[["warm", "reg", "mem"]]],
+                          "variable_ids": ["w"]})
+
+        cold_s = barrage(client)
+        warm_s = barrage(client)  # dedup-cache-warm: serving overhead only
+        health = client.health()
+        assert health["workers_live"] == n_workers
+        assert all(worker["mmap"] is True for worker in health["workers"]), \
+            "workers must serve from the memory-mapped shared mirror"
+        rss = [_rss_kb(worker["pid"]) for worker in health["workers"]]
+        rss = [kb for kb in rss if kb is not None]
+
+        daemon.request_shutdown()
+        serve_thread.join(timeout=60)
+        assert not serve_thread.is_alive()
+
+        scaling[str(n_workers)] = {
+            "served_seconds": cold_s,
+            "served_warm_cache_seconds": warm_s,
+            "vucs_per_s": len(windows) / cold_s,
+            "speedup_vs_1_worker": (
+                scaling["1"]["served_seconds"] / cold_s if "1" in scaling
+                else 1.0),
+            "worker_rss_kb": rss,
+            "total_worker_rss_kb": sum(rss),
+        }
+
+    shared_dir = bundle_dir / ".shared"
+    shared_bytes = sum(p.stat().st_size for p in shared_dir.rglob("*")
+                       if p.is_file()) if shared_dir.is_dir() else 0
+
+    report = json.loads(_ARTIFACT.read_text()) if _ARTIFACT.exists() else {}
+    report.setdefault("serve", {})["scaling"] = {
+        "cpu_count": cores,
+        "n_windows": len(windows),
+        "n_requests": len(bodies),
+        "n_clients": n_clients,
+        "shared_mirror_bytes": shared_bytes,
+        "workers": scaling,
+    }
+    _ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    for n_workers in worker_counts:
+        entry = scaling[str(n_workers)]
+        print(f"serve scaling x{n_workers}: cold {entry['served_seconds'] * 1e3:.0f} ms "
+              f"({entry['vucs_per_s']:.0f} VUC/s, "
+              f"{entry['speedup_vs_1_worker']:.2f}x vs 1 worker), "
+              f"worker RSS {entry['worker_rss_kb']} KiB")
+    print(f"shared mirror: {shared_bytes / 1e6:.1f} MB on disk "
+          f"({cores} cores)")
+    print(f"wrote {_ARTIFACT}")
+    _shutil.rmtree(bundle_dir, ignore_errors=True)
+
+    # Scale-out must pay off where the hardware can express it.  On
+    # <4-core machines the spawned engines share ALUs with the router
+    # and each other, so only the mmap + liveness invariants are gated.
+    if cores >= 4:
+        assert (scaling["2"]["served_seconds"]
+                <= scaling["1"]["served_seconds"] / 1.6), \
+            f"2 workers did not reach 1.6x: {scaling}"
+        # Shared model memory: the second worker must cost well under a
+        # full extra model copy.
+        rss_1 = scaling["1"]["total_worker_rss_kb"]
+        rss_2 = scaling["2"]["total_worker_rss_kb"]
+        assert rss_2 <= 2.0 * rss_1
 
 
 def test_bundle_io(gcc_context, tmp_path):

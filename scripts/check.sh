@@ -6,13 +6,16 @@
 #   --faults   run the fault-injection suite (tests/test_fault_tolerance.py)
 #              instead of the full tier-1 suite.
 #   --docs     run the docs-drift gate only (scripts/check_docs.py):
-#              EXPERIMENTS.md matches its generator section-for-section
-#              and every public CatiConfig field is documented in
-#              docs/OPERATIONS.md.
+#              EXPERIMENTS.md matches its generator section-for-section,
+#              every public CatiConfig field is documented in
+#              docs/OPERATIONS.md, and docs/DEPLOYMENT.md exists with
+#              the serving knobs covered and cross-linked.
 #   --serve    run the serving smoke only (scripts/smoke_serve.py):
 #              train a mini model, launch `python -m repro serve` as a
 #              subprocess, check healthz / packed infer / hot reload /
-#              SIGTERM drain end to end.
+#              SIGTERM drain end to end — once single-process
+#              (--workers 1) and once through the pre-fork router
+#              (--workers 2).
 #   --smoke    run the engine speed bench's correctness gates only
 #              (benchmarks/bench_speed.py --smoke): train a mini model,
 #              assert engine/naive equivalence, the previous-generation

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs-drift gate (run via ``scripts/check.sh --docs``).
 
-Two checks:
+Three checks:
 
 1. Every section title the EXPERIMENTS.md generator
    (``scripts/generate_experiments_md.py``) emits exists as a ``##``
@@ -9,6 +9,10 @@ Two checks:
    an experiment is added, renamed or removed.
 2. Every public field of ``CatiConfig`` is named in
    docs/OPERATIONS.md — catches an undocumented knob.
+3. docs/DEPLOYMENT.md exists, covers the serving knobs
+   (``serve_workers`` and friends) and is cross-linked from README.md,
+   docs/OPERATIONS.md and docs/ARCHITECTURE.md — catches the deployment
+   guide drifting out of the doc graph.
 
 Exits non-zero listing every discrepancy; prints nothing but a one-line
 OK otherwise.
@@ -68,15 +72,41 @@ def check_operations_md(problems: list[str]) -> None:
             problems.append(f"docs/OPERATIONS.md does not document CatiConfig.{field.name}")
 
 
+DEPLOYMENT_KNOBS = ("serve_workers", "serve_max_batch", "serve_max_delay_ms")
+DEPLOYMENT_SECTIONS = ("process model", "capacity planning", "hot-reload",
+                       "failure modes", "/healthz")
+DEPLOYMENT_LINKERS = ("README.md", "docs/OPERATIONS.md", "docs/ARCHITECTURE.md")
+
+
+def check_deployment_md(problems: list[str]) -> None:
+    path = REPO_ROOT / "docs" / "DEPLOYMENT.md"
+    if not path.exists():
+        problems.append("docs/DEPLOYMENT.md is missing")
+        return
+    text = path.read_text()
+    lowered = text.lower()
+    for knob in DEPLOYMENT_KNOBS:
+        if f"`{knob}`" not in text and f"--{knob.removeprefix('serve_').replace('_', '-')}" not in text:
+            problems.append(f"docs/DEPLOYMENT.md does not cover serving knob {knob}")
+    for topic in DEPLOYMENT_SECTIONS:
+        if topic.lower() not in lowered:
+            problems.append(f"docs/DEPLOYMENT.md lacks a section on {topic!r}")
+    for rel in DEPLOYMENT_LINKERS:
+        if "DEPLOYMENT.md" not in (REPO_ROOT / rel).read_text():
+            problems.append(f"{rel} does not link to docs/DEPLOYMENT.md")
+
+
 def main() -> int:
     problems: list[str] = []
     check_experiments_md(problems)
     check_operations_md(problems)
+    check_deployment_md(problems)
     if problems:
         for problem in problems:
             print(f"DOCS DRIFT: {problem}", file=sys.stderr)
         return 1
-    print("docs checks OK (EXPERIMENTS.md sections + CatiConfig coverage)")
+    print("docs checks OK (EXPERIMENTS.md sections + CatiConfig coverage"
+          " + DEPLOYMENT.md graph)")
     return 0
 
 

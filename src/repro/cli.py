@@ -163,25 +163,52 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve.server import ServeDaemon
-
     _apply_metrics_flags(args)
     config = _config_for_model(args.model_dir,
                                metrics_enabled=not args.no_metrics,
                                serve_max_batch=args.max_batch,
-                               serve_max_delay_ms=args.max_delay_ms)
-    daemon = ServeDaemon(
-        args.model_dir,
-        host=args.host,
-        port=args.port,
-        config=config,
-        queue_limit=args.queue_limit,
-        default_deadline_s=args.deadline_s,
-        default_on_error=args.on_error,
-        watch=args.watch,
-        watch_interval_s=args.watch_interval,
-        verbose=args.verbose,
-    )
+                               serve_max_delay_ms=args.max_delay_ms,
+                               serve_workers=(args.workers
+                                              if args.workers is not None
+                                              else 0))
+    workers = config.resolved_serve_workers()
+    # mmap default: on for the pre-fork router (that is the point of the
+    # shared mirror), off for the classic in-process daemon unless asked.
+    mmap = args.mmap if args.mmap is not None else workers > 1
+    if workers <= 1:
+        # Today's in-process daemon: one process, one engine, no router.
+        from repro.serve.server import ServeDaemon
+
+        daemon = ServeDaemon(
+            args.model_dir,
+            host=args.host,
+            port=args.port,
+            config=config,
+            queue_limit=args.queue_limit,
+            default_deadline_s=args.deadline_s,
+            default_on_error=args.on_error,
+            watch=args.watch,
+            watch_interval_s=args.watch_interval,
+            verbose=args.verbose,
+            mmap=mmap,
+        )
+    else:
+        from repro.serve.router import RouterDaemon
+
+        daemon = RouterDaemon(
+            args.model_dir,
+            host=args.host,
+            port=args.port,
+            workers=workers,
+            config=config,
+            queue_limit=args.queue_limit,
+            default_deadline_s=args.deadline_s,
+            default_on_error=args.on_error,
+            watch=args.watch,
+            watch_interval_s=args.watch_interval,
+            verbose=args.verbose,
+            mmap=mmap,
+        )
     daemon.install_signal_handlers()
     try:
         return daemon.run()
@@ -472,6 +499,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8417,
                        help="listen port (0 picks a free one and prints it)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes behind the router "
+                            "(default: min(cores, 4); 1 = classic "
+                            "in-process daemon)")
+    serve.add_argument("--mmap", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="memory-map bundle payloads via the shared "
+                            ".npy mirror (default: on with workers > 1)")
     serve.add_argument("--queue-limit", type=int, default=64,
                        help="pending requests beyond this are answered 503")
     serve.add_argument("--max-batch", type=int, default=4096,

@@ -40,6 +40,7 @@ class CatiConfig:
     metrics_vote_detail: bool = True   # observability: per-leaf-type vote-margin histograms
     serve_max_batch: int = 4096        # serve: max VUC windows coalesced per engine call
     serve_max_delay_ms: float = 5.0    # serve: max wait to coalesce concurrent requests
+    serve_workers: int = 0             # serve: worker processes (0 = auto min(cores, 4); 1 = in-process daemon)
     word2vec: Word2VecConfig = field(default_factory=lambda: Word2VecConfig(
         dim=32, window=5, epochs=2, subsample_pairs=0.5,
     ))
@@ -67,6 +68,8 @@ class CatiConfig:
             raise ValueError("serve_max_batch must be >= 1")
         if self.serve_max_delay_ms < 0:
             raise ValueError("serve_max_delay_ms must be >= 0")
+        if self.serve_workers < 0:
+            raise ValueError("serve_workers must be >= 0 (0 = auto)")
         self.word2vec.dim = self.token_dim
 
     def to_dict(self) -> dict:
@@ -104,6 +107,14 @@ class CatiConfig:
         if "conv_channels" in data:
             data["conv_channels"] = tuple(data["conv_channels"])
         return cls(**data)
+
+    def resolved_serve_workers(self) -> int:
+        """``serve_workers`` with the 0 default resolved to ``min(cores, 4)``."""
+        if self.serve_workers:
+            return self.serve_workers
+        import os
+
+        return max(1, min(os.cpu_count() or 1, 4))
 
     @property
     def vuc_length(self) -> int:

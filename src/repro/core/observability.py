@@ -385,6 +385,130 @@ class MetricsRegistry:
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
 
+# -- snapshot merging (multi-worker serving) -----------------------------------
+#
+# The pre-fork router (repro.serve.router) aggregates one snapshot per
+# worker *process* into a single /metricsz view.  Merging operates on
+# the JSON-ready dicts produced by MetricsRegistry.snapshot(), not on
+# live registries, because worker snapshots arrive over HTTP.
+
+
+def merge_histogram_dicts(dicts: Sequence[dict]) -> dict:
+    """Bucket-wise merge of :meth:`Histogram.to_dict` outputs.
+
+    Histograms with identical boundaries merge exactly (counts added
+    per bucket); a histogram whose boundaries disagree with the first
+    one still contributes its count/sum/min/max but its bucket counts
+    are folded in by re-binning each boundary's tally at the boundary
+    value — an upper-bound placement, which keeps quantile estimates
+    conservative rather than silently dropping a worker.
+    """
+    merged: dict | None = None
+    for data in dicts:
+        if not data:
+            continue
+        if merged is None:
+            merged = {
+                "boundaries": list(data["boundaries"]),
+                "counts": list(data["counts"]),
+                "count": data["count"],
+                "sum": data["sum"],
+                "min": data["min"],
+                "max": data["max"],
+            }
+            continue
+        merged["count"] += data["count"]
+        merged["sum"] += data["sum"]
+        for key, pick in (("min", min), ("max", max)):
+            ours, theirs = merged[key], data[key]
+            if theirs is not None:
+                merged[key] = pick(ours, theirs) if ours is not None else theirs
+        if list(data["boundaries"]) == merged["boundaries"]:
+            merged["counts"] = [a + b for a, b in
+                                zip(merged["counts"], data["counts"])]
+        else:
+            boundaries = merged["boundaries"]
+            for boundary, tally in zip(data["boundaries"], data["counts"]):
+                if not tally:
+                    continue
+                index = bisect_right(boundaries, boundary)
+                if index and boundaries[index - 1] == boundary:
+                    index -= 1
+                merged["counts"][index] += tally
+            merged["counts"][-1] += data["counts"][-1]
+    if merged is None:
+        return {}
+    merged["mean"] = merged["sum"] / merged["count"] if merged["count"] else None
+    return merged
+
+
+def quantile_from_dict(data: dict, q: float) -> float | None:
+    """:meth:`Histogram.quantile` over a (possibly merged) histogram dict."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if not data or not data.get("count"):
+        return None
+    boundaries = data["boundaries"]
+    low = data["min"] if data["min"] is not None else boundaries[0]
+    high = data["max"] if data["max"] is not None else boundaries[-1]
+    rank = q * data["count"]
+    seen = 0
+    for index, bucket in enumerate(data["counts"]):
+        if not bucket:
+            continue
+        if seen + bucket >= rank:
+            lower = boundaries[index - 1] if index else low
+            upper = boundaries[index] if index < len(boundaries) else high
+            fraction = (rank - seen) / bucket
+            value = lower + (upper - lower) * fraction
+            return min(max(value, low), high)
+        seen += bucket
+    return high
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge :meth:`MetricsRegistry.snapshot` dicts across processes.
+
+    Counters and span totals are summed (they are totals), histograms
+    are bucket-wise merged via :func:`merge_histogram_dicts`, gauges
+    take the max (a "worst across workers" read for depth/generation
+    style values).  Snapshots missing a section are tolerated.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histogram_parts: dict[str, list[dict]] = {}
+    spans: dict[str, dict] = {}
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        for name, value in (snap.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in (snap.get("gauges") or {}).items():
+            gauges[name] = max(gauges[name], value) if name in gauges else value
+        for name, data in (snap.get("histograms") or {}).items():
+            histogram_parts.setdefault(name, []).append(data)
+        for name, data in (snap.get("spans") or {}).items():
+            if name not in spans:
+                spans[name] = {"count": 0, "wall_s": 0.0, "cpu_s": 0.0,
+                               "min_s": None, "max_s": None}
+            out = spans[name]
+            out["count"] += data.get("count", 0)
+            out["wall_s"] += data.get("wall_s", 0.0)
+            out["cpu_s"] += data.get("cpu_s", 0.0)
+            for key, pick in (("min_s", min), ("max_s", max)):
+                theirs = data.get(key)
+                if theirs is not None:
+                    out[key] = (pick(out[key], theirs)
+                                if out[key] is not None else theirs)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {name: merge_histogram_dicts(parts)
+                       for name, parts in sorted(histogram_parts.items())},
+        "spans": dict(sorted(spans.items())),
+    }
+
+
 #: The process-global registry every pipeline module records into.
 _REGISTRY = MetricsRegistry(enabled=True)
 

@@ -120,6 +120,8 @@ class Cati:
         self._engine: InferenceEngine | None = None
         #: Train provenance stamped into saved bundles (who/when/on what).
         self.provenance: dict = {}
+        #: True when :meth:`load` actually memory-mapped the payloads.
+        self.mmap_active: bool = False
 
     # -- training ------------------------------------------------------------------
 
@@ -236,7 +238,7 @@ class Cati:
 
     @classmethod
     def load(cls, directory: str, config: CatiConfig | None = None,
-             warm_start: bool = False) -> "Cati":
+             warm_start: bool = False, *, mmap: bool = False) -> "Cati":
         """Load a saved model, restoring its saved config.
 
         For a bundle directory the manifest's config snapshot is
@@ -254,19 +256,28 @@ class Cati:
         ``warm_start=True`` additionally compiles the inference
         engine's float32 kernels now, so the first ``infer_binary``
         call does not pay the compile latency.
+
+        ``mmap=True`` loads bundle payloads through the shared ``.npy``
+        mirror (:meth:`ModelBundle.load_shared`), keeping the embedding
+        table a read-only memory map so N serving workers share one
+        physical copy.  Legacy directories have no manifest to key the
+        mirror and fall back to a regular load; check
+        :attr:`mmap_active` for what actually happened.
         """
+        mmap_active = False
         if ModelBundle.is_bundle(directory):
             bundle = ModelBundle.open(directory)
             resolved = bundle.resolve_config(config)
             cati = cls(resolved)
-            cati.embedding = bundle.load_embedding()
+            cati.embedding = bundle.load_embedding(mmap=mmap)
             cati.encoder = VucEncoder(cati.embedding)
             cati.classifier.load_state(
-                bundle.load_classifier_state(),
+                bundle.load_classifier_state(mmap=mmap),
                 input_length=resolved.vuc_length,
                 input_channels=resolved.instruction_dim,
             )
             cati.provenance = dict(bundle.manifest.get("provenance") or {})
+            mmap_active = mmap
         elif ModelBundle.is_legacy(directory):
             cati = cls(config)
             cati.embedding = Word2Vec.load(os.path.join(directory, "word2vec.npz"))
@@ -282,6 +293,7 @@ class Cati:
                 f"{directory} is neither a model bundle nor a legacy "
                 "model directory", path=str(directory), stage="artifacts")
         cati._engine = None
+        cati.mmap_active = mmap_active
         if warm_start:
             cati.engine.warm_start()
         return cati

@@ -23,15 +23,25 @@ The moving parts:
 * :mod:`repro.serve.server` — the HTTP daemon: ``POST /v1/infer``,
   ``POST /v1/reload``, ``GET /healthz``, ``GET /metricsz``, 503 +
   ``Retry-After`` on overload, SIGTERM drain;
+* :mod:`repro.serve.router` / :mod:`repro.serve.worker` — the pre-fork
+  scale-out path (``--workers N``): N worker processes, each a full
+  daemon with memory-mapped model payloads shared through the bundle's
+  ``.npy`` mirror, behind a router doing least-loaded dispatch,
+  admission control, generation-fenced rolling reloads, crash respawn,
+  and merged ``/healthz``//``/metricsz``;
 * :mod:`repro.serve.client` — the small blocking client behind
-  ``python -m repro client``.
+  ``python -m repro client``, with bounded retries on connection drops.
 
-See docs/OPERATIONS.md §7 "Serving" for the operator story.
+See docs/OPERATIONS.md §7 "Serving" and docs/DEPLOYMENT.md for the
+operator story.
 """
 
 from repro.serve.client import ServeClient
 from repro.serve.host import ModelHost
+from repro.serve.router import RouterDaemon
 from repro.serve.scheduler import MicroBatchScheduler
 from repro.serve.server import ServeDaemon
+from repro.serve.worker import WorkerHandle
 
-__all__ = ["MicroBatchScheduler", "ModelHost", "ServeClient", "ServeDaemon"]
+__all__ = ["MicroBatchScheduler", "ModelHost", "RouterDaemon",
+           "ServeClient", "ServeDaemon", "WorkerHandle"]

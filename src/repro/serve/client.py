@@ -9,16 +9,37 @@ Server-side errors surface as :class:`ServeClientError` carrying the
 HTTP status and the decoded ``{"error": {...}}`` body, so callers can
 distinguish 503-overload (``retry_after``) from 400-malformed from
 409-reload-rejected without string matching.
+
+Connection-level drops — reset/refused/closed-without-response — are
+retried with bounded exponential backoff
+(:func:`repro.core.toolchain.retry_delays`): during a hot reload or a
+worker respawn the daemon can drop a connection it has not answered
+yet, and surfacing that as a raw ``ConnectionError`` made every caller
+carry its own retry loop.  Timeouts are *not* retried — they count
+against the caller's deadline.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 
 from repro.codegen.binary import Binary
+from repro.core.toolchain import retry_delays
 from repro.serve import protocol
 from repro.vuc.dataflow import VariableExtent
+
+#: Connection-level failures worth a bounded retry: the server went
+#: away between connect and response (reload, respawn, drain race) —
+#: not protocol errors and not timeouts.
+RETRYABLE_EXCEPTIONS = (
+    ConnectionResetError,
+    ConnectionRefusedError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+)
 
 
 class ServeClientError(RuntimeError):
@@ -41,20 +62,37 @@ class ServeClient:
     """Blocking JSON client for one daemon address."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout: float = 300.0) -> None:
+                 timeout: float = 300.0, *, retries: int = 2,
+                 retry_backoff_s: float = 0.1) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Extra attempts after a connection-level drop (0 disables).
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        delays = retry_delays(self.retry_backoff_s, self.retries)
+        attempts = 1 + max(0, self.retries)
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, payload, headers)
+            except RETRYABLE_EXCEPTIONS:
+                if attempt + 1 >= attempts:
+                    raise
+                time.sleep(next(delays))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, method: str, path: str, payload: bytes | None,
+                      headers: dict) -> dict:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
         try:
-            payload = None
-            headers = {}
-            if body is not None:
-                payload = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
             connection.request(method, path, body=payload, headers=headers)
             response = connection.getresponse()
             raw = response.read()

@@ -39,15 +39,20 @@ class ModelHost:
     """Thread-safe owner of the served model with hot-reload support."""
 
     def __init__(self, model_dir: str | Path,
-                 config: CatiConfig | None = None) -> None:
+                 config: CatiConfig | None = None, *,
+                 mmap: bool = False, initial_generation: int = 1) -> None:
         self._model_dir = Path(model_dir)
+        self._mmap = mmap
         self._lock = threading.Lock()
         self._watcher: threading.Thread | None = None
         self._watch_stop = threading.Event()
         with observability.span("serve.load"):
             cati = Cati.load(str(self._model_dir), config=config,
-                             warm_start=True)
-        self._install(cati, generation=1)
+                             warm_start=True, mmap=mmap)
+        # ``initial_generation`` lets a respawned pre-fork worker join
+        # at the router's current fence generation instead of restarting
+        # its process-local counter at 1.
+        self._install(cati, generation=initial_generation)
 
     def _install(self, cati: Cati, generation: int) -> None:
         engine = cati.engine  # build outside any request's critical path
@@ -93,6 +98,7 @@ class ModelHost:
         return {
             "bundle": str(self._model_dir),
             "generation": generation,
+            "mmap": bool(getattr(cati, "mmap_active", False)),
             "loaded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                        time.gmtime(loaded_at)),
             "repro_version": provenance.get("repro_version"),
@@ -116,7 +122,7 @@ class ModelHost:
                 bundle = ModelBundle.open(target)
                 bundle.verify()
                 cati = Cati.load(str(target), config=current_config,
-                                 warm_start=True)
+                                 warm_start=True, mmap=self._mmap)
         except ArtifactError:
             observability.inc("serve.reload.rejected")
             raise
@@ -130,9 +136,17 @@ class ModelHost:
     # -- --watch poller ----------------------------------------------------------
 
     def _bundle_mtime(self) -> float:
-        """Newest mtime under the bundle dir (manifest or any payload)."""
+        """Newest mtime under the bundle dir (manifest or any payload).
+
+        Dot-prefixed entries — the ``.shared`` mmap mirror, staging temp
+        dirs — are skipped: writing the shared cache must not look like
+        a new bundle to the ``--watch`` poller.
+        """
         try:
-            paths = [self._model_dir, *self._model_dir.rglob("*")]
+            paths = [self._model_dir]
+            paths += [p for p in self._model_dir.rglob("*")
+                      if not any(part.startswith(".") for part in
+                                 p.relative_to(self._model_dir).parts)]
             return max(p.stat().st_mtime for p in paths)
         except OSError:
             return 0.0

@@ -32,6 +32,14 @@ The response schema (:func:`build_infer_response`) is shared verbatim
 with ``python -m repro infer --json``: ``schema``, ``model`` info,
 ``predictions`` (variable id, type, VUC count, confidence, per-type
 scores) and a machine-readable ``failures`` report.
+
+The schema is deliberately *router-transparent*: the pre-fork router
+(:mod:`repro.serve.router`) forwards ``/v1/infer`` bodies to worker
+processes byte-for-byte and relays their responses unparsed, so the
+multi-worker deployment speaks exactly this format with zero
+re-encoding on the forwarding path — the packed form's ~10x parsing
+advantage carries through unchanged.  Anything added to the schema is
+automatically served by both deployment shapes.
 """
 
 from __future__ import annotations

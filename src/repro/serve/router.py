@@ -1,0 +1,669 @@
+"""The pre-fork front process: dispatch, fenced reload, respawn, rollups.
+
+:class:`RouterDaemon` is what ``python -m repro serve --workers N``
+(N > 1) runs: it accepts every client connection and forwards request
+bodies *verbatim* over loopback HTTP to one of N worker processes
+(:mod:`repro.serve.worker`), each a full single-process daemon with its
+own GIL and engine.  The packed wire format and every endpoint keep
+their single-daemon meaning; the router adds:
+
+* **least-loaded dispatch** — each ``/v1/infer`` goes to the live
+  worker with the fewest in-flight forwards; a worker that dies mid
+  request is skipped and the request retried on a sibling, so a crash
+  costs a retry, not a 500.
+* **admission control at the front** — the bounded pending count, 503 +
+  ``Retry-After`` and deadline handling happen here, before any bytes
+  reach a worker, exactly like the single daemon's queue gate.
+* **a generation fence for hot reload** — ``POST /v1/reload`` verifies
+  the new bundle *once* in the router (checksums + structural config
+  check; corrupt bundles 409 without any worker noticing), materializes
+  the shared ``.npy`` mirror so N workers can mmap it instantly, then
+  rolls workers forward one at a time.  The router's generation — what
+  ``/healthz`` reports — only advances once every live worker runs the
+  new model; until then the old generation keeps answering.
+* **liveness + respawn** — a monitor thread notices dead workers
+  (crash, OOM-kill, SIGKILL), respawns them on the router's current
+  bundle, and counts restarts per slot; ``/healthz`` enumerates them.
+* **aggregated observability** — ``/metricsz`` merges every worker's
+  registry snapshot with the router's own (counters summed, histograms
+  bucket-wise merged — see
+  :func:`repro.core.observability.merge_snapshots`); ``/healthz`` rolls
+  up per-worker liveness, generation, and restart counts.
+
+Workers mmap their payloads from the bundle's shared mirror, so the
+model's big tables exist once in the page cache no matter how many
+workers serve them.  See docs/DEPLOYMENT.md for the operator story.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import repro
+from repro.core import observability
+from repro.core.artifacts import ModelBundle
+from repro.core.config import CatiConfig
+from repro.core.errors import (
+    ArtifactError,
+    QueueFullError,
+    RequestError,
+    ServeError,
+    ServerClosedError,
+    check_on_error,
+)
+from repro.serve import protocol
+from repro.serve.server import MAX_BODY_BYTES
+from repro.serve.worker import WorkerHandle
+
+#: Seconds the router waits for one worker's answer to a forwarded
+#: request before treating the worker as wedged.
+FORWARD_TIMEOUT_S = 300.0
+
+#: Seconds between liveness sweeps of the monitor thread.
+MONITOR_INTERVAL_S = 0.5
+
+
+class _WorkerSlot:
+    """One of the N fixed serving slots; survives its workers."""
+
+    __slots__ = ("index", "handle", "restarts", "last_restart_at")
+
+    def __init__(self, index: int, handle: WorkerHandle | None) -> None:
+        self.index = index
+        self.handle = handle
+        self.restarts = 0
+        self.last_restart_at: float | None = None
+
+
+class _RouterServer(ThreadingHTTPServer):
+    # Same drain contract as the single daemon: server_close joins
+    # non-daemon handler threads, so every accepted request answers.
+    daemon_threads = False
+    allow_reuse_address = True
+    router_ref: "RouterDaemon"
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.0"
+    timeout = 120
+
+    @property
+    def router(self) -> "RouterDaemon":
+        return self.server.router_ref  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.router.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: dict,
+                   headers: dict | None = None) -> None:
+        data = json.dumps(body).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_raw(self, status: int, data: bytes,
+                  headers: dict | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_failure(self, error: BaseException) -> None:
+        headers = {}
+        if isinstance(error, ServeError):
+            status = error.status
+            retry_after = getattr(error, "retry_after_s", None)
+            if status == 503:
+                headers["Retry-After"] = str(max(1, round(retry_after or 1)))
+        else:
+            status = 500
+        observability.inc(f"router.http.{status}")
+        self._send_json(status, protocol.error_body(
+            type(error).__name__, str(error)), headers)
+
+    def _read_raw_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise RequestError(f"body of {length} bytes exceeds the "
+                               f"{MAX_BODY_BYTES} byte limit",
+                               status=413, stage="serve")
+        return self.rfile.read(length) if length else b""
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.router.health_body())
+            elif self.path == "/metricsz":
+                self._send_json(200, self.router.merged_metrics())
+            else:
+                self._send_json(404, protocol.error_body(
+                    "NotFound", f"no route {self.path}"))
+        except Exception as error:  # noqa: BLE001 — must answer something
+            self._send_failure(error)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        try:
+            if self.path == "/v1/infer":
+                self._handle_infer()
+            elif self.path == "/v1/reload":
+                self._handle_reload()
+            else:
+                self._send_json(404, protocol.error_body(
+                    "NotFound", f"no route {self.path}"))
+        except Exception as error:  # noqa: BLE001 — must answer something
+            self._send_failure(error)
+
+    def _handle_infer(self) -> None:
+        router = self.router
+        started = time.monotonic()
+        raw = self._read_raw_body()
+        router.admit()
+        try:
+            status, body, headers = router.dispatch_infer(raw)
+        finally:
+            router.release()
+        observability.inc("router.requests")
+        observability.observe("router.request.seconds",
+                              time.monotonic() - started)
+        self._send_raw(status, body, headers)
+
+    def _handle_reload(self) -> None:
+        raw = self._read_raw_body()
+        try:
+            request = json.loads(raw) if raw else {}
+        except ValueError as error:
+            raise RequestError(f"body is not valid JSON: {error}",
+                               stage="serve") from error
+        if not isinstance(request, dict):
+            raise RequestError("body must be a JSON object", stage="serve")
+        try:
+            result = self.router.reload(request.get("model_dir"))
+        except ArtifactError as error:
+            observability.inc("router.http.409")
+            self._send_json(409, protocol.error_body(
+                type(error).__name__, str(error)))
+            return
+        status = 200 if result.get("reloaded") else 502
+        self._send_json(status, result)
+
+
+class RouterDaemon:
+    """The front process of ``--workers N`` serving (see module doc)."""
+
+    def __init__(
+        self,
+        model_dir: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 2,
+        config: CatiConfig | None = None,
+        queue_limit: int = 64,
+        default_deadline_s: float | None = None,
+        default_on_error: str = "skip",
+        watch: bool = False,
+        watch_interval_s: float = 2.0,
+        verbose: bool = False,
+        mmap: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        check_on_error(default_on_error)
+        self.started_at = time.time()
+        self.verbose = verbose
+        self.queue_limit = queue_limit
+        self.draining = False
+        self._mmap = mmap
+        self._model_dir = Path(model_dir)
+        # Verify once up front: checksums + (structural) config check —
+        # the same gate every worker would hit, but hit here a single
+        # time with a clear error instead of N spawn failures.
+        bundle = ModelBundle.open(self._model_dir)
+        bundle.verify()
+        self._config = bundle.resolve_config(config)
+        if mmap:
+            bundle.ensure_shared_arrays()
+        self._generation = 1
+        self._worker_options = {
+            "queue_limit": queue_limit,
+            "default_deadline_s": default_deadline_s,
+            "default_on_error": default_on_error,
+            "verbose": verbose,
+            "mmap": mmap,
+        }
+        self._dispatch_lock = threading.Lock()
+        self._pending = 0
+        #: Serializes reloads with respawns so a worker spawned mid-roll
+        #: cannot come up on a bundle the fence is about to supersede.
+        self._reload_lock = threading.Lock()
+        self._slots = [_WorkerSlot(index, None) for index in range(workers)]
+        try:
+            for slot in self._slots:
+                slot.handle = self._spawn_worker(slot.index)
+            for slot in self._slots:
+                slot.handle.wait_ready()
+        except BaseException:
+            for slot in self._slots:
+                if slot.handle is not None:
+                    slot.handle.terminate(join_timeout_s=5.0)
+            raise
+        self.httpd = _RouterServer((host, port), _RouterHandler)
+        self.httpd.router_ref = self
+        self._monitor_stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+        self._watch = watch
+        self._watch_interval_s = watch_interval_s
+        self._watch_stop = threading.Event()
+        self._watcher: threading.Thread | None = None
+        self._watch_mtime = self._bundle_mtime()
+        observability.set_gauge("router.workers", workers)
+        observability.set_gauge("router.model_generation", self._generation)
+
+    # -- worker management --------------------------------------------------------
+
+    def _spawn_worker(self, index: int) -> WorkerHandle:
+        options = dict(self._worker_options, generation=self._generation)
+        return WorkerHandle(index, self._model_dir,
+                            self._config.to_dict(), options)
+
+    @property
+    def workers(self) -> int:
+        return len(self._slots)
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def _live_handles(self) -> list[WorkerHandle]:
+        return [slot.handle for slot in self._slots
+                if slot.handle is not None and slot.handle.ready
+                and slot.handle.is_alive()]
+
+    # -- admission ----------------------------------------------------------------
+
+    def admit(self) -> None:
+        """The front-of-house queue gate (mirrors MicroBatchScheduler's)."""
+        with self._dispatch_lock:
+            if self.draining:
+                raise ServerClosedError("server is draining", stage="serve")
+            if self._pending >= self.queue_limit:
+                hist = observability.get_registry().histogram(
+                    "router.request.seconds")
+                p50 = hist.quantile(0.5) or 0.05
+                observability.inc("router.rejected.queue_full")
+                raise QueueFullError(
+                    f"router backlog at capacity ({self.queue_limit} "
+                    "requests in flight)",
+                    retry_after_s=max(p50 * self._pending, 0.05),
+                    stage="serve")
+            self._pending += 1
+        observability.observe("router.queue.depth", self._pending,
+                              boundaries=observability.SIZE_BUCKETS)
+
+    def release(self) -> None:
+        with self._dispatch_lock:
+            self._pending = max(0, self._pending - 1)
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _pick_worker(self) -> WorkerHandle | None:
+        """Least-loaded live worker (in-flight count, then slot order)."""
+        with self._dispatch_lock:
+            candidates = self._live_handles()
+            if not candidates:
+                return None
+            best = min(candidates, key=lambda handle: handle.in_flight)
+            best.in_flight += 1
+            return best
+
+    def _finish(self, handle: WorkerHandle) -> None:
+        with self._dispatch_lock:
+            handle.in_flight = max(0, handle.in_flight - 1)
+
+    def _forward(self, handle: WorkerHandle, method: str, path: str,
+                 body: bytes, timeout_s: float = FORWARD_TIMEOUT_S):
+        """One loopback HTTP exchange with a worker; raises OSError family."""
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", handle.port, timeout=timeout_s)
+        try:
+            connection.request(method, path, body=body,
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            data = response.read()
+            headers = {}
+            retry_after = response.getheader("Retry-After")
+            if retry_after:
+                headers["Retry-After"] = retry_after
+            return response.status, data, headers
+        finally:
+            connection.close()
+
+    def dispatch_infer(self, raw_body: bytes):
+        """Forward one ``/v1/infer`` body to the best worker, with failover.
+
+        A worker that drops the connection (crashed or killed mid
+        request) is marked suspect for the monitor and the request is
+        retried on the next-best sibling — each slot is tried at most
+        once.  Only when no worker can answer does the client see a 503.
+        """
+        last_error: Exception | None = None
+        for _attempt in range(len(self._slots)):
+            handle = self._pick_worker()
+            if handle is None:
+                break
+            try:
+                status, data, headers = self._forward(
+                    handle, "POST", "/v1/infer", raw_body)
+                return status, data, headers
+            except (OSError, http.client.HTTPException) as error:
+                last_error = error
+                observability.inc("router.forward.errors")
+            finally:
+                self._finish(handle)
+        observability.inc("router.rejected.no_workers")
+        raise ServeError(
+            "no live worker could answer the request"
+            + (f" (last error: {last_error})" if last_error else ""),
+            status=503, stage="serve")
+
+    # -- reload (generation fence) -------------------------------------------------
+
+    def reload(self, model_dir: str | Path | None = None) -> dict:
+        """Verify once, roll every worker, then commit the generation.
+
+        Raises :class:`ArtifactError` (→ 409) before any worker is
+        touched when the new bundle is corrupt, schema-drifted, or
+        structurally incompatible — the old generation keeps serving.
+        A worker that rejects the roll midway (disk race) aborts the
+        fence: the router's generation does not advance and the
+        per-worker outcomes are reported for the operator.
+        """
+        with self._reload_lock:
+            target = Path(model_dir) if model_dir is not None else self._model_dir
+            with observability.span("router.reload"):
+                # The fence's verification step: checksums + structural
+                # config check, exactly once, in the router.
+                bundle = ModelBundle.open(target)
+                bundle.verify()
+                try:
+                    self._config = bundle.resolve_config(self._config)
+                except ArtifactError:
+                    observability.inc("router.reload.rejected")
+                    raise
+                if self._mmap:
+                    bundle.ensure_shared_arrays()
+                outcomes = []
+                rolled = 0
+                for slot in self._slots:
+                    handle = slot.handle
+                    if handle is None or not handle.ready or not handle.is_alive():
+                        outcomes.append({"worker": slot.index,
+                                         "status": "dead",
+                                         "note": "will respawn on the new "
+                                                 "bundle"})
+                        continue
+                    body = json.dumps({"model_dir": str(target)}).encode()
+                    try:
+                        status, data, _headers = self._forward(
+                            handle, "POST", "/v1/reload", body)
+                    except (OSError, http.client.HTTPException) as error:
+                        outcomes.append({"worker": slot.index,
+                                         "status": "unreachable",
+                                         "error": str(error)})
+                        observability.inc("router.reload.rejected")
+                        return {"reloaded": False, "outcomes": outcomes,
+                                "generation": self._generation}
+                    if status != 200:
+                        try:
+                            detail = json.loads(data)
+                        except ValueError:
+                            detail = {"raw": data[:200].decode("utf-8",
+                                                               "replace")}
+                        outcomes.append({"worker": slot.index,
+                                         "status": f"rejected ({status})",
+                                         "error": detail})
+                        observability.inc("router.reload.rejected")
+                        return {"reloaded": False, "outcomes": outcomes,
+                                "generation": self._generation}
+                    outcomes.append({"worker": slot.index, "status": "rolled"})
+                    rolled += 1
+                # Fence commit: every live worker now runs the new
+                # bundle, so the router's generation — the one clients
+                # see — advances exactly once.
+                self._model_dir = target
+                self._generation += 1
+                self._watch_mtime = self._bundle_mtime()
+            observability.inc("router.reload.ok")
+            observability.set_gauge("router.model_generation", self._generation)
+            return {"reloaded": True, "outcomes": outcomes,
+                    "rolled_workers": rolled,
+                    "generation": self._generation,
+                    "model": self._model_block()}
+
+    # -- liveness monitor ----------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._monitor_stop.wait(MONITOR_INTERVAL_S):
+            for slot in self._slots:
+                handle = slot.handle
+                if handle is not None and handle.is_alive():
+                    continue
+                if self.draining:
+                    continue
+                exitcode = handle.process.exitcode if handle else None
+                slot.handle = None  # dispatch skips the slot immediately
+                print(f"[router] worker {slot.index} died "
+                      f"(exit code {exitcode}); respawning", flush=True)
+                observability.inc("router.worker.deaths")
+                try:
+                    with self._reload_lock:
+                        replacement = self._spawn_worker(slot.index)
+                    replacement.wait_ready()
+                except ServeError as error:
+                    # Leave the slot empty; the next sweep tries again.
+                    print(f"[router] worker {slot.index} respawn failed: "
+                          f"{error}", flush=True)
+                    observability.inc("router.worker.respawn_failures")
+                    continue
+                slot.handle = replacement
+                slot.restarts += 1
+                slot.last_restart_at = time.time()
+                observability.inc("router.worker.respawns")
+                print(f"[router] worker {slot.index} respawned "
+                      f"(pid {replacement.pid}, restart #{slot.restarts})",
+                      flush=True)
+
+    # -- aggregated observability ---------------------------------------------------
+
+    def _worker_health(self, handle: WorkerHandle) -> dict | None:
+        try:
+            _status, data, _headers = self._forward(
+                handle, "GET", "/healthz", b"", timeout_s=5.0)
+            return json.loads(data)
+        except (OSError, ValueError, http.client.HTTPException):
+            return None
+
+    def _model_block(self) -> dict:
+        return {
+            "bundle": str(self._model_dir),
+            "generation": self._generation,
+            "mmap": self._mmap,
+            "workers": len(self._slots),
+        }
+
+    def health_body(self) -> dict:
+        registry = observability.get_registry()
+        latency = registry.histogram("router.request.seconds")
+        workers = []
+        live = 0
+        total_restarts = 0
+        for slot in self._slots:
+            handle = slot.handle
+            total_restarts += slot.restarts
+            entry = {
+                "id": slot.index,
+                "restarts": slot.restarts,
+                "alive": False,
+            }
+            if slot.last_restart_at is not None:
+                entry["last_restart_at"] = time.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ", time.gmtime(slot.last_restart_at))
+            if handle is not None and handle.ready and handle.is_alive():
+                live += 1
+                entry.update({
+                    "alive": True,
+                    "pid": handle.pid,
+                    "port": handle.port,
+                    "in_flight": handle.in_flight,
+                    "uptime_s": round(time.time() - handle.started_at, 3),
+                })
+                health = self._worker_health(handle)
+                if health:
+                    entry["generation"] = health["model"]["generation"]
+                    entry["mmap"] = health["model"].get("mmap")
+                    entry["queue"] = health.get("queue")
+            workers.append(entry)
+        if self.draining:
+            status = "draining"
+        elif live == len(self._slots):
+            status = "ok"
+        elif live:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "version": repro.__version__,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "role": "router",
+            "model": self._model_block(),
+            "queue": {"depth": self._pending, "limit": self.queue_limit},
+            "latency": {
+                "p50_s": latency.quantile(0.5),
+                "p99_s": latency.quantile(0.99),
+            },
+            "workers": workers,
+            "workers_live": live,
+            "restarts": total_restarts,
+        }
+
+    def merged_metrics(self) -> dict:
+        """Router registry + every live worker's snapshot, merged."""
+        snapshots = [observability.snapshot()]
+        for handle in self._live_handles():
+            try:
+                _status, data, _headers = self._forward(
+                    handle, "GET", "/metricsz", b"", timeout_s=10.0)
+                snapshots.append(json.loads(data))
+            except (OSError, ValueError, http.client.HTTPException):
+                observability.inc("router.metrics.unreachable_workers")
+        return observability.merge_snapshots(snapshots)
+
+    # -- --watch poller -----------------------------------------------------------
+
+    def _bundle_mtime(self) -> float:
+        try:
+            paths = [self._model_dir]
+            paths += [p for p in self._model_dir.rglob("*")
+                      if not any(part.startswith(".") for part in
+                                 p.relative_to(self._model_dir).parts)]
+            return max(p.stat().st_mtime for p in paths)
+        except OSError:
+            return 0.0
+
+    def _watch_loop(self) -> None:
+        while not self._watch_stop.wait(self._watch_interval_s):
+            current = self._bundle_mtime()
+            if current <= self._watch_mtime:
+                continue
+            try:
+                result = self.reload()
+                if result.get("reloaded"):
+                    print(f"[router] watch: rolled workers to generation "
+                          f"{result['generation']}", flush=True)
+                else:
+                    self._watch_mtime = current
+                    print(f"[router] watch: roll aborted: "
+                          f"{result.get('outcomes')}", flush=True)
+            except ArtifactError as error:
+                self._watch_mtime = current
+                print(f"[router] watch: reload rejected: {error}", flush=True)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def install_signal_handlers(self) -> None:
+        signal.signal(signal.SIGTERM, self._on_signal)
+        signal.signal(signal.SIGINT, self._on_signal)
+
+    def _on_signal(self, signum, _frame) -> None:
+        print(f"[router] {signal.Signals(signum).name}: draining", flush=True)
+        self.request_shutdown()
+
+    def request_shutdown(self) -> None:
+        self.draining = True
+        threading.Thread(target=self.httpd.shutdown,
+                         name="router-shutdown", daemon=True).start()
+
+    def run(self) -> int:
+        """Serve until shutdown; drain the front, then the workers."""
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="router-monitor", daemon=True)
+        self._monitor.start()
+        if self._watch:
+            self._watcher = threading.Thread(target=self._watch_loop,
+                                             name="router-watch", daemon=True)
+            self._watcher.start()
+        print(f"[router] model generation {self._generation} from "
+              f"{self._model_dir} across {len(self._slots)} workers "
+              f"(mmap={'on' if self._mmap else 'off'})", flush=True)
+        for slot in self._slots:
+            handle = slot.handle
+            print(f"[router] worker {slot.index}: pid {handle.pid} "
+                  f"port {handle.port}", flush=True)
+        print(f"serving on http://{self.host}:{self.port}", flush=True)
+        try:
+            self.httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self.draining = True
+            # Join in-flight handler threads first: their forwards need
+            # the workers still up to finish with real responses.
+            self.httpd.server_close()
+            self._monitor_stop.set()
+            self._watch_stop.set()
+            if self._monitor is not None:
+                self._monitor.join(timeout=5.0)
+            if self._watcher is not None:
+                self._watcher.join(timeout=5.0)
+            for slot in self._slots:
+                if slot.handle is not None and slot.handle.is_alive():
+                    slot.handle.process.terminate()  # parallel SIGTERMs
+            for slot in self._slots:
+                if slot.handle is not None:
+                    slot.handle.terminate()
+        print("[router] drained, exiting", flush=True)
+        return 0
+
+
+__all__ = ["FORWARD_TIMEOUT_S", "MONITOR_INTERVAL_S", "RouterDaemon"]

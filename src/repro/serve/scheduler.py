@@ -23,6 +23,14 @@ Single-worker on purpose: the engine's dedup cache and stats are only
 coordinated per call, numpy releases the GIL inside the GEMMs anyway,
 and one worker keeps served numbers reproducible (batch order is
 deterministic given arrival order).
+
+Under ``--workers N`` (the pre-fork router,
+:mod:`repro.serve.router`), one scheduler instance runs *per worker
+process* — each worker coalesces the subset of requests the router
+dispatched to it, so scale-out multiplies the batching loops instead
+of contending on one.  The router performs its own admission control
+up front; these per-worker queue limits remain as a second line of
+defence should dispatch ever outrun a worker.
 """
 
 from __future__ import annotations

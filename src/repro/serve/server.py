@@ -228,13 +228,20 @@ class ServeDaemon:
         watch: bool = False,
         watch_interval_s: float = 2.0,
         verbose: bool = False,
+        mmap: bool = False,
+        log_label: str = "serve",
+        initial_generation: int = 1,
     ) -> None:
         check_on_error(default_on_error)
         self.started_at = time.time()
         self.verbose = verbose
         self.default_deadline_s = default_deadline_s
         self.default_on_error = default_on_error
-        self.model_host = ModelHost(model_dir, config=config)
+        #: Log-line prefix; the pre-fork workers set "worker N" so their
+        #: inherited stdout interleaves readably with the router's.
+        self.log_label = log_label
+        self.model_host = ModelHost(model_dir, config=config, mmap=mmap,
+                                    initial_generation=initial_generation)
         self.scheduler = MicroBatchScheduler(self.model_host,
                                              queue_limit=queue_limit)
         self.httpd = _Server((host, port), _Handler)
@@ -365,7 +372,8 @@ class ServeDaemon:
         signal.signal(signal.SIGINT, self._on_signal)
 
     def _on_signal(self, signum, _frame) -> None:
-        print(f"[serve] {signal.Signals(signum).name}: draining", flush=True)
+        print(f"[{self.log_label}] {signal.Signals(signum).name}: draining",
+              flush=True)
         self.request_shutdown()
 
     def request_shutdown(self) -> None:
@@ -383,9 +391,19 @@ class ServeDaemon:
         self.scheduler.start()
         if self._watch:
             self.model_host.start_watching(self._watch_interval_s)
-        print(f"[serve] model generation {self.model_host.generation} "
+        print(f"[{self.log_label}] model generation "
+              f"{self.model_host.generation} "
               f"from {self.model_host.model_dir}", flush=True)
-        print(f"serving on http://{self.host}:{self.port}", flush=True)
+        if self.log_label == "serve":
+            # The bare banner is the operator/smoke contract for "this
+            # is the port clients talk to" — only the front process may
+            # print it.  Pre-fork workers (labelled "worker N") announce
+            # their loopback port with the label instead; the router
+            # prints the client-facing banner.
+            print(f"serving on http://{self.host}:{self.port}", flush=True)
+        else:
+            print(f"[{self.log_label}] listening on "
+                  f"http://{self.host}:{self.port}", flush=True)
         try:
             self.httpd.serve_forever(poll_interval=0.1)
         finally:
@@ -396,5 +414,5 @@ class ServeDaemon:
             # ...then the scheduler finishes whatever they had queued.
             self.scheduler.close(timeout=60.0)
             self.model_host.stop_watching()
-        print("[serve] drained, exiting", flush=True)
+        print(f"[{self.log_label}] drained, exiting", flush=True)
         return 0

@@ -178,6 +178,99 @@ def test_span_nesting_is_per_thread(registry):
     assert "t2" in spans and "t1/t2" not in spans
 
 
+# -- cross-process snapshot merging (the router's /metricsz rollup) ------------
+
+
+def snapshot_of(build) -> dict:
+    registry = MetricsRegistry(enabled=True)
+    build(registry)
+    return registry.snapshot()
+
+
+def test_merge_sums_counters_and_maxes_gauges():
+    a = snapshot_of(lambda r: (r.inc("req", 3), r.set_gauge("depth", 2)))
+    b = snapshot_of(lambda r: (r.inc("req", 4), r.inc("only_b"),
+                               r.set_gauge("depth", 5)))
+    merged = observability.merge_snapshots([a, b])
+    assert merged["counters"] == {"only_b": 1, "req": 7}
+    assert merged["gauges"] == {"depth": 5}
+
+
+def test_merge_histograms_same_boundaries_adds_bucketwise():
+    bounds = (1.0, 2.0, 4.0)
+    a = snapshot_of(lambda r: [r.observe("h", v, boundaries=bounds)
+                               for v in (0.5, 1.5, 8.0)])
+    b = snapshot_of(lambda r: [r.observe("h", v, boundaries=bounds)
+                               for v in (0.7, 3.0)])
+    merged = observability.merge_snapshots([a, b])["histograms"]["h"]
+    assert merged["boundaries"] == list(bounds)
+    assert merged["counts"] == [2, 1, 1, 1]
+    assert merged["count"] == 5
+    assert merged["min"] == 0.5
+    assert merged["max"] == 8.0
+    assert merged["sum"] == pytest.approx(13.7)
+    assert merged["mean"] == pytest.approx(13.7 / 5)
+
+
+def test_merge_histograms_differing_boundaries_rebins():
+    a = snapshot_of(lambda r: [r.observe("h", v, boundaries=(1.0, 2.0))
+                               for v in (0.5, 1.5)])
+    b = snapshot_of(lambda r: [r.observe("h", v, boundaries=(0.25, 3.0))
+                               for v in (0.1, 2.5)])
+    merged = observability.merge_snapshots([a, b])["histograms"]["h"]
+    # The first snapshot's boundaries win; b's tallies land in the
+    # first merged bucket whose boundary covers *their* boundary value.
+    assert merged["boundaries"] == [1.0, 2.0]
+    assert merged["count"] == 4
+    assert sum(merged["counts"]) == 4
+    assert merged["min"] == 0.1
+    assert merged["max"] == 2.5
+
+
+def test_quantiles_over_merged_histograms():
+    bounds = (0.1, 0.2, 0.4, 0.8)
+    a = snapshot_of(lambda r: [r.observe("lat", v, boundaries=bounds)
+                               for v in (0.05,) * 40 + (0.15,) * 40])
+    b = snapshot_of(lambda r: [r.observe("lat", v, boundaries=bounds)
+                               for v in (0.3,) * 15 + (0.7,) * 5])
+    merged = observability.merge_snapshots([a, b])["histograms"]["lat"]
+    assert merged["count"] == 100
+    p50 = observability.quantile_from_dict(merged, 0.5)
+    p99 = observability.quantile_from_dict(merged, 0.99)
+    # p50 falls in the (0.1, 0.2] bucket; p99 in the (0.4, 0.8] bucket.
+    assert 0.1 <= p50 <= 0.2
+    assert 0.4 <= p99 <= 0.7  # clamped to the observed max
+    assert observability.quantile_from_dict(merged, 0.0) == pytest.approx(0.05)
+    assert observability.quantile_from_dict({"counts": [], "count": 0}, 0.5) is None
+
+
+def test_merge_spans_sums_and_extremes():
+    def build_a(r):
+        with r.span("load"):
+            pass
+
+    def build_b(r):
+        with r.span("load"):
+            pass
+        with r.span("batch"):
+            pass
+
+    merged = observability.merge_snapshots(
+        [snapshot_of(build_a), snapshot_of(build_b)])["spans"]
+    assert merged["load"]["count"] == 2
+    assert merged["batch"]["count"] == 1
+    assert merged["load"]["min_s"] <= merged["load"]["max_s"]
+    assert merged["load"]["wall_s"] >= merged["load"]["min_s"]
+
+
+def test_merge_tolerates_empty_and_partial_snapshots():
+    full = snapshot_of(lambda r: r.inc("a"))
+    assert observability.merge_snapshots([]) == {
+        "counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+    merged = observability.merge_snapshots([full, {}, {"counters": {"a": 2}}])
+    assert merged["counters"]["a"] == 3
+
+
 # -- rendering -----------------------------------------------------------------
 
 
