@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local quality gate: lint + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [--faults | --docs | --serve | --smoke | --batch] [extra pytest args...]
+# Usage: scripts/check.sh [--faults | --docs | --serve | --smoke | --batch | --structs] [extra pytest args...]
 #
 #   --faults   run the fault-injection suite (tests/test_fault_tolerance.py)
 #              instead of the full tier-1 suite.
@@ -24,6 +24,12 @@
 #   --batch    run the batch-job smoke only (scripts/smoke_batch.py):
 #              tiny corpus -> run -> SIGKILL mid-job -> resume ->
 #              verify bit-identical results + enumerated interruption.
+#   --structs  run the struct-recovery smoke only
+#              (scripts/smoke_structs.py): member-labeled mini model ->
+#              infer_binary(structs=True) attaches layouts that join
+#              DWARF truth, the disabled path stays byte-identical, and
+#              the /2 wire schema + `repro infer --structs --json` carry
+#              the vote-detail and layouts blocks.
 #
 # Lint is a hard gate: when ruff is installed, any finding fails the
 # script (set -e).  When ruff is absent we warn and continue, because
@@ -37,6 +43,7 @@ DOCS=0
 SERVE=0
 SMOKE=0
 BATCH=0
+STRUCTS=0
 if [[ "${1:-}" == "--faults" ]]; then
     FAULTS=1
     shift
@@ -51,6 +58,9 @@ elif [[ "${1:-}" == "--smoke" ]]; then
     shift
 elif [[ "${1:-}" == "--batch" ]]; then
     BATCH=1
+    shift
+elif [[ "${1:-}" == "--structs" ]]; then
+    STRUCTS=1
     shift
 fi
 
@@ -72,6 +82,11 @@ fi
 if [[ "$BATCH" == "1" ]]; then
     echo "== batch kill/resume smoke =="
     exec python scripts/smoke_batch.py
+fi
+
+if [[ "$STRUCTS" == "1" ]]; then
+    echo "== struct-recovery smoke =="
+    exec python scripts/smoke_structs.py
 fi
 
 if command -v ruff >/dev/null 2>&1; then

@@ -13,6 +13,10 @@ Three checks:
    (``serve_workers`` and friends) and is cross-linked from README.md,
    docs/OPERATIONS.md and docs/ARCHITECTURE.md — catches the deployment
    guide drifting out of the doc graph.
+4. The posterior struct-recovery stage stays documented:
+   docs/ARCHITECTURE.md has a ``repro.posterior`` section, and its
+   knobs (``posterior_enabled``, ``posterior_min_accesses``) plus the
+   ``--structs`` surfaces are named in docs/OPERATIONS.md.
 
 Exits non-zero listing every discrepancy; prints nothing but a one-line
 OK otherwise.
@@ -96,11 +100,33 @@ def check_deployment_md(problems: list[str]) -> None:
             problems.append(f"{rel} does not link to docs/DEPLOYMENT.md")
 
 
+POSTERIOR_KNOBS = ("posterior_enabled", "posterior_min_accesses")
+
+
+def check_posterior_docs(problems: list[str]) -> None:
+    """The struct-recovery stage must stay in the doc graph."""
+    arch = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+    if arch.exists() and "repro.posterior" not in arch.read_text():
+        problems.append(
+            "docs/ARCHITECTURE.md does not describe the repro.posterior "
+            "struct-recovery stage")
+    ops = REPO_ROOT / "docs" / "OPERATIONS.md"
+    if ops.exists():
+        text = ops.read_text()
+        # CatiConfig coverage already enforces the knobs are *named*;
+        # here we require the --structs CLI surface next to them.
+        if "--structs" not in text:
+            problems.append(
+                "docs/OPERATIONS.md does not mention the --structs "
+                "CLI/batch surface")
+
+
 def main() -> int:
     problems: list[str] = []
     check_experiments_md(problems)
     check_operations_md(problems)
     check_deployment_md(problems)
+    check_posterior_docs(problems)
     if problems:
         for problem in problems:
             print(f"DOCS DRIFT: {problem}", file=sys.stderr)

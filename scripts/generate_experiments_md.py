@@ -181,6 +181,20 @@ def main() -> int:
             result_opt.render(),
         )
 
+        from repro.experiments import structs
+
+        result_structs = structs.run()
+        add(
+            "Extension — struct-layout recovery (posterior stage)",
+            "Not in the paper: a cross-function posterior stage over the "
+            "per-variable predictions recovers struct field layouts by pooling "
+            "per-access leaf posteriors by field offset (repro.posterior). "
+            "Scored against DW_AT_data_member_location ground truth; the "
+            "pooled posterior must beat a flat per-slot baseline on field F1 "
+            "(gated by benchmarks/bench_structs.py).",
+            result_structs.render(),
+        )
+
     header = f"""# EXPERIMENTS — paper vs measured
 
 Every table and figure of the paper's evaluation, regenerated by this

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""End-to-end smoke for struct-layout recovery (``scripts/check.sh --structs``).
+
+Fast mechanics gates (quality is ``benchmarks/bench_structs.py``'s job):
+
+1. train a throwaway member-labeled mini model on a struct-heavy corpus;
+2. ``infer_binary(structs=True)`` attaches recovered layouts that join
+   ground truth (``DW_AT_data_member_location``) on at least one object;
+3. the **disabled path is unchanged**: ``structs=False`` and
+   ``structs=True`` produce byte-identical per-variable predictions
+   (ids, types, vote scores) — the posterior stage only adds layouts;
+4. the wire schema carries the new blocks: per-prediction vote detail
+   (``margin`` / ``runner_up``) and the ``layouts`` block with per-field
+   offset/type/width/confidence;
+5. ``python -m repro infer --structs --json`` emits all of the above
+   through the real CLI against a saved bundle.
+
+Exit status is the smoke's verdict, so CI can run it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.codegen.compilers import GccCompiler  # noqa: E402
+from repro.codegen.progen import DEFAULT_TYPE_WEIGHTS, GeneratorConfig  # noqa: E402
+from repro.codegen.strip import strip  # noqa: E402
+from repro.core.config import CatiConfig  # noqa: E402
+from repro.core.pipeline import Cati  # noqa: E402
+from repro.core.types import TypeName  # noqa: E402
+from repro.embedding.word2vec import Word2VecConfig  # noqa: E402
+from repro.experiments.speed import extents_from_debug  # noqa: E402
+from repro.posterior import layouts_to_fields, truth_layouts  # noqa: E402
+from repro.vuc.dataset import VucDataset, extract_labeled_vucs  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"smoke_structs: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def struct_heavy() -> GeneratorConfig:
+    weights = dict(DEFAULT_TYPE_WEIGHTS)
+    weights[TypeName.STRUCT] = 30.0
+    weights[TypeName.STRUCT_POINTER] = 30.0
+    return GeneratorConfig(type_weights=weights, orphan_fraction=0.15,
+                           normal_accesses=(4, 10), array_fraction=0.0,
+                           struct_param_fraction=0.5)
+
+
+def main() -> None:
+    print("smoke_structs: training mini model ...", flush=True)
+    gen = struct_heavy()
+    compiler = GccCompiler()
+    config = CatiConfig(
+        epochs=5, fc_width=64,
+        word2vec=Word2VecConfig(dim=32, window=5, epochs=1,
+                                subsample_pairs=0.4))
+    dataset = VucDataset(window=config.window)
+    for seed in range(9000, 9004):
+        binary = compiler.compile_fresh(seed=seed, name=f"train-{seed}",
+                                        opt_level=0, config=gen)
+        dataset.extend(extract_labeled_vucs(binary, app="structs",
+                                            window=config.window,
+                                            member_labels=True))
+    cati = Cati(config).train(dataset)
+
+    binary = compiler.compile_fresh(seed=9700, name="smoke-structs",
+                                    opt_level=0, config=gen)
+    stripped = strip(binary)
+    extents = extents_from_debug(binary)
+
+    print("smoke_structs: checking engine path ...", flush=True)
+    plain = cati.infer_binary(stripped, extents, structs=False)
+    recovered = cati.infer_binary(stripped, extents, structs=True)
+    if plain.layouts is not None:
+        fail("structs=False must not attach layouts")
+    if recovered.layouts is None or not recovered.layouts:
+        fail("structs=True recovered no layouts")
+
+    if len(plain) != len(recovered):
+        fail("posterior stage changed the prediction count")
+    for a, b in zip(plain, recovered):
+        if (a.variable_id != b.variable_id or a.predicted is not b.predicted
+                or a.n_vucs != b.n_vucs or list(a.scores) != list(b.scores)):
+            fail(f"posterior stage changed prediction {a.variable_id}: "
+                 f"{a.predicted}/{a.scores} vs {b.predicted}/{b.scores}")
+    print(f"smoke_structs: {len(plain)} predictions identical with the "
+          f"stage on; {len(recovered.layouts)} layout(s) recovered")
+
+    truth = truth_layouts(binary, scope_name=stripped.name)
+    joined = set(layouts_to_fields(recovered.layouts)) & set(truth)
+    if truth and not joined:
+        fail("no recovered object id joins the DWARF truth layouts")
+    print(f"smoke_structs: {len(joined)}/{len(truth)} true objects joined")
+
+    print("smoke_structs: checking wire schema ...", flush=True)
+    from repro.serve.protocol import RESPONSE_SCHEMA, build_infer_response
+
+    body = build_infer_response(list(recovered), recovered.failures,
+                                layouts=recovered.layouts)
+    for prediction in body["predictions"]:
+        for key in ("margin", "runner_up", "runner_up_confidence"):
+            if key not in prediction:
+                fail(f"prediction wire object lacks {key!r}")
+    if not body.get("layouts"):
+        fail("wire response lacks the layouts block")
+    for layout in body["layouts"]:
+        if not layout["fields"]:
+            fail("wire layout has no fields")
+        for field in layout["fields"]:
+            for key in ("offset", "type", "width", "confidence", "margin",
+                        "n_accesses"):
+                if key not in field:
+                    fail(f"wire field object lacks {key!r}")
+
+    print("smoke_structs: checking the CLI ...", flush=True)
+    with tempfile.TemporaryDirectory(prefix="smoke-structs-") as scratch:
+        model_dir = os.path.join(scratch, "model")
+        cati.save(model_dir)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "infer", "--model-dir", model_dir,
+             "--seed", "9700", "--structs", "--json", "--on-error", "skip"],
+            env=env, capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"CLI infer --structs --json failed:\n{proc.stderr}")
+        cli_body = json.loads(proc.stdout)
+        if cli_body["schema"] != RESPONSE_SCHEMA:
+            fail(f"CLI schema {cli_body['schema']} != {RESPONSE_SCHEMA}")
+        if "layouts" not in cli_body:
+            fail("CLI --structs --json emitted no layouts block")
+
+    print("smoke_structs: OK")
+
+
+if __name__ == "__main__":
+    main()

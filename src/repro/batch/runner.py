@@ -187,8 +187,22 @@ def _serialize_predictions(results) -> list[list[dict]]:
     return out
 
 
-def _run_shard(cati: Cati, shard: tuple[ManifestItem, ...],
-               on_error: str) -> tuple[list[list[dict]], FailureReport]:
+def _serialize_layouts(results) -> list[list[dict] | None]:
+    """Per-result layout blocks (None = posterior stage did not run)."""
+    from repro.serve.protocol import layout_to_dict
+
+    out: list[list[dict] | None] = []
+    for result in results:
+        layouts = getattr(result, "layouts", None)
+        out.append(None if layouts is None
+                   else [layout_to_dict(layout) for layout in layouts])
+    return out
+
+
+def _run_shard(
+    cati: Cati, shard: tuple[ManifestItem, ...], on_error: str,
+    structs: bool = False,
+) -> tuple[list[list[dict]], list[list[dict] | None], FailureReport]:
     """Load + infer every item of one shard through the engine pool path."""
     report = FailureReport()
     jobs = []
@@ -209,17 +223,22 @@ def _run_shard(cati: Cati, shard: tuple[ManifestItem, ...],
     # caches, which is where batch throughput comes from).
     n_workers = 1 if cati.engine.window_store is not None else None
     results = cati.engine.infer_binary_many(
-        jobs, n_workers=n_workers, on_error=on_error, failures=report)
+        jobs, n_workers=n_workers, on_error=on_error, failures=report,
+        structs=True if structs else None)
     serialized = _serialize_predictions(results)
+    layouts = _serialize_layouts(results)
     merged: list[list[dict]] = []
+    merged_layouts: list[list[dict] | None] = []
     cursor = 0
     for ok in loaded:
         if ok:
             merged.append(serialized[cursor])
+            merged_layouts.append(layouts[cursor])
             cursor += 1
         else:
             merged.append([])
-    return merged, report
+            merged_layouts.append(None)
+    return merged, merged_layouts, report
 
 
 def _execute(store: BatchJobStore, body: dict, cati: Cati, *,
@@ -309,7 +328,8 @@ def _attempt_shard(store: BatchJobStore, spec: JobSpec, cati: Cati,
         try:
             if fault is not None:
                 fault.fire(store, index, "pre-commit")
-            predictions, report = _run_shard(cati, shard, spec.on_error)
+            predictions, layouts, report = _run_shard(
+                cati, shard, spec.on_error, structs=spec.structs)
             if cati.engine.window_store is not None:
                 cati.engine.window_store.flush()
             payload = {
@@ -321,6 +341,8 @@ def _attempt_shard(store: BatchJobStore, spec: JobSpec, cati: Cati,
                              + report.records_to_dicts()),
                 "attempts": attempt,
             }
+            if any(entry is not None for entry in layouts):
+                payload["layouts"] = layouts
             if fault is not None:
                 fault.fire(store, index, "torn-commit")
             store.write_checkpoint(index, payload)
@@ -342,6 +364,7 @@ def _merge(store: BatchJobStore, spec: JobSpec, model_key: str) -> dict:
     """Fold every committed checkpoint into one results document."""
     shards = spec.shards()
     predictions: dict[str, list[dict]] = {}
+    layouts: dict[str, list[dict]] = {}
     failure_dicts: list[dict] = []
     quarantined: list[int] = []
     missing: list[int] = []
@@ -359,14 +382,20 @@ def _merge(store: BatchJobStore, spec: JobSpec, model_key: str) -> dict:
         failure_dicts.extend(payload.get("failures", []))
         for item, preds in zip(shard, payload.get("predictions", [])):
             predictions[item.name] = preds
+        # Pre-structs checkpoints have no "layouts" key; absent = stage off.
+        for item, entry in zip(shard, payload.get("layouts") or []):
+            if entry is not None:
+                layouts[item.name] = entry
     report = FailureReport.from_records(failure_dicts)
     n_predictions = sum(len(preds) for preds in predictions.values())
     observability.inc("batch.predictions", n_predictions)
+    out_layouts = {"layouts": layouts} if layouts else {}
     return {
         "format": RESULTS_FORMAT,
         "model_key": model_key,
         "items": len(spec.items),
         "predictions": predictions,
+        **out_layouts,
         "n_predictions": n_predictions,
         "failures": {
             "total": len(report),

@@ -147,6 +147,7 @@ class JobSpec:
     backoff: float = 0.05     # shard retry backoff base (seconds)
     jitter: float = 0.5       # shard retry jitter fraction
     seed: int = 0             # seeds the retry jitter RNG (determinism)
+    structs: bool = False     # run the posterior struct-recovery stage
 
     def __post_init__(self) -> None:
         if self.on_error not in ON_ERROR_POLICIES:
@@ -169,6 +170,7 @@ class JobSpec:
             "backoff": self.backoff,
             "jitter": self.jitter,
             "seed": self.seed,
+            "structs": self.structs,
         }
 
     @classmethod
@@ -186,6 +188,7 @@ class JobSpec:
                 backoff=float(data.get("backoff", 0.05)),
                 jitter=float(data.get("jitter", 0.5)),
                 seed=int(data.get("seed", 0)),
+                structs=bool(data.get("structs", False)),
             )
         except (TypeError, ValueError) as error:
             raise BatchError(f"bad job spec: {error}",

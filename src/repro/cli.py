@@ -128,8 +128,10 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             base = "rbp" if record.frame_offset < 0 else "rsp"
             truth[f"cli-demo/{func_index}::{base}{record.frame_offset:+d}"] = record.type_label
     failures = FailureReport()
+    structs = True if getattr(args, "structs", False) else None
     predictions = cati.infer_binary(strip(binary), extents_from_debug(binary),
-                                    on_error=args.on_error, failures=failures)
+                                    on_error=args.on_error, failures=failures,
+                                    structs=structs)
     if getattr(args, "json", False):
         import repro
         from repro.serve.protocol import build_infer_response
@@ -140,7 +142,8 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             "provenance": dict(cati.provenance or {}),
         }
         print(json.dumps(build_infer_response(
-            list(predictions), failures, model=model, binary="cli-demo"),
+            list(predictions), failures, model=model, binary="cli-demo",
+            layouts=predictions.layouts),
             indent=2))
         _dump_metrics(args, failures)
         return 0
@@ -153,6 +156,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
               f" (truth: {true_label}, {prediction.n_vucs} VUCs)")
     if predictions:
         print(f"\naccuracy: {hits}/{len(predictions)} = {hits / len(predictions):.0%}")
+    if predictions.layouts is not None:
+        from repro.eval.reports import render_layouts
+
+        print()
+        print(render_layouts(predictions.layouts, title="recovered struct layouts"))
     if failures:
         print(f"\nskipped: {failures.summary()}")
         for record in failures:
@@ -437,7 +445,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                     base_seed=args.base_seed)
             spec = JobSpec(items=items, shard_size=args.shard_size,
                            on_error=args.on_error,
-                           max_retries=args.max_retries, seed=args.seed)
+                           max_retries=args.max_retries, seed=args.seed,
+                           structs=args.structs)
             cache_dir = None if args.no_cache else args.cache_dir
             config = None
             if args.model_dir:
@@ -487,8 +496,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds per worker-pool job (default: wait)")
     infer.add_argument("--tool-timeout", type=float, default=60.0,
                        help="seconds per external tool invocation")
+    infer.add_argument("--structs", action="store_true",
+                       help="also run the posterior struct-layout recovery stage "
+                            "and print/emit recovered layouts")
     infer.add_argument("--json", action="store_true",
-                       help="emit the serve wire schema (cati-infer-response/1) "
+                       help="emit the serve wire schema (cati-infer-response/2) "
                             "instead of the human-readable table")
     _add_metrics_flags(infer)
     infer.set_defaults(func=_cmd_infer)
@@ -581,6 +593,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="re-tries per shard before quarantine")
     batch_run.add_argument("--seed", type=int, default=0,
                            help="seeds the retry-backoff jitter (determinism)")
+    batch_run.add_argument("--structs", action="store_true",
+                           help="run the posterior struct-layout recovery "
+                                "stage on every item (layouts land in the "
+                                "checkpoints and merged results)")
     batch_run.add_argument("--cache-dir", default=".cache/window-cache",
                            help="durable window cache location")
     batch_run.add_argument("--no-cache", action="store_true",

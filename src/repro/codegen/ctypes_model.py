@@ -118,7 +118,8 @@ class StructType(CType):
         return tuple(out)
 
     def _build_die(self, cache: dict[CType, Die]) -> Die:
-        member_dies = [(mname, mtype.to_die(cache)) for mname, mtype in self.members]
+        member_dies = [(mname, mtype.to_die(cache), moff)
+                       for mname, mtype, moff in self.member_offsets()]
         return dies.struct_type(self.name, self.size, member_dies)
 
 

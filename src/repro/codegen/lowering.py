@@ -96,6 +96,22 @@ class SlotInfo:
     size: int
 
 
+@dataclass(frozen=True, slots=True)
+class MemberTruth:
+    """Ground truth for one lowered member access.
+
+    Records which struct field an emitted instruction touches: the byte
+    offset of the field inside its base object (the struct local, or the
+    pointee of a struct pointer) and the field type's leaf label.  This
+    is what the posterior struct-recovery stage is evaluated against.
+    """
+
+    instruction_index: int
+    var_index: int
+    member_offset: int
+    label: TypeName
+
+
 @dataclass
 class LoweredFunction:
     """A compiled function plus its ground-truth bookkeeping."""
@@ -104,9 +120,13 @@ class LoweredFunction:
     frame_base: str
     slots: dict[int, SlotInfo]                  # var index -> slot
     truth: list[tuple[int, int]] = field(default_factory=list)  # (ins idx, var idx)
+    member_truth: list[MemberTruth] = field(default_factory=list)
 
     def truth_by_instruction(self) -> dict[int, int]:
         return dict(self.truth)
+
+    def member_truth_by_instruction(self) -> dict[int, MemberTruth]:
+        return {record.instruction_index: record for record in self.member_truth}
 
 
 def _strip_typedefs(ctype: CType) -> CType:
@@ -152,9 +172,12 @@ class FunctionLowerer:
         self.address = base_address
         self.instructions: list[Instruction] = []
         self.truth: list[tuple[int, int]] = []
+        self.member_truth: list[MemberTruth] = []
         self.slots = self._layout_frame()
         self._gp_cursor = 0
         self._sse_cursor = 0
+        self._member_disp = 0
+        self._member_label = TypeName.INT
 
     # -- frame layout ----------------------------------------------------------
 
@@ -189,7 +212,8 @@ class FunctionLowerer:
 
     # -- emission helpers --------------------------------------------------------
 
-    def _emit(self, instruction: Instruction, target_var: LocalVar | None = None) -> None:
+    def _emit(self, instruction: Instruction, target_var: LocalVar | None = None,
+              member: tuple[int, TypeName] | None = None) -> None:
         instruction = Instruction(
             mnemonic=instruction.mnemonic,
             operands=instruction.operands,
@@ -197,7 +221,13 @@ class FunctionLowerer:
         )
         self.address += self.rng.randint(2, 7)  # realistic variable encoding size
         if target_var is not None:
-            self.truth.append((len(self.instructions), target_var.index))
+            index = len(self.instructions)
+            self.truth.append((index, target_var.index))
+            if member is not None:
+                self.member_truth.append(MemberTruth(
+                    instruction_index=index, var_index=target_var.index,
+                    member_offset=member[0], label=member[1],
+                ))
         self.instructions.append(instruction)
 
     def _slot(self, var: LocalVar, extra: int = 0) -> Mem:
@@ -561,6 +591,7 @@ class FunctionLowerer:
             width = min(_scalar_width(mtype), 8)
             mnem = "mov" + _WIDTH_SUFFIX[width] if width < 8 else "mov"
             self._member_disp = moff
+            self._member_label = _strip_typedefs(mtype).leaf_label()
             return mnem, mnem, width, True
         if isinstance(pointee, ct.BaseType) and pointee.is_float:
             return ("movss", "movss", 16, False) if pointee.byte_size == 4 else ("movsd", "movsd", 16, False)
@@ -580,13 +611,14 @@ class FunctionLowerer:
         addr_reg = self._gp(8)
         self._emit(make("mov", self._slot(var), Reg(addr_reg)), var)
         disp = self._member_disp if member else 0
+        field_truth = (disp, self._member_label) if member else None
         mem = Mem(disp=disp, base=addr_reg)
         if load_mnem in ("movss", "movsd"):
-            self._emit(make(load_mnem, mem, Reg(self._sse())), var)
+            self._emit(make(load_mnem, mem, Reg(self._sse())), var, member=field_truth)
         elif load_mnem.startswith(("movs", "movz")) and load_mnem not in ("movss", "movsd"):
-            self._emit(make(load_mnem, mem, Reg(self._gp(4))), var)
+            self._emit(make(load_mnem, mem, Reg(self._gp(4))), var, member=field_truth)
         else:
-            self._emit(make(load_mnem, mem, Reg(self._gp(max(width, 4)))), var)
+            self._emit(make(load_mnem, mem, Reg(self._gp(max(width, 4)))), var, member=field_truth)
 
     def _do_deref_store(self, access: Access) -> None:
         var = access.var
@@ -597,14 +629,15 @@ class FunctionLowerer:
         addr_reg = self._gp(8)
         self._emit(make("mov", self._slot(var), Reg(addr_reg)), var)
         disp = self._member_disp if member else 0
+        field_truth = (disp, self._member_label) if member else None
         mem = Mem(disp=disp, base=addr_reg)
         if store_mnem in ("movss", "movsd"):
-            self._emit(make(store_mnem, Reg(self._sse()), mem), var)
+            self._emit(make(store_mnem, Reg(self._sse()), mem), var, member=field_truth)
         elif self.rng.random() < 0.5:
-            self._emit(make(store_mnem, self._imm(small=True), mem), var)
+            self._emit(make(store_mnem, self._imm(small=True), mem), var, member=field_truth)
         else:
             reg_width = width if width < 8 else 8
-            self._emit(make(store_mnem, Reg(self._gp(reg_width)), mem), var)
+            self._emit(make(store_mnem, Reg(self._gp(reg_width)), mem), var, member=field_truth)
 
     def _do_ptr_advance(self, access: Access) -> None:
         var = access.var
@@ -632,35 +665,39 @@ class FunctionLowerer:
         var = access.var
         mtype, moff = self._member(var, access.member)
         mtype = _strip_typedefs(mtype)
+        field_truth = (moff, mtype.leaf_label())
         width = min(_scalar_width(mtype), 8)
         if isinstance(mtype, ct.BaseType) and mtype.is_float:
             suffix = "ss" if mtype.byte_size == 4 else "sd"
             reg = self._sse()
             self._emit(make(f"mov{suffix}", Mem(disp=self.rng.randrange(0x1000, 0x8000), base="rip"), Reg(reg)))
-            self._emit(make(f"mov{suffix}", Reg(reg), self._slot(var, extra=moff)), var)
+            self._emit(make(f"mov{suffix}", Reg(reg), self._slot(var, extra=moff)), var, member=field_truth)
             return
         mnemonic = "mov" + _WIDTH_SUFFIX[width]
         if width == 8:
             mnemonic = "movq" if self.rng.random() < 0.5 else "mov"
         if mnemonic == "mov":
-            self._emit(make("mov", Reg(self._gp(8)), self._slot(var, extra=moff)), var)
+            self._emit(make("mov", Reg(self._gp(8)), self._slot(var, extra=moff)), var, member=field_truth)
         else:
-            self._emit(make(mnemonic, self._imm(), self._slot(var, extra=moff)), var)
+            self._emit(make(mnemonic, self._imm(), self._slot(var, extra=moff)), var, member=field_truth)
 
     def _do_member_load(self, access: Access) -> None:
         var = access.var
         mtype, moff = self._member(var, access.member)
         mtype = _strip_typedefs(mtype)
+        field_truth = (moff, mtype.leaf_label())
         width = min(_scalar_width(mtype), 8)
         if isinstance(mtype, ct.BaseType) and mtype.is_float:
             suffix = "ss" if mtype.byte_size == 4 else "sd"
-            self._emit(make(f"mov{suffix}", self._slot(var, extra=moff), Reg(self._sse())), var)
+            self._emit(make(f"mov{suffix}", self._slot(var, extra=moff), Reg(self._sse())), var, member=field_truth)
             return
         if width < 4 and isinstance(mtype, ct.BaseType):
-            self._emit(make(_EXT_LOAD[(width, mtype.is_signed)], self._slot(var, extra=moff), Reg(self._gp(4))), var)
+            self._emit(make(_EXT_LOAD[(width, mtype.is_signed)], self._slot(var, extra=moff), Reg(self._gp(4))), var,
+                       member=field_truth)
             return
         mnemonic = "mov" + _WIDTH_SUFFIX[width] if width < 8 else "mov"
-        self._emit(make(mnemonic, self._slot(var, extra=moff), Reg(self._gp(max(width, 4)))), var)
+        self._emit(make(mnemonic, self._slot(var, extra=moff), Reg(self._gp(max(width, 4)))), var,
+                   member=field_truth)
 
     def _array_element(self, var: LocalVar) -> tuple[CType, int]:
         ctype = _strip_typedefs(var.ctype)
@@ -785,9 +822,24 @@ class FunctionLowerer:
             self._emit(make("pop", Reg("rbx" if self.style.frame_base == "rsp" else "rbp")))
         self._emit(make("retq"))
 
+    def _spill_params(self) -> None:
+        """Spill incoming register parameters into their frame slots.
+
+        SysV argument registers are consumed in declaration order; only
+        functions whose IR marks parameters (``LocalVar.is_param``) emit
+        any spill, so generators with the knob off are bit-identical.
+        """
+        arg_pos = 0
+        for var in self.func.locals:
+            if not getattr(var, "is_param", False) or arg_pos >= len(self._ARG_GP):
+                continue
+            self._emit(make("mov", Reg(self._ARG_GP[arg_pos]), self._slot(var)), var)
+            arg_pos += 1
+
     def lower(self) -> LoweredFunction:
         base = self.address
         self._prologue()
+        self._spill_params()
         for event in self.func.events:
             if isinstance(event, Access):
                 self.lower_access(event)
@@ -804,6 +856,7 @@ class FunctionLowerer:
             frame_base=self.style.frame_base,
             slots=self.slots,
             truth=self.truth,
+            member_truth=self.member_truth,
         )
 
 

@@ -63,11 +63,17 @@ class FillerKind(enum.Enum):
 
 @dataclass
 class LocalVar:
-    """One local variable: a name, a C type and its generator bookkeeping."""
+    """One local variable: a name, a C type and its generator bookkeeping.
+
+    ``is_param`` marks a local that models an incoming function parameter
+    spilled to its slot at entry (SysV argument registers); the lowering
+    emits the spill, so the flag changes codegen only when set.
+    """
 
     name: str
     ctype: CType
     index: int
+    is_param: bool = False
 
     @property
     def label(self) -> TypeName:
@@ -238,6 +244,11 @@ class GeneratorConfig:
     type_weights: dict[TypeName, float] = field(default_factory=lambda: dict(DEFAULT_TYPE_WEIGHTS))
     array_fraction: float = 0.18        # of char/uchar/struct vars become arrays
     typedef_fraction: float = 0.25      # of size-matched scalars via typedefs
+    #: Fraction of struct-pointer locals promoted to spilled register
+    #: parameters (pointer-to-struct arguments).  Default 0.0 keeps the
+    #: generator's rng stream untouched so existing seeded corpora are
+    #: byte-identical; the struct-recovery corpus turns it on.
+    struct_param_fraction: float = 0.0
 
 
 def _sample_ctype(rng: random.Random, label: TypeName, config: GeneratorConfig,
@@ -327,6 +338,14 @@ def generate_function(rng: random.Random, name: str, config: GeneratorConfig) ->
         label = _sample_label(rng, config.type_weights)
         ctype = _sample_ctype(rng, label, config, struct_zoo)
         locals_.append(LocalVar(name=f"v{index}", ctype=ctype, index=index))
+
+    if config.struct_param_fraction > 0.0:
+        # Promote some struct pointers to spilled parameters.  Guarded so
+        # the default config consumes no rng here (seeded-corpus stability).
+        for var in locals_:
+            if (var.label is TypeName.STRUCT_POINTER
+                    and rng.random() < config.struct_param_fraction):
+                var.is_param = True
 
     budgets: dict[int, int] = {}
     for var in locals_:

@@ -41,6 +41,8 @@ class CatiConfig:
     serve_max_batch: int = 4096        # serve: max VUC windows coalesced per engine call
     serve_max_delay_ms: float = 5.0    # serve: max wait to coalesce concurrent requests
     serve_workers: int = 0             # serve: worker processes (0 = auto min(cores, 4); 1 = in-process daemon)
+    posterior_enabled: bool = False    # posterior: recover struct layouts after per-variable voting
+    posterior_min_accesses: int = 2    # posterior: min pooled accesses to keep a field offset
     word2vec: Word2VecConfig = field(default_factory=lambda: Word2VecConfig(
         dim=32, window=5, epochs=2, subsample_pairs=0.5,
     ))
@@ -70,6 +72,8 @@ class CatiConfig:
             raise ValueError("serve_max_delay_ms must be >= 0")
         if self.serve_workers < 0:
             raise ValueError("serve_workers must be >= 0 (0 = auto)")
+        if self.posterior_min_accesses < 1:
+            raise ValueError("posterior_min_accesses must be >= 1")
         self.word2vec.dim = self.token_dim
 
     def to_dict(self) -> dict:

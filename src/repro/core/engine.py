@@ -137,25 +137,31 @@ class InferenceResult(list):
     :attr:`failures`.
     """
 
-    __slots__ = ("failures", "metrics")
+    __slots__ = ("failures", "metrics", "layouts")
 
     def __init__(self, predictions=(), failures: FailureReport | None = None,
-                 metrics: dict | None = None) -> None:
+                 metrics: dict | None = None, layouts: list | None = None) -> None:
         super().__init__(predictions)
         self.failures = failures if failures is not None else FailureReport()
         #: Cumulative process-metrics snapshot taken when the run ended
         #: (None when metrics are disabled); see repro.core.observability.
         self.metrics = metrics
+        #: Recovered struct layouts (repro.posterior.StructLayout); None
+        #: when the posterior stage did not run, [] when it ran and found
+        #: no recoverable objects.
+        self.layouts = layouts
 
     def __reduce__(self):
         # __slots__ on a list subclass needs explicit pickling support
         # (results cross the worker-pool boundary).
-        return (_rebuild_result, (list(self), self.failures, self.metrics))
+        return (_rebuild_result, (list(self), self.failures, self.metrics,
+                                  self.layouts))
 
 
 def _rebuild_result(predictions: list, failures: FailureReport,
-                    metrics: dict | None = None) -> "InferenceResult":
-    return InferenceResult(predictions, failures, metrics)
+                    metrics: dict | None = None,
+                    layouts: list | None = None) -> "InferenceResult":
+    return InferenceResult(predictions, failures, metrics, layouts)
 
 
 # -- compiled stage programs ----------------------------------------------------
@@ -776,7 +782,8 @@ class InferenceEngine:
     def infer_binary(self, stripped: Binary,
                      extents_by_function: list[list[VariableExtent]],
                      on_error: str = "raise",
-                     failures: FailureReport | None = None) -> InferenceResult:
+                     failures: FailureReport | None = None,
+                     structs: bool | None = None) -> InferenceResult:
         """Engine-path whole-binary inference (Fig. 3e-f).
 
         With ``on_error="skip"``, extraction is fault-isolated per
@@ -785,8 +792,18 @@ class InferenceEngine:
         when given) while every healthy function's variables are still
         predicted.  With ``"raise"`` (default) the first failure raises
         a typed :class:`~repro.core.errors.CatiError` subclass.
+
+        ``structs`` (default :attr:`CatiConfig.posterior_enabled`) turns
+        on the posterior struct-recovery stage: per-variable predictions
+        are computed identically, and recovered layouts are attached as
+        :attr:`InferenceResult.layouts`.
         """
         check_on_error(on_error)
+        if structs is None:
+            structs = self.config.posterior_enabled
+        if structs:
+            return self._infer_binary_structs(stripped, extents_by_function,
+                                              on_error, failures)
         report = FailureReport()
         with self._span("infer_binary"):
             with self._span("extract"):
@@ -810,6 +827,56 @@ class InferenceEngine:
         metrics = observability.snapshot() if self._metrics_on() else None
         return InferenceResult(predictions, failures=report, metrics=metrics)
 
+    def _infer_binary_structs(self, stripped: Binary,
+                              extents_by_function: list[list[VariableExtent]],
+                              on_error: str,
+                              failures: FailureReport | None) -> InferenceResult:
+        """The structs-enabled twin of :meth:`infer_binary`.
+
+        Kept separate so the default path stays untouched: here the leaf
+        posteriors are computed once and reused for both the per-variable
+        vote and the per-field posterior stage, and extraction also
+        returns the row-aligned access sites the posterior groups by.
+        """
+        from repro.core.pipeline import predictions_from_probs
+        from repro.posterior import recover_layouts
+        from repro.vuc.dataflow import AccessSite
+
+        report = FailureReport()
+        sites: list[AccessSite] = []
+        predictions: list = []
+        layouts: list = []
+        with self._span("infer_binary"):
+            with self._span("extract"):
+                pairs = extract_unlabeled_vucs(
+                    stripped, extents_by_function, self.config.window,
+                    on_error=on_error, failures=report,
+                    metrics=self.config.metrics_enabled, sites=sites,
+                )
+            if pairs:
+                try:
+                    windows = [tokens for _variable_id, tokens in pairs]
+                    variable_ids = [variable_id for variable_id, _tokens in pairs]
+                    probs = self.leaf_proba(windows)
+                    with self._span("vote"):
+                        predictions = predictions_from_probs(
+                            probs, variable_ids, self.config.confidence_threshold,
+                            metrics=self._metrics_on(),
+                            vote_detail=self.config.metrics_vote_detail)
+                    with self._span("posterior"):
+                        layouts = recover_layouts(
+                            predictions, probs, variable_ids, sites,
+                            threshold=self.config.confidence_threshold,
+                            min_accesses=self.config.posterior_min_accesses)
+                except Exception as exc:
+                    handle_failure(exc, on_error=on_error, failures=report,
+                                   stage="classify", binary=stripped.name)
+        if failures is not None:
+            failures.extend(report)
+        metrics = observability.snapshot() if self._metrics_on() else None
+        return InferenceResult(predictions, failures=report, metrics=metrics,
+                               layouts=layouts)
+
     def infer_binary_many(
         self,
         jobs: Sequence[tuple[Binary, list[list[VariableExtent]]]],
@@ -817,6 +884,7 @@ class InferenceEngine:
         on_error: str = "raise",
         job_timeout: float | None = None,
         failures: FailureReport | None = None,
+        structs: bool | None = None,
     ) -> list[InferenceResult]:
         """Infer many binaries, optionally sharded across worker processes.
 
@@ -845,7 +913,7 @@ class InferenceEngine:
         if record:
             registry.inc("engine.pool.jobs", len(jobs))
         if workers <= 1 or len(jobs) <= 1:
-            return self._infer_many_serial(jobs, on_error, failures)
+            return self._infer_many_serial(jobs, on_error, failures, structs)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError as exc:
@@ -855,11 +923,11 @@ class InferenceEngine:
             logger.warning(
                 "infer_binary_many: fork start method unavailable (%s); "
                 "falling back to serial inference for %d job(s)", exc, len(jobs))
-            return self._infer_many_serial(jobs, on_error, failures)
+            return self._infer_many_serial(jobs, on_error, failures, structs)
         if record:
             registry.set_gauge("engine.pool.workers", min(workers, len(jobs)))
         global _POOL_STATE
-        _POOL_STATE = (self, jobs, on_error)
+        _POOL_STATE = (self, jobs, on_error, structs)
         results: list[InferenceResult | None] = [None] * len(jobs)
         needs_retry: list[tuple[int, Exception]] = []
         pool = context.Pool(processes=min(workers, len(jobs)))
@@ -895,7 +963,8 @@ class InferenceEngine:
             report.record(exc, stage="pool", binary=stripped.name)
             try:
                 retried = self.infer_binary(stripped, extents,
-                                            on_error=on_error, failures=report)
+                                            on_error=on_error, failures=report,
+                                            structs=structs)
             except Exception as retry_exc:
                 handle_failure(retry_exc, on_error=on_error, failures=report,
                                stage="pool", binary=stripped.name)
@@ -909,8 +978,10 @@ class InferenceEngine:
         return out
 
     def _infer_many_serial(self, jobs, on_error: str,
-                           failures: FailureReport | None) -> list[InferenceResult]:
-        out = [self.infer_binary(stripped, extents, on_error=on_error)
+                           failures: FailureReport | None,
+                           structs: bool | None = None) -> list[InferenceResult]:
+        out = [self.infer_binary(stripped, extents, on_error=on_error,
+                                 structs=structs)
                for stripped, extents in jobs]
         if failures is not None:
             failures.extend(FailureReport.merge(result.failures for result in out))
@@ -957,13 +1028,14 @@ class InferenceEngine:
         return BatchedOcclusion(epsilons, predicted, base_conf)
 
 
-#: (engine, jobs, on_error) shared with forked pool workers; see
+#: (engine, jobs, on_error, structs) shared with forked pool workers; see
 #: infer_binary_many.
-_POOL_STATE: tuple[InferenceEngine, list, str] | None = None
+_POOL_STATE: tuple[InferenceEngine, list, str, bool | None] | None = None
 
 
 def _infer_pool_job(index: int) -> InferenceResult:
     assert _POOL_STATE is not None
-    engine, jobs, on_error = _POOL_STATE
+    engine, jobs, on_error, structs = _POOL_STATE
     stripped, extents = jobs[index]
-    return engine.infer_binary(stripped, extents, on_error=on_error)
+    return engine.infer_binary(stripped, extents, on_error=on_error,
+                               structs=structs)

@@ -199,6 +199,7 @@ class Cati:
         extents_by_function: list[list[VariableExtent]],
         on_error: str = "raise",
         failures: "FailureReport | None" = None,
+        structs: bool | None = None,
     ) -> "InferenceResult":
         """Full pipeline on a stripped binary with given variable locations.
 
@@ -212,10 +213,15 @@ class Cati:
         :class:`VariablePrediction`) carries a machine-readable
         ``failures`` report of everything skipped, plus a ``metrics``
         snapshot when ``CatiConfig.metrics_enabled``.
+
+        ``structs`` (default :attr:`CatiConfig.posterior_enabled`) also
+        runs the posterior struct-recovery stage and attaches recovered
+        layouts to the result (see :mod:`repro.posterior`).
         """
         self._require_trained()
         return self.engine.infer_binary(
-            stripped, extents_by_function, on_error=on_error, failures=failures)
+            stripped, extents_by_function, on_error=on_error, failures=failures,
+            structs=structs)
 
     # -- persistence ------------------------------------------------------------------------------
 

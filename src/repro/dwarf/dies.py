@@ -43,6 +43,7 @@ class Attr(enum.IntEnum):
     LOCATION = 0x02
     LOW_PC = 0x11
     DECL_LINE = 0x3B
+    DATA_MEMBER_LOCATION = 0x38
 
 
 class Encoding(enum.IntEnum):
@@ -98,6 +99,12 @@ class Die:
         value = self.attrs.get(Attr.LOCATION)
         return value if isinstance(value, int) else None
 
+    @property
+    def member_offset(self) -> int | None:
+        """Byte offset of a MEMBER DIE within its structure."""
+        value = self.attrs.get(Attr.DATA_MEMBER_LOCATION)
+        return value if isinstance(value, int) else None
+
     def add(self, child: "Die") -> "Die":
         """Append a child and return it (builder style)."""
         self.children.append(child)
@@ -139,11 +146,25 @@ def typedef(name: str, target: Die) -> Die:
     return Die(Tag.TYPEDEF, {Attr.NAME: name, Attr.TYPE: target})
 
 
-def struct_type(name: str, size: int, members: list[tuple[str, Die]] | None = None) -> Die:
-    """Build a structure-type DIE with optional named members."""
+def struct_type(
+    name: str,
+    size: int,
+    members: "list[tuple[str, Die]] | list[tuple[str, Die, int]] | None" = None,
+) -> Die:
+    """Build a structure-type DIE with optional named members.
+
+    Members are ``(name, type)`` or ``(name, type, byte_offset)`` tuples;
+    when the offset is given it is recorded as
+    ``DW_AT_data_member_location``, the ground truth the posterior
+    struct-recovery stage evaluates against.
+    """
     die = Die(Tag.STRUCTURE_TYPE, {Attr.NAME: name, Attr.BYTE_SIZE: size})
-    for member_name, member_type in members or []:
-        die.add(Die(Tag.MEMBER, {Attr.NAME: member_name, Attr.TYPE: member_type}))
+    for member in members or []:
+        member_name, member_type = member[0], member[1]
+        attrs: dict[Attr, AttrValue] = {Attr.NAME: member_name, Attr.TYPE: member_type}
+        if len(member) > 2:
+            attrs[Attr.DATA_MEMBER_LOCATION] = int(member[2])
+        die.add(Die(Tag.MEMBER, attrs))
     return die
 
 

@@ -109,3 +109,85 @@ def accuracy(y_true: Sequence[Hashable], y_pred: Sequence[Hashable]) -> float:
     if not y_true:
         return 0.0
     return sum(t == p for t, p in zip(y_true, y_pred)) / len(y_true)
+
+
+# -- field-level (struct layout) metrics ---------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldReport:
+    """Field-level evaluation of recovered struct layouts.
+
+    Predicted and true layouts are ``{object id: {offset: label}}``
+    mappings; a *field* is an (object, offset) pair.
+
+    * ``offset_precision`` / ``offset_recall`` — did we find the right
+      field offsets (label ignored)?
+    * ``field_precision`` / ``field_recall`` / ``field_f1`` — offset
+      *and* leaf label both correct.
+    * ``type_accuracy`` — among predicted offsets that exist in truth,
+      how often is the voted label right?
+    * ``layout_exact_match`` — fraction of true objects whose predicted
+      layout equals the truth exactly (same offsets, same labels).
+    """
+
+    n_objects: int          # true objects evaluated
+    n_predicted_objects: int
+    n_true_fields: int
+    n_predicted_fields: int
+    offset_precision: float
+    offset_recall: float
+    field_precision: float
+    field_recall: float
+    field_f1: float
+    type_accuracy: float
+    layout_exact_match: float
+
+
+def evaluate_layouts(
+    predicted: dict[str, dict[int, Hashable]],
+    truth: dict[str, dict[int, Hashable]],
+) -> FieldReport:
+    """Score predicted struct layouts against ground truth.
+
+    Only objects present in ``truth`` are scored (prediction ids with no
+    truth counterpart count against precision via their fields, but a
+    truth-less object cannot be validated).  An empty truth yields an
+    all-zero report.
+    """
+    pred_pairs = {(obj, off): label
+                  for obj, fields in predicted.items()
+                  for off, label in fields.items()}
+    true_pairs = {(obj, off): label
+                  for obj, fields in truth.items()
+                  for off, label in fields.items()}
+    if not true_pairs:
+        return FieldReport(0, len(predicted), 0, len(pred_pairs),
+                           0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    offset_hits = [key for key in pred_pairs if key in true_pairs]
+    field_hits = [key for key in offset_hits if pred_pairs[key] == true_pairs[key]]
+
+    n_pred = len(pred_pairs)
+    n_true = len(true_pairs)
+    offset_precision = len(offset_hits) / n_pred if n_pred else 0.0
+    offset_recall = len(offset_hits) / n_true
+    field_precision = len(field_hits) / n_pred if n_pred else 0.0
+    field_recall = len(field_hits) / n_true
+    type_accuracy = len(field_hits) / len(offset_hits) if offset_hits else 0.0
+
+    exact = sum(1 for obj, fields in truth.items()
+                if predicted.get(obj) == fields)
+    return FieldReport(
+        n_objects=len(truth),
+        n_predicted_objects=len(predicted),
+        n_true_fields=n_true,
+        n_predicted_fields=n_pred,
+        offset_precision=offset_precision,
+        offset_recall=offset_recall,
+        field_precision=field_precision,
+        field_recall=field_recall,
+        field_f1=_f1(field_precision, field_recall),
+        type_accuracy=type_accuracy,
+        layout_exact_match=exact / len(truth),
+    )

@@ -67,3 +67,48 @@ def render_stage_app_table(
                 row.append("-" if values is None else f"{values[metric_index]:.2f}")
             rows.append(row)
     return render_table(headers, rows, title=title)
+
+
+def render_field_report(report, title: str | None = None) -> str:
+    """Field-level layout-recovery table (one row per metric family).
+
+    ``report`` is an :class:`repro.eval.metrics.FieldReport`; the table
+    mirrors the benchmark's BENCH_structs.json block.
+    """
+    headers = ["metric", "value"]
+    rows: list[list[object]] = [
+        ["objects (true/pred)", f"{report.n_objects}/{report.n_predicted_objects}"],
+        ["fields (true/pred)", f"{report.n_true_fields}/{report.n_predicted_fields}"],
+        ["offset P/R", f"{report.offset_precision:.2f}/{report.offset_recall:.2f}"],
+        ["field P/R/F1", (f"{report.field_precision:.2f}/{report.field_recall:.2f}"
+                          f"/{report.field_f1:.2f}")],
+        ["type accuracy", report.type_accuracy],
+        ["layout exact match", report.layout_exact_match],
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def render_layouts(layouts, title: str | None = None, max_objects: int = 3) -> str:
+    """Human-readable recovered layouts (``repro infer --structs`` text).
+
+    One row per recovered field; pooled member objects beyond
+    ``max_objects`` are elided with a count.
+    """
+    headers = ["object", "offset", "type", "width", "acc", "conf"]
+    rows: list[list[object]] = []
+    for layout in layouts:
+        shown = ", ".join(layout.objects[:max_objects])
+        if len(layout.objects) > max_objects:
+            shown += f" (+{len(layout.objects) - max_objects} more)"
+        for i, field in enumerate(layout.fields):
+            rows.append([
+                shown if i == 0 else "",
+                f"+{field.offset}",
+                str(field.label),
+                field.width or "?",
+                field.n_accesses,
+                field.confidence,
+            ])
+    if not rows:
+        rows.append(["(no struct layouts recovered)", "", "", "", "", ""])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,29 @@
+"""Cross-function posterior reasoning over per-variable predictions.
+
+CATI stops at 19 leaf types per variable; this package adds the next
+rung — recovering **struct layouts**.  Per-access leaf posteriors are
+grouped by base object (struct-typed frame slots and the pointees of
+struct pointers), pooled across functions by access-offset signature,
+and a leaf type is voted per field offset (a module-level analogue of
+the paper's eq. 4 per-variable vote).  Ground truth comes from the
+synthetic compiler's labeled member accesses and the
+``DW_AT_data_member_location`` attributes on MEMBER DIEs.
+"""
+
+from repro.posterior.layouts import (
+    FieldPrediction,
+    StructLayout,
+    flat_baseline_layouts,
+    layouts_to_fields,
+    recover_layouts,
+)
+from repro.posterior.truth import truth_layouts
+
+__all__ = [
+    "FieldPrediction",
+    "StructLayout",
+    "flat_baseline_layouts",
+    "layouts_to_fields",
+    "recover_layouts",
+    "truth_layouts",
+]

@@ -59,7 +59,10 @@ if TYPE_CHECKING:
 
 #: Version tag stamped into every /v1/infer response (and the CLI's
 #: ``--json`` output); bump on any response-shape change.
-RESPONSE_SCHEMA = "cati-infer-response/1"
+#: /2 added per-prediction vote detail (``margin``, ``runner_up``,
+#: ``runner_up_confidence``) and the optional top-level ``layouts``
+#: block emitted when the posterior struct-recovery stage ran.
+RESPONSE_SCHEMA = "cati-infer-response/2"
 
 #: Job kinds an /v1/infer request may carry (exactly one).
 JOB_KINDS = ("binary", "windows", "windows_packed", "path", "demo")
@@ -234,14 +237,54 @@ def job_kind(request: dict) -> str:
 
 
 def prediction_to_dict(prediction: "VariablePrediction") -> dict:
-    """One VariablePrediction as the wire schema's prediction object."""
+    """One VariablePrediction as the wire schema's prediction object.
+
+    ``margin`` is the winner-minus-runner-up gap of the summed clipped
+    vote scores (eq. 4's decision strength — what the posterior stage
+    consumes); ``runner_up``/``runner_up_confidence`` name the losing
+    finalist so clients can see *how* contested a prediction was.
+    """
+    from repro.core.types import ALL_TYPES
+
     scores = prediction.scores
+    winner = int(scores.argmax())
+    best = float(scores[winner])
+    runner_up = None
+    runner_up_score = 0.0
+    if len(scores) > 1:
+        order = scores.argsort()
+        second = int(order[-1]) if int(order[-1]) != winner else int(order[-2])
+        runner_up = str(ALL_TYPES[second])
+        runner_up_score = float(scores[second])
     return {
         "variable_id": prediction.variable_id,
         "type": str(prediction.predicted),
         "n_vucs": prediction.n_vucs,
-        "confidence": float(scores.max()),
+        "confidence": best,
+        "margin": best - runner_up_score,
+        "runner_up": runner_up,
+        "runner_up_confidence": runner_up_score,
         "scores": [float(s) for s in scores],
+    }
+
+
+def layout_to_dict(layout) -> dict:
+    """One recovered :class:`repro.posterior.StructLayout` as wire data."""
+    return {
+        "object_id": layout.object_id,
+        "objects": list(layout.objects),
+        "n_accesses": layout.n_accesses,
+        "fields": [
+            {
+                "offset": f.offset,
+                "type": str(f.label),
+                "n_accesses": f.n_accesses,
+                "width": f.width,
+                "confidence": f.confidence,
+                "margin": f.margin,
+            }
+            for f in layout.fields
+        ],
     }
 
 
@@ -251,15 +294,18 @@ def build_infer_response(
     *,
     model: dict | None = None,
     binary: str | None = None,
+    layouts: list | None = None,
 ) -> dict:
     """The /v1/infer response body (also ``repro infer --json`` output).
 
     ``model`` is the server's model-info block (bundle path, generation,
     provenance); the offline CLI passes its own. ``predictions`` keep
-    the extraction order, which both paths share.
+    the extraction order, which both paths share.  ``layouts`` (only
+    present when the posterior struct-recovery stage ran) carries the
+    recovered struct layouts.
     """
     report = failures if failures is not None else FailureReport()
-    return {
+    body = {
         "schema": RESPONSE_SCHEMA,
         "binary": binary,
         "model": dict(model or {}),
@@ -268,6 +314,9 @@ def build_infer_response(
         "predictions": [prediction_to_dict(p) for p in predictions],
         "failures": report.to_dict(),
     }
+    if layouts is not None:
+        body["layouts"] = [layout_to_dict(layout) for layout in layouts]
+    return body
 
 
 def error_body(kind: str, message: str, **extra) -> dict:

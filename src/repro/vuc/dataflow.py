@@ -12,9 +12,10 @@ construction.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
-from repro.vuc.locate import Target
+from repro.vuc.locate import Target, TargetKind
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,16 +57,31 @@ def group_targets(
     """Assign targets to variables by frame extent.
 
     ``scope`` (binary/function identifier) is prefixed onto variable ids
-    so ids stay globally unique across a corpus.  Extents are assumed
-    non-overlapping; the first containing extent wins.  Variables with no
-    targets at all are omitted (they produce no VUCs, hence no
+    so ids stay globally unique across a corpus.  Extents are looked up
+    per frame base in offset-sorted order: a ``bisect`` bounds the
+    candidates to those starting at or below the displacement, and the
+    scan over them runs in ascending offset order.  When extents overlap
+    (a malformed or deliberately adversarial frame map), the containing
+    extent with the **lowest start offset** wins — ascending order makes
+    that tie-break deterministic regardless of caller order.  Variables
+    with no targets at all are omitted (they produce no VUCs, hence no
     prediction — the paper's corpora count only variables with ≥1 VUC).
     """
+    # base register -> (sorted start offsets, extents in that order).
+    by_base: dict[str, tuple[list[int], list[VariableExtent]]] = {}
+    for extent in sorted(extents, key=lambda e: (e.base, e.offset)):
+        offsets, ordered = by_base.setdefault(extent.base, ([], []))
+        offsets.append(extent.offset)
+        ordered.append(extent)
+
     groups: dict[str, VariableGroup] = {}
-    # Sort extents so interval lookup is a bisect; linear scan is fine for
-    # per-function variable counts (≤ dozens).
     for target in targets:
-        for extent in extents:
+        entry = by_base.get(target.base)
+        if entry is None:
+            continue
+        offsets, ordered = entry
+        hi = bisect_right(offsets, target.offset)
+        for extent in ordered[:hi]:
             if extent.contains(target.base, target.offset):
                 variable_id = f"{scope}::{extent.base}{extent.offset:+d}"
                 group = groups.get(variable_id)
@@ -75,3 +91,32 @@ def group_targets(
                 group.targets.append(target)
                 break
     return list(groups.values())
+
+
+@dataclass(frozen=True, slots=True)
+class AccessSite:
+    """One memory access attributed to a variable, as a base+offset record.
+
+    The posterior struct-recovery stage (:mod:`repro.posterior`) consumes
+    these alongside per-VUC leaf posteriors.  ``offset`` is the access's
+    byte offset *inside the base object*: for SLOT targets the interior
+    offset within the variable's frame extent
+    (``target.offset - extent.offset``), for DEREF targets the
+    ``[reg+disp]`` displacement into the pointee.  ``width`` is the access
+    width in bytes (0 = unknown / address-only).
+    """
+
+    variable_id: str
+    kind: TargetKind
+    offset: int
+    width: int
+
+
+def access_site(target: Target, extent: VariableExtent, variable_id: str) -> AccessSite:
+    """Build the :class:`AccessSite` record for one grouped target."""
+    if target.kind is TargetKind.DEREF:
+        offset = target.deref_disp
+    else:
+        offset = target.offset - extent.offset
+    return AccessSite(variable_id=variable_id, kind=target.kind,
+                      offset=offset, width=target.width)

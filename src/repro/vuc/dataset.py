@@ -18,7 +18,7 @@ from repro.core import observability
 from repro.core.errors import FailureReport, handle_failure
 from repro.core.types import TypeName
 from repro.vuc.context import DEFAULT_WINDOW, extract_vuc
-from repro.vuc.dataflow import VariableExtent, group_targets
+from repro.vuc.dataflow import AccessSite, VariableExtent, access_site, group_targets
 from repro.vuc.generalize import Tokens, generalize_instruction, generalize_window
 from repro.vuc.locate import locate_targets
 
@@ -108,6 +108,7 @@ def extract_labeled_vucs(
     binary: Binary,
     app: str | None = None,
     window: int = DEFAULT_WINDOW,
+    member_labels: bool = False,
 ) -> VucDataset:
     """Build the labeled corpus for one (unstripped) binary.
 
@@ -115,6 +116,15 @@ def extract_labeled_vucs(
     names kept — while labels come from the debug blob, exactly as the
     paper labels VUCs from DWARF while training on stripped-equivalent
     disassembly.
+
+    ``member_labels=True`` refines struct-member accesses down to the
+    accessed *field's* leaf label using the generator-side
+    :class:`~repro.codegen.lowering.MemberTruth` records (freshly built
+    binaries only): an instruction that stores into ``s.count`` is
+    labeled ``int`` rather than ``struct``.  The default keeps the
+    paper's variable-level labels, which is what the stock corpora and
+    models are built from; the struct-recovery corpus turns it on so the
+    classifier can emit per-field posteriors for the posterior stage.
     """
     if binary.is_stripped:
         raise ValueError("need an unstripped binary to label VUCs")
@@ -143,13 +153,17 @@ def extract_labeled_vucs(
 
         targets = locate_targets(stripped_func)
         scope = f"{binary.name}/{binary.compiler}-O{binary.opt_level}/{func_index}"
+        truth_by_index = {}
+        if member_labels and func_index < len(binary.lowered):
+            truth_by_index = binary.lowered[func_index].member_truth_by_instruction()
         for group in group_targets(targets, extents, scope):
             label = labels_by_extent[(group.extent.base, group.extent.offset)]
             for target in group.targets:
+                member = truth_by_index.get(target.index)
                 vuc = extract_vuc(stripped_func, target.index, window)
                 samples.append(LabeledVuc(
                     tokens=generalize_window(vuc.window),
-                    label=label,
+                    label=member.label if member is not None else label,
                     variable_id=group.variable_id,
                     binary=f"{binary.name}/{binary.compiler}-O{binary.opt_level}",
                     app=app,
@@ -165,6 +179,7 @@ def extract_unlabeled_vucs(
     on_error: str = "raise",
     failures: FailureReport | None = None,
     metrics: bool = True,
+    sites: list[AccessSite] | None = None,
 ) -> list[tuple[str, tuple[Tokens, ...]]]:
     """Inference-side extraction: (variable_id, tokens) pairs.
 
@@ -179,6 +194,12 @@ def extract_unlabeled_vucs(
     With ``metrics`` (callers pass ``CatiConfig.metrics_enabled``),
     per-function ``locate``/``window`` spans are recorded into the
     global registry, nested under whatever span the caller holds.
+
+    When ``sites`` is given, one :class:`AccessSite` per returned pair is
+    appended to it, index-aligned with the result (the posterior
+    struct-recovery stage joins them against per-VUC leaf posteriors).
+    Skipped functions contribute neither pairs nor sites, so alignment
+    survives ``on_error="skip"``.
     """
     out: list[tuple[str, tuple[Tokens, ...]]] = []
     registry = observability.get_registry() if metrics else observability.MetricsRegistry(
@@ -189,6 +210,7 @@ def extract_unlabeled_vucs(
             continue
         scope = f"{stripped.name}/{func_index}"
         func_out: list[tuple[str, tuple[Tokens, ...]]] = []
+        func_sites: list[AccessSite] = []
         try:
             with registry.span("locate"):
                 targets = locate_targets(func)
@@ -198,12 +220,16 @@ def extract_unlabeled_vucs(
                     for target in group.targets:
                         vuc = extract_vuc(func, target.index, window)
                         func_out.append((group.variable_id, generalize_window(vuc.window)))
+                        if sites is not None:
+                            func_sites.append(access_site(target, group.extent, group.variable_id))
         except Exception as exc:
             handle_failure(exc, on_error=on_error, failures=failures,
                            stage="extract", binary=stripped.name,
                            function=getattr(func, "name", scope))
             continue
         out.extend(func_out)
+        if sites is not None:
+            sites.extend(func_sites)
     return out
 
 

@@ -40,13 +40,60 @@ class TargetKind(enum.Enum):
 
 @dataclass(frozen=True, slots=True)
 class Target:
-    """One target instruction inside a function listing."""
+    """One target instruction inside a function listing.
+
+    ``deref_disp`` and ``width`` make the target a full base+offset
+    access record for the posterior struct-recovery stage
+    (:mod:`repro.posterior`): for DEREF targets ``deref_disp`` is the
+    ``disp`` of the ``[reg+disp]`` operand through the pointer base
+    (the field offset inside the pointee), for SLOT targets it is 0
+    (interior offsets are recovered against the extent instead).
+    ``width`` is the access width in bytes, 0 when unknown or when the
+    instruction takes an address rather than data (``lea``).
+    """
 
     index: int                  # instruction index within the function
     kind: TargetKind
     base: str                   # frame base register ("rbp"/"rsp")
     offset: int                 # frame displacement identifying the slot
     instruction: Instruction
+    deref_disp: int = 0         # [reg+disp] displacement for DEREF targets
+    width: int = 0              # access width in bytes (0 = unknown/address)
+
+
+#: Access width by mnemonic suffix for the GNU-style suffixed forms.
+_SUFFIX_WIDTHS = {"b": 1, "w": 2, "l": 4, "q": 8}
+
+#: Widths for mnemonics the suffix rule gets wrong or misses.
+_MNEMONIC_WIDTHS = {
+    "movss": 4, "movsd": 8, "addss": 4, "addsd": 8,
+    "subss": 4, "subsd": 8, "mulss": 4, "mulsd": 8,
+    "divss": 4, "divsd": 8, "comiss": 4, "comisd": 8,
+    "ucomiss": 4, "ucomisd": 8,
+    "movsbl": 1, "movzbl": 1, "movswl": 2, "movzwl": 2,
+    "movsbq": 1, "movzbq": 1, "movswq": 2, "movzwq": 2,
+    "movslq": 4,
+    "lea": 0, "leaq": 0,
+}
+
+
+#: Base mnemonics whose trailing b/w/l/q is a width suffix (``imul`` is not).
+_SUFFIXABLE = frozenset(("mov", "add", "sub", "cmp", "and", "or", "xor", "test", "inc", "dec"))
+
+
+def _access_width(ins: Instruction) -> int:
+    """Best-effort memory-access width of an instruction, in bytes."""
+    width = _MNEMONIC_WIDTHS.get(ins.mnemonic)
+    if width is not None:
+        return width
+    suffix_width = _SUFFIX_WIDTHS.get(ins.mnemonic[-1])
+    if suffix_width is not None and ins.mnemonic[:-1] in _SUFFIXABLE:
+        return suffix_width
+    # Fall back to the width of a register partner operand.
+    for op in ins.operands:
+        if isinstance(op, Reg):
+            return op.width
+    return 0
 
 
 def _slot_operand(ins: Instruction) -> Mem | None:
@@ -90,6 +137,7 @@ def locate_targets(listing: FunctionListing) -> list[Target]:
             targets.append(Target(
                 index=index, kind=TargetKind.SLOT,
                 base=slot.base, offset=slot.disp, instruction=ins,
+                width=_access_width(ins),
             ))
             # A register loaded from the slot (pointer value via mov, or
             # the slot's own address via lea) becomes a tracked pointer.
@@ -110,6 +158,7 @@ def locate_targets(listing: FunctionListing) -> list[Target]:
                     targets.append(Target(
                         index=index, kind=TargetKind.DEREF,
                         base=tracked[0], offset=tracked[1], instruction=ins,
+                        deref_disp=op.disp, width=_access_width(ins),
                     ))
                     break
 

@@ -89,6 +89,18 @@ class TestJobSpec:
                        on_error="raise", max_retries=2, seed=7)
         assert JobSpec.from_dict(spec.to_dict()) == spec
 
+    def test_structs_flag_round_trips(self):
+        spec = JobSpec(items=demo_corpus(2), structs=True)
+        assert spec.to_dict()["structs"] is True
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_pre_structs_spec_dict_defaults_off(self):
+        # Manifests written before the posterior stage existed carry no
+        # "structs" key; they must load with the stage off.
+        data = JobSpec(items=demo_corpus(2)).to_dict()
+        data.pop("structs")
+        assert JobSpec.from_dict(data).structs is False
+
     def test_shards_cover_all_items_in_order(self):
         spec = JobSpec(items=demo_corpus(5), shard_size=2)
         shards = spec.shards()

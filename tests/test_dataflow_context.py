@@ -5,7 +5,7 @@ import pytest
 from repro.asm.instruction import FunctionListing, make
 from repro.asm.operands import Imm, Mem, Reg
 from repro.vuc.context import extract_vuc, extract_vucs_for_targets
-from repro.vuc.dataflow import VariableExtent, group_targets
+from repro.vuc.dataflow import AccessSite, VariableExtent, access_site, group_targets
 from repro.vuc.locate import Target, TargetKind, locate_targets
 
 
@@ -62,6 +62,58 @@ class TestGrouping:
         extents = [VariableExtent("a", "rbp", -4, 4), VariableExtent("b", "rbp", -8, 4)]
         groups = group_targets([_slot_target(0, -4)], extents, "s")
         assert len(groups) == 1
+
+    def test_overlapping_extents_lowest_start_wins(self):
+        """Documented tie-break: with overlapping extents the containing
+        extent with the lowest start offset wins, whatever the caller's
+        extent order."""
+        wide = VariableExtent("wide", "rbp", -8, 8)
+        narrow = VariableExtent("narrow", "rbp", -4, 4)
+        targets = [_slot_target(0, -4)]   # contained by both
+        for extents in ([wide, narrow], [narrow, wide]):
+            groups = group_targets(targets, list(extents), "s")
+            assert [g.extent.name for g in groups] == ["wide"]
+
+    def test_target_at_extent_start_is_found(self):
+        # bisect_right must include extents starting exactly at the
+        # displacement (regression for an off-by-one candidate bound).
+        groups = group_targets([_slot_target(0, -16)],
+                               [VariableExtent("a", "rbp", -16, 8)], "s")
+        assert [g.extent.name for g in groups] == ["a"]
+
+    def test_target_below_all_extent_starts_dropped(self):
+        groups = group_targets([_slot_target(0, -40)],
+                               [VariableExtent("a", "rbp", -16, 8)], "s")
+        assert groups == []
+
+    def test_same_offset_on_different_bases_resolved_by_base(self):
+        extents = [VariableExtent("a", "rbp", -4, 4), VariableExtent("b", "rsp", -4, 4)]
+        targets = [_slot_target(0, -4, base="rbp"), _slot_target(1, -4, base="rsp")]
+        groups = group_targets(targets, extents, "s")
+        by_name = {g.extent.name: g for g in groups}
+        assert by_name["a"].targets[0].base == "rbp"
+        assert by_name["b"].targets[0].base == "rsp"
+
+
+class TestAccessSites:
+    def test_slot_site_uses_interior_offset(self):
+        extent = VariableExtent("s", "rbp", -32, 24)
+        target = Target(index=0, kind=TargetKind.SLOT, base="rbp", offset=-24,
+                        instruction=make("movl", Imm(0), Mem(disp=-24, base="rbp")),
+                        width=4)
+        site = access_site(target, extent, "vid")
+        assert site == AccessSite(variable_id="vid", kind=TargetKind.SLOT,
+                                  offset=8, width=4)
+
+    def test_deref_site_uses_pointee_displacement(self):
+        extent = VariableExtent("p", "rbp", -16, 8)
+        target = Target(index=3, kind=TargetKind.DEREF, base="rbp", offset=-16,
+                        instruction=make("mov", Mem(disp=24, base="rax"), Reg("rdx")),
+                        deref_disp=24, width=8)
+        site = access_site(target, extent, "vid")
+        assert site.kind is TargetKind.DEREF
+        assert site.offset == 24       # not relative to the frame extent
+        assert site.width == 8
 
 
 class TestVucExtraction:

@@ -109,6 +109,48 @@ class TestDerefTracking:
         ]
 
 
+class TestAccessWidths:
+    """Targets carry access widths + deref displacements for the
+    posterior stage's base+offset records."""
+
+    def _width_of(self, ins):
+        return locate_targets(_listing(ins))[0].width
+
+    def test_suffixed_mov_widths(self):
+        for mnemonic, width in (("movb", 1), ("movw", 2), ("movl", 4), ("movq", 8)):
+            assert self._width_of(make(mnemonic, Imm(0), Mem(disp=-4, base="rbp"))) == width
+
+    def test_sse_scalar_widths(self):
+        assert self._width_of(make("movss", Mem(disp=-8, base="rbp"), Reg("xmm0"))) == 4
+        assert self._width_of(make("movsd", Mem(disp=-8, base="rbp"), Reg("xmm0"))) == 8
+
+    def test_extension_loads_use_source_width(self):
+        assert self._width_of(make("movzbl", Mem(disp=-1, base="rbp"), Reg("eax"))) == 1
+        assert self._width_of(make("movswl", Mem(disp=-2, base="rbp"), Reg("eax"))) == 2
+        assert self._width_of(make("movslq", Mem(disp=-4, base="rbp"), Reg("rax"))) == 4
+
+    def test_lea_is_address_only(self):
+        assert self._width_of(make("lea", Mem(disp=-32, base="rbp"), Reg("rax"))) == 0
+
+    def test_imul_trailing_l_is_not_a_suffix(self):
+        # "imul" ends in 'l' but is not a suffixed mnemonic; the width
+        # comes from the register partner instead.
+        assert self._width_of(make("imul", Mem(disp=-8, base="rbp"), Reg("eax"))) == 4
+
+    def test_plain_mov_falls_back_to_register_partner(self):
+        assert self._width_of(make("mov", Mem(disp=-8, base="rbp"), Reg("rax"))) == 8
+        assert self._width_of(make("mov", Mem(disp=-8, base="rbp"), Reg("eax"))) == 4
+
+    def test_deref_disp_recorded(self):
+        targets = locate_targets(_listing(
+            make("mov", Mem(disp=-16, base="rbp"), Reg("rax")),
+            make("movl", Mem(disp=12, base="rax"), Reg("edx")),
+        ))
+        assert targets[0].deref_disp == 0          # SLOT: offsets via extent
+        assert targets[1].deref_disp == 12         # DEREF: [reg+disp] field
+        assert targets[1].width == 4
+
+
 class TestAgreementWithGroundTruth:
     """The locator must rediscover what the lowering recorded."""
 

@@ -217,6 +217,90 @@ class TestStyles:
         assert all(a < b for a, b in zip(addresses, addresses[1:]))
 
 
+class TestMemberTruth:
+    """Field-level ground truth (MemberTruth) recorded by the lowerer —
+    what member-labeled training and the posterior stage consume."""
+
+    def _member_func(self, ctype, kind, member):
+        var = LocalVar("v0", ctype, 0)
+        return FunctionIR(name="f", locals=[var],
+                          events=[Access(var=var, kind=kind, member=member)])
+
+    def test_member_store_records_offset_and_label(self):
+        struct = ct.make_struct_zoo()[2]  # stats: ulong, double, int, int
+        offsets = struct.member_offsets()
+        for member, (_name, mtype, moff) in enumerate(offsets):
+            func = self._member_func(struct, AccessKind.MEMBER_STORE, member)
+            lowered = lower_function(func, gcc_style(0), random.Random(0), 0)
+            assert len(lowered.member_truth) == 1
+            record = lowered.member_truth[0]
+            assert record.member_offset == moff
+            assert record.label is mtype.leaf_label()
+            assert record.var_index == 0
+            assert record.instruction_index == lowered.truth[0][0]
+
+    def test_member_load_records_offset_and_label(self):
+        struct = ct.make_struct_zoo()[4]  # options: bool, int, char*, long
+        offsets = struct.member_offsets()
+        for member, (_name, mtype, moff) in enumerate(offsets):
+            func = self._member_func(struct, AccessKind.MEMBER_LOAD, member)
+            lowered = lower_function(func, gcc_style(0), random.Random(0), 0)
+            record = lowered.member_truth[0]
+            assert record.member_offset == moff
+            assert record.label is mtype.leaf_label()
+
+    def test_member_truth_instruction_touches_the_field(self):
+        struct = ct.make_struct_zoo()[2]
+        for member in range(4):
+            func = self._member_func(struct, AccessKind.MEMBER_STORE, member)
+            lowered = lower_function(func, gcc_style(0), random.Random(0), 0)
+            record = lowered.member_truth[0]
+            ins = lowered.listing.instructions[record.instruction_index]
+            slot = lowered.slots[0]
+            assert ins.memory_operands()[0].disp == slot.offset + record.member_offset
+
+    def test_array_of_struct_member_uses_element_layout(self):
+        struct = ct.make_struct_zoo()[2]
+        offsets = struct.member_offsets()
+        func = self._member_func(ArrayType(struct, 3), AccessKind.MEMBER_STORE, 1)
+        lowered = lower_function(func, gcc_style(0), random.Random(0), 0)
+        record = lowered.member_truth[0]
+        assert record.member_offset == offsets[1][2]
+        assert record.label is offsets[1][1].leaf_label()
+
+    def test_struct_pointer_deref_records_member_truth(self):
+        struct = ct.make_struct_zoo()[2]
+        field_truth = {moff: mtype.leaf_label()
+                       for _name, mtype, moff in struct.member_offsets()}
+        seen_offsets = set()
+        for seed in range(10):
+            lowered = _lower(PointerType(struct), AccessKind.DEREF_LOAD, seed=seed)
+            assert len(lowered.member_truth) == 1
+            record = lowered.member_truth[0]
+            deref = lowered.listing.instructions[record.instruction_index]
+            assert deref.memory_operands()[0].disp == record.member_offset
+            assert field_truth[record.member_offset] is record.label
+            seen_offsets.add(record.member_offset)
+        assert len(seen_offsets) > 1   # the rng samples multiple fields
+
+    def test_scalar_accesses_record_no_member_truth(self):
+        assert _lower(ct.INT, AccessKind.INIT).member_truth == []
+        assert _lower(PointerType(ct.INT), AccessKind.DEREF_LOAD).member_truth == []
+
+    def test_member_truth_by_instruction_roundtrip(self):
+        struct = ct.make_struct_zoo()[3]
+        var = LocalVar("v0", struct, 0)
+        func = FunctionIR(name="f", locals=[var], events=[
+            Access(var=var, kind=AccessKind.MEMBER_STORE, member=0),
+            Access(var=var, kind=AccessKind.MEMBER_LOAD, member=2),
+        ])
+        lowered = lower_function(func, gcc_style(0), random.Random(0), 0)
+        by_index = lowered.member_truth_by_instruction()
+        assert len(by_index) == len(lowered.member_truth) == 2
+        for record in lowered.member_truth:
+            assert by_index[record.instruction_index] is record
+
+
 class TestTruth:
     def test_truth_indices_valid(self):
         for seed in range(5):

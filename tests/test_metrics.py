@@ -117,3 +117,67 @@ def test_confusion_row_sums_are_supports(pair):
     report = evaluate(y_true, y_pred)
     for i, cls in enumerate(classes):
         assert matrix[i].sum() == report.per_class[cls].support
+
+
+class TestFieldReports:
+    """evaluate_layouts: field-level scoring of recovered struct layouts."""
+
+    def _report(self, predicted, truth):
+        from repro.eval.metrics import evaluate_layouts
+
+        return evaluate_layouts(predicted, truth)
+
+    def test_perfect_match(self):
+        layout = {"a": {0: "int", 8: "long"}, "b->": {0: "char"}}
+        report = self._report(layout, layout)
+        assert report.offset_precision == report.offset_recall == 1.0
+        assert report.field_precision == report.field_recall == report.field_f1 == 1.0
+        assert report.type_accuracy == 1.0
+        assert report.layout_exact_match == 1.0
+        assert report.n_true_fields == report.n_predicted_fields == 3
+
+    def test_wrong_label_hits_offset_but_not_field(self):
+        truth = {"a": {0: "int", 8: "long"}}
+        predicted = {"a": {0: "int", 8: "char"}}
+        report = self._report(predicted, truth)
+        assert report.offset_precision == report.offset_recall == 1.0
+        assert report.field_precision == pytest.approx(1 / 2)
+        assert report.field_recall == pytest.approx(1 / 2)
+        assert report.type_accuracy == pytest.approx(1 / 2)
+        assert report.layout_exact_match == 0.0
+
+    def test_spurious_object_hurts_precision_only(self):
+        truth = {"a": {0: "int", 8: "long"}}
+        predicted = {"a": {0: "int", 8: "long"}, "ghost": {0: "int"}}
+        report = self._report(predicted, truth)
+        assert report.field_recall == 1.0
+        assert report.field_precision == pytest.approx(2 / 3)
+        assert report.layout_exact_match == 1.0   # the true object is exact
+
+    def test_missing_offset_hurts_recall_and_exactness(self):
+        truth = {"a": {0: "int", 8: "long"}, "b": {0: "char"}}
+        predicted = {"a": {0: "int"}, "b": {0: "char"}}
+        report = self._report(predicted, truth)
+        assert report.field_precision == 1.0
+        assert report.field_recall == pytest.approx(2 / 3)
+        assert report.layout_exact_match == pytest.approx(1 / 2)
+
+    def test_f1_is_harmonic_mean(self):
+        truth = {"a": {0: "int", 8: "long"}}
+        predicted = {"a": {0: "int", 16: "char"}}
+        report = self._report(predicted, truth)
+        p, r = report.field_precision, report.field_recall
+        assert report.field_f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_empty_truth_is_all_zero(self):
+        report = self._report({"a": {0: "int"}}, {})
+        assert report.n_objects == 0
+        assert report.n_predicted_fields == 1
+        assert report.field_f1 == 0.0
+        assert report.layout_exact_match == 0.0
+
+    def test_empty_prediction_scores_zero_recall(self):
+        report = self._report({}, {"a": {0: "int"}})
+        assert report.field_recall == 0.0
+        assert report.offset_recall == 0.0
+        assert report.type_accuracy == 0.0

@@ -185,6 +185,42 @@ class TestProtocol:
         with pytest.raises(RequestError):
             protocol.binary_from_wire(wire)
 
+    def test_prediction_dict_vote_detail(self):
+        """Schema /2: margin is winner minus runner-up of the vote scores."""
+        import numpy as np
+
+        from repro.core.pipeline import VariablePrediction
+        from repro.core.types import ALL_TYPES, TypeName
+
+        scores = np.zeros(len(ALL_TYPES))
+        scores[ALL_TYPES.index(TypeName.INT)] = 3.0
+        scores[ALL_TYPES.index(TypeName.LONG_INT)] = 1.5
+        data = protocol.prediction_to_dict(
+            VariablePrediction("v", TypeName.INT, 4, scores))
+        assert data["type"] == str(TypeName.INT)
+        assert data["confidence"] == pytest.approx(3.0)
+        assert data["runner_up"] == str(TypeName.LONG_INT)
+        assert data["runner_up_confidence"] == pytest.approx(1.5)
+        assert data["margin"] == pytest.approx(1.5)
+
+    def test_layout_dict_shape(self):
+        from repro.core.types import TypeName
+        from repro.posterior import FieldPrediction, StructLayout
+
+        layout = StructLayout(
+            object_id="b/0::rbp-32", objects=("b/0::rbp-32", "b/1::rbp-48"),
+            fields=[FieldPrediction(offset=8, label=TypeName.LONG_INT,
+                                    n_accesses=5, width=8,
+                                    confidence=0.9, margin=1.2)],
+            n_accesses=5)
+        data = protocol.layout_to_dict(layout)
+        assert data["object_id"] == "b/0::rbp-32"
+        assert data["objects"] == ["b/0::rbp-32", "b/1::rbp-48"]
+        assert data["fields"] == [{
+            "offset": 8, "type": str(TypeName.LONG_INT), "n_accesses": 5,
+            "width": 8, "confidence": 0.9, "margin": 1.2,
+        }]
+
 
 # -- scheduler --------------------------------------------------------------------
 
@@ -646,7 +682,8 @@ class TestCliJson:
         assert body["model"]["bundle"] == str(serve_bundle_dir)
         for prediction in body["predictions"]:
             assert set(prediction) == {"variable_id", "type", "n_vucs",
-                                       "confidence", "scores"}
+                                       "confidence", "margin", "runner_up",
+                                       "runner_up_confidence", "scores"}
 
     def test_cli_json_matches_served_demo_job(self, serve_bundle_dir, daemon,
                                               capsys):
