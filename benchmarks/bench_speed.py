@@ -44,6 +44,12 @@ throughput and per-worker RSS under ``"serve.scaling"`` — the mmap'd
 shared bundle mirror is what keeps N workers from costing N model
 copies, and on ≥4-core machines 2 workers must reach ≥1.6x the
 single-worker throughput.
+
+``test_interactive_latency`` opens an analysis session and measures
+sequential single-variable ``type_variable`` calls — the interactive
+REPL workload — recording p50/p99 under ``"serve.interactive"`` and
+asserting the small-batch path stays within the scheduler's coalescing
+budget plus bounded per-call overhead.
 """
 
 import json
@@ -667,7 +673,9 @@ def test_serve_throughput(gcc_context, tmp_path):
                     for p in reference])
 
     report = json.loads(_ARTIFACT.read_text()) if _ARTIFACT.exists() else {}
-    report["serve"] = report_serve
+    # update, don't assign: "serve" also carries the "interactive"
+    # block written by test_interactive_latency / scripts/smoke_repl.py.
+    report.setdefault("serve", {}).update(report_serve)
     _ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
 
     print()
@@ -691,6 +699,111 @@ def test_serve_throughput(gcc_context, tmp_path):
     cores = os.cpu_count() or 1
     pipeline_floor_s = offline_s + (served_warm_s if cores == 1 else 0.0)
     assert served_cold_s <= 1.1 * pipeline_floor_s
+
+
+def test_interactive_latency(gcc_context, tmp_path):
+    """Single-question latency on the session API's small-batch path.
+
+    The interactive workload is one variable per request — the
+    pathological shape for a batching server.  ``type_variable`` routes
+    it through the micro-batch scheduler, so each call pays at most the
+    coalescing delay (``serve_max_delay_ms``) plus one small engine
+    batch.  Acceptance: p50 within that budget plus a generous multiple
+    of the offline per-variable engine cost (tiny batches amortize
+    nothing), i.e. the session path adds bounded overhead and never
+    falls onto a full-binary rescore.
+    """
+    from repro.codegen.compilers import GccCompiler
+    from repro.codegen.strip import strip
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeDaemon
+
+    cati = gcc_context.cati
+    binary = GccCompiler().compile_fresh(seed=909, name="interactive",
+                                         opt_level=0)
+    stripped, extents = strip(binary), speed.extents_from_debug(binary)
+
+    bundle_dir = tmp_path / "interactive-bundle"
+    cati.save(str(bundle_dir))
+    daemon = ServeDaemon(str(bundle_dir), port=0, queue_limit=64)
+    serve_thread = threading.Thread(target=daemon.run, daemon=True)
+    serve_thread.start()
+    client = ServeClient(daemon.host, daemon.port, timeout=300)
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        try:
+            client.health()
+            break
+        except OSError:
+            time.sleep(0.05)
+
+    handle = client.session(binary=stripped, extents=extents)
+    variables = handle.variables
+    assert variables
+
+    # The offline cost of one single-variable question: the engine on
+    # one variable's windows (cache cleared — interactive questions
+    # about fresh binaries don't arrive dedup-warm).
+    from repro.vuc.dataset import extract_unlabeled_vucs
+
+    pairs = extract_unlabeled_vucs(stripped, extents, cati.config.window)
+    rows_by_id: dict = {}
+    for variable_id, tokens in pairs:
+        rows_by_id.setdefault(variable_id, []).append(tokens)
+    probe = variables[0]
+
+    def offline_single():
+        cati.engine.clear_cache()
+        cati.engine.predict_variables(rows_by_id[probe],
+                                      [probe] * len(rows_by_id[probe]))
+
+    offline_single()  # warm kernels
+    offline_single_s = _best_of(offline_single, repeats=3)
+
+    handle.type_variable(probe)  # warm the served path
+    n_calls = 60
+    latencies = []
+    for index in range(n_calls):
+        variable_id = variables[index % len(variables)]
+        t0 = time.perf_counter()
+        served = handle.type_variable(variable_id)
+        latencies.append(time.perf_counter() - t0)
+        assert served["prediction"]["variable_id"] == variable_id
+
+    handle.close()
+    daemon.request_shutdown()
+    serve_thread.join(timeout=30)
+    assert not serve_thread.is_alive()
+
+    latencies.sort()
+    p50_s = latencies[len(latencies) // 2]
+    p99_s = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+    report = json.loads(_ARTIFACT.read_text()) if _ARTIFACT.exists() else {}
+    report.setdefault("serve", {})["interactive"] = {
+        "n_calls": n_calls,
+        "n_variables": len(variables),
+        "offline_single_variable_seconds": offline_single_s,
+        "p50_s": p50_s,
+        "p99_s": p99_s,
+        "mean_s": sum(latencies) / len(latencies),
+    }
+    _ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(f"interactive: {n_calls} type_variable calls over "
+          f"{len(variables)} variables: p50 {p50_s * 1e3:.1f} ms, "
+          f"p99 {p99_s * 1e3:.1f} ms (offline single-variable "
+          f"{offline_single_s * 1e3:.1f} ms)")
+    print(f"wrote {_ARTIFACT}")
+
+    # Budget: the scheduler may hold a lone request the full coalescing
+    # delay; past that, a single-variable batch should cost a bounded
+    # multiple of the offline engine call (HTTP + JSON + tiny-batch
+    # overhead), with an absolute floor for fast machines/noise.
+    budget_s = (cati.config.serve_max_delay_ms / 1000.0
+                + max(25 * offline_single_s, 0.15))
+    assert p50_s <= budget_s, (
+        f"interactive p50 {p50_s:.3f}s exceeds budget {budget_s:.3f}s")
 
 
 def _rss_kb(pid: int) -> int | None:

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local quality gate: lint + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [--faults | --docs | --serve | --smoke | --batch | --structs] [extra pytest args...]
+# Usage: scripts/check.sh [--faults | --docs | --serve | --smoke | --batch | --structs | --repl] [extra pytest args...]
 #
 #   --faults   run the fault-injection suite (tests/test_fault_tolerance.py)
 #              instead of the full tier-1 suite.
@@ -30,6 +30,13 @@
 #              DWARF truth, the disabled path stays byte-identical, and
 #              the /2 wire schema + `repro infer --structs --json` carry
 #              the vote-detail and layouts blocks.
+#   --repl     run the interactive-session smoke only
+#              (scripts/smoke_repl.py): mini model -> 2-worker router
+#              with --session-ttl-s 2 -> the real `repro repl --exec`
+#              walks every session tool and each output is checked
+#              byte-for-byte against the offline pipeline; TTL expiry
+#              surfaces a retriable 410 the REPL recovers from; the
+#              interactive p50/p99 lands in BENCH_speed.json.
 #
 # Lint is a hard gate: when ruff is installed, any finding fails the
 # script (set -e).  When ruff is absent we warn and continue, because
@@ -44,6 +51,7 @@ SERVE=0
 SMOKE=0
 BATCH=0
 STRUCTS=0
+REPL=0
 if [[ "${1:-}" == "--faults" ]]; then
     FAULTS=1
     shift
@@ -61,6 +69,9 @@ elif [[ "${1:-}" == "--batch" ]]; then
     shift
 elif [[ "${1:-}" == "--structs" ]]; then
     STRUCTS=1
+    shift
+elif [[ "${1:-}" == "--repl" ]]; then
+    REPL=1
     shift
 fi
 
@@ -87,6 +98,11 @@ fi
 if [[ "$STRUCTS" == "1" ]]; then
     echo "== struct-recovery smoke =="
     exec python scripts/smoke_structs.py
+fi
+
+if [[ "$REPL" == "1" ]]; then
+    echo "== interactive-session smoke =="
+    exec python scripts/smoke_repl.py
 fi
 
 if command -v ruff >/dev/null 2>&1; then

@@ -17,6 +17,11 @@ Three checks:
    docs/ARCHITECTURE.md has a ``repro.posterior`` section, and its
    knobs (``posterior_enabled``, ``posterior_min_accesses``) plus the
    ``--structs`` surfaces are named in docs/OPERATIONS.md.
+5. Interactive sessions stay documented: docs/OPERATIONS.md has an
+   "Interactive sessions" section naming every session tool and the
+   ``repro repl`` / ``--repl`` surfaces, docs/ARCHITECTURE.md
+   describes ``repro.analysis``, and README.md shows the repl
+   quickstart.
 
 Exits non-zero listing every discrepancy; prints nothing but a one-line
 OK otherwise.
@@ -121,12 +126,44 @@ def check_posterior_docs(problems: list[str]) -> None:
                 "CLI/batch surface")
 
 
+def check_session_docs(problems: list[str]) -> None:
+    """The interactive-session subsystem must stay in the doc graph."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis import TOOL_NAMES
+
+    ops = REPO_ROOT / "docs" / "OPERATIONS.md"
+    if ops.exists():
+        text = ops.read_text()
+        if "Interactive sessions" not in text:
+            problems.append(
+                "docs/OPERATIONS.md lacks an 'Interactive sessions' section")
+        for tool in TOOL_NAMES:
+            if f"`{tool}`" not in text:
+                problems.append(
+                    f"docs/OPERATIONS.md does not document session tool {tool}")
+        if "repro repl" not in text:
+            problems.append(
+                "docs/OPERATIONS.md does not mention the `repro repl` client")
+        if "--repl" not in text:
+            problems.append(
+                "docs/OPERATIONS.md does not mention scripts/check.sh --repl")
+    arch = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+    if arch.exists() and "repro.analysis" not in arch.read_text():
+        problems.append(
+            "docs/ARCHITECTURE.md does not describe the repro.analysis "
+            "session subsystem")
+    readme = REPO_ROOT / "README.md"
+    if readme.exists() and "repro repl" not in readme.read_text():
+        problems.append("README.md lacks the repl quickstart")
+
+
 def main() -> int:
     problems: list[str] = []
     check_experiments_md(problems)
     check_operations_md(problems)
     check_deployment_md(problems)
     check_posterior_docs(problems)
+    check_session_docs(problems)
     if problems:
         for problem in problems:
             print(f"DOCS DRIFT: {problem}", file=sys.stderr)

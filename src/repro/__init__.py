@@ -16,9 +16,11 @@ Public API tour:
 * :mod:`repro.frontend` — optional real-binary path via gcc/objdump/readelf.
 * :mod:`repro.serve` — the batching inference daemon
   (``python -m repro serve``) with admission control and hot reload.
+* :mod:`repro.analysis` — stateful interactive analysis sessions on
+  the daemon; ``python -m repro repl`` is the client.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 _LAZY = {
     "Cati": ("repro.core.pipeline", "Cati"),

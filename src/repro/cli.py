@@ -10,6 +10,8 @@ Commands:
                     (see :mod:`repro.serve` and docs/OPERATIONS.md §7).
 * ``client``      — talk to a running daemon: health, metrics, reload,
                     or a round-trip inference demo.
+* ``repl``        — interactive analysis shell over a daemon's session
+                    API (``--exec`` scripts it; see :mod:`repro.repl`).
 * ``experiment``  — run one paper experiment by name and print its table.
 * ``corpus-stats``— print Table I-style statistics for a corpus.
 * ``model``       — artifact tooling: ``inspect`` prints a bundle's
@@ -176,6 +178,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                metrics_enabled=not args.no_metrics,
                                serve_max_batch=args.max_batch,
                                serve_max_delay_ms=args.max_delay_ms,
+                               session_ttl_s=args.session_ttl_s,
+                               session_max_bytes=args.session_max_bytes,
                                serve_workers=(args.workers
                                               if args.workers is not None
                                               else 0))
@@ -222,6 +226,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return daemon.run()
     finally:
         _dump_metrics(args)
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from repro.repl import run_repl
+
+    return run_repl(args.host, args.port, timeout=args.timeout,
+                    exec_commands=args.exec_commands)
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
@@ -529,6 +540,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-request deadline (504 past it)")
     serve.add_argument("--on-error", choices=("raise", "skip"), default="skip",
                        help="default per-request degradation policy")
+    serve.add_argument("--session-ttl-s", type=float, default=600.0,
+                       help="idle seconds before an analysis session expires")
+    serve.add_argument("--session-max-bytes", type=int,
+                       default=256 * 1024 * 1024,
+                       help="per-worker session-store byte budget "
+                            "(LRU eviction past it)")
     serve.add_argument("--watch", action="store_true",
                        help="poll the bundle dir and hot-reload on change")
     serve.add_argument("--watch-interval", type=float, default=2.0,
@@ -561,6 +578,17 @@ def build_parser() -> argparse.ArgumentParser:
     client_infer.add_argument("--json", action="store_true",
                               help="print the raw response body")
     client.set_defaults(func=_cmd_client)
+
+    repl = sub.add_parser(
+        "repl", help="interactive analysis shell over a daemon's session API")
+    repl.add_argument("--host", default="127.0.0.1")
+    repl.add_argument("--port", type=int, default=8417)
+    repl.add_argument("--timeout", type=float, default=300.0)
+    repl.add_argument("--exec", dest="exec_commands", default=None,
+                      metavar="COMMANDS",
+                      help="run a ';'-separated command list and exit "
+                           "(non-zero on the first failure)")
+    repl.set_defaults(func=_cmd_repl)
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("name", choices=_EXPERIMENTS)

@@ -43,6 +43,8 @@ class CatiConfig:
     serve_workers: int = 0             # serve: worker processes (0 = auto min(cores, 4); 1 = in-process daemon)
     posterior_enabled: bool = False    # posterior: recover struct layouts after per-variable voting
     posterior_min_accesses: int = 2    # posterior: min pooled accesses to keep a field offset
+    session_ttl_s: float = 600.0       # analysis: idle seconds before an interactive session expires
+    session_max_bytes: int = 256 * 1024 * 1024  # analysis: session-store byte budget (LRU past it)
     word2vec: Word2VecConfig = field(default_factory=lambda: Word2VecConfig(
         dim=32, window=5, epochs=2, subsample_pairs=0.5,
     ))
@@ -74,6 +76,10 @@ class CatiConfig:
             raise ValueError("serve_workers must be >= 0 (0 = auto)")
         if self.posterior_min_accesses < 1:
             raise ValueError("posterior_min_accesses must be >= 1")
+        if self.session_ttl_s <= 0:
+            raise ValueError("session_ttl_s must be > 0")
+        if self.session_max_bytes < 1:
+            raise ValueError("session_max_bytes must be >= 1")
         self.word2vec.dim = self.token_dim
 
     def to_dict(self) -> dict:

@@ -25,7 +25,8 @@ Everything the pipeline can throw at a caller derives from
         ├── RequestError          malformed/undecodable request payload
         ├── QueueFullError        admission control rejected the request
         ├── DeadlineExceededError request deadline elapsed before completion
-        └── ServerClosedError     the daemon is draining or stopped
+        ├── ServerClosedError     the daemon is draining or stopped
+        └── SessionGoneError      unknown/expired/evicted analysis session
 
 The concrete subclasses double-inherit ``ValueError`` so existing
 ``except ValueError`` call sites (and tests) keep working.
@@ -245,6 +246,20 @@ class ServerClosedError(ServeError):
     """The daemon is draining (SIGTERM) or already stopped."""
 
     status = 503
+
+
+class SessionGoneError(ServeError):
+    """The referenced analysis session does not exist on this server.
+
+    Covers every way a session id can stop resolving — TTL expiry, LRU
+    eviction, an explicit close, a worker crash/respawn that emptied the
+    store, or an id that never existed.  410 (Gone) by design: the
+    condition is *retriable by re-opening*, and clients
+    (:class:`repro.serve.client.SessionHandle`, ``repro repl``) treat it
+    exactly that way.
+    """
+
+    status = 410
 
 
 #: Which taxonomy class wraps a foreign exception raised at each stage.

@@ -30,13 +30,20 @@ The moving parts:
   admission control, generation-fenced rolling reloads, crash respawn,
   and merged ``/healthz``//``/metricsz``;
 * :mod:`repro.serve.client` — the small blocking client behind
-  ``python -m repro client``, with bounded retries on connection drops.
+  ``python -m repro client``, with bounded retries on connection drops
+  and :class:`SessionHandle` bindings for the session API;
+* :mod:`repro.analysis` (sibling package) — stateful interactive
+  sessions: ``POST /v1/session/open`` parses + encodes a binary once,
+  then ``POST /v1/session/<id>/call`` answers ``cati-tool-call/1``
+  tools (list_functions, disassemble, type_variable, explain,
+  annotate_disassembly, struct_layouts) against the held state.
+  ``python -m repro repl`` is the interactive client.
 
 See docs/OPERATIONS.md §7 "Serving" and docs/DEPLOYMENT.md for the
 operator story.
 """
 
-from repro.serve.client import ServeClient
+from repro.serve.client import ServeClient, SessionHandle
 from repro.serve.host import ModelHost
 from repro.serve.router import RouterDaemon
 from repro.serve.scheduler import MicroBatchScheduler
@@ -44,4 +51,4 @@ from repro.serve.server import ServeDaemon
 from repro.serve.worker import WorkerHandle
 
 __all__ = ["MicroBatchScheduler", "ModelHost", "RouterDaemon",
-           "ServeClient", "ServeDaemon", "WorkerHandle"]
+           "ServeClient", "ServeDaemon", "SessionHandle", "WorkerHandle"]

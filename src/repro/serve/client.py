@@ -154,3 +154,79 @@ class ServeClient:
         request["variable_ids"] = list(variable_ids)
         request.update(options)
         return self.infer(request)
+
+    # -- interactive sessions ------------------------------------------------------
+
+    def open_session(self, request: dict) -> "SessionHandle":
+        """Raw ``/v1/session/open`` with an already-built job body."""
+        response = self._request("POST", "/v1/session/open", request)
+        return SessionHandle(self, response["session"])
+
+    def session(self, *, binary: Binary | None = None,
+                extents: list[list[VariableExtent]] | None = None,
+                path: str | None = None, demo: dict | None = None,
+                **options) -> "SessionHandle":
+        """Open an analysis session from whichever job form the caller has.
+
+        Exactly one of ``binary`` (+ ``extents``), ``path``, or ``demo``
+        must be given — the same whole-binary job forms ``/v1/infer``
+        accepts (pre-extracted windows cannot back a session).
+        """
+        request: dict = dict(options)
+        if binary is not None:
+            request["binary"] = protocol.binary_to_wire(binary)
+            request["extents"] = protocol.extents_to_wire(extents or [])
+        if path is not None:
+            request["path"] = path
+        if demo is not None:
+            request["demo"] = demo
+        return self.open_session(request)
+
+
+class SessionHandle:
+    """Client-side view of one open analysis session.
+
+    Thin by design: every method is one ``/v1/session/<id>/call``
+    round-trip returning the tool's ``result`` object.  A 410
+    (:class:`~repro.core.errors.SessionGoneError` server-side) surfaces
+    as a :class:`ServeClientError` with ``status == 410`` — the session
+    expired, was evicted, or died with its worker; re-open and retry.
+    """
+
+    def __init__(self, client: ServeClient, info: dict) -> None:
+        self.client = client
+        self.info = info
+        self.id = info["id"]
+
+    @property
+    def variables(self) -> list[str]:
+        """Every extracted variable id, from the open response."""
+        return list(self.info.get("variables") or [])
+
+    def call(self, tool: str, **args) -> dict:
+        """One ``cati-tool-call/1`` dispatch; returns the ``result``."""
+        response = self.client._request(
+            "POST", f"/v1/session/{self.id}/call",
+            {"tool": tool, "args": args})
+        return response["result"]
+
+    def list_functions(self) -> dict:
+        return self.call("list_functions")
+
+    def disassemble(self, function=0) -> dict:
+        return self.call("disassemble", function=function)
+
+    def type_variable(self, variable_id: str) -> dict:
+        return self.call("type_variable", variable_id=variable_id)
+
+    def explain(self, variable_id: str, vuc: int = 0) -> dict:
+        return self.call("explain", variable_id=variable_id, vuc=vuc)
+
+    def annotate_disassembly(self, function=0) -> dict:
+        return self.call("annotate_disassembly", function=function)
+
+    def struct_layouts(self) -> dict:
+        return self.call("struct_layouts")
+
+    def close(self) -> dict:
+        return self.client._request("POST", f"/v1/session/{self.id}/close", {})

@@ -33,6 +33,13 @@ with ``python -m repro infer --json``: ``schema``, ``model`` info,
 ``predictions`` (variable id, type, VUC count, confidence, per-type
 scores) and a machine-readable ``failures`` report.
 
+The interactive session endpoints (``/v1/session/open``,
+``/v1/session/<id>/call``, ``/v1/session/<id>/close`` — see
+:mod:`repro.analysis`) share the binary/path/demo job forms for opens
+and speak the ``cati-tool-call/1`` envelope (:data:`TOOL_SCHEMA`,
+:func:`session_open_response`, :func:`tool_response`) for everything
+else.
+
 The schema is deliberately *router-transparent*: the pre-fork router
 (:mod:`repro.serve.router`) forwards ``/v1/infer`` bodies to worker
 processes byte-for-byte and relays their responses unparsed, so the
@@ -66,6 +73,17 @@ RESPONSE_SCHEMA = "cati-infer-response/2"
 
 #: Job kinds an /v1/infer request may carry (exactly one).
 JOB_KINDS = ("binary", "windows", "windows_packed", "path", "demo")
+
+#: Version tag stamped into every session-endpoint response
+#: (``/v1/session/open`` and ``/v1/session/<id>/call``); bump on any
+#: session-wire change.  A call request body is ``{"tool": <name>,
+#: "args": {...}}``; the response wraps the tool's ``result`` object.
+TOOL_SCHEMA = "cati-tool-call/1"
+
+#: Job kinds a /v1/session/open request may carry — the ones that name
+#: a whole binary.  Pre-extracted window jobs have no listing to
+#: disassemble or annotate, so they cannot back a session.
+SESSION_JOB_KINDS = ("binary", "path", "demo")
 
 
 # -- Binary <-> wire ------------------------------------------------------------
@@ -317,6 +335,44 @@ def build_infer_response(
     if layouts is not None:
         body["layouts"] = [layout_to_dict(layout) for layout in layouts]
     return body
+
+
+def session_open_response(session, *, ttl_s: float,
+                          model: dict | None = None,
+                          failures: FailureReport | None = None) -> dict:
+    """The ``/v1/session/open`` response body.
+
+    ``variables`` carries every extracted variable id up front so thin
+    clients (the repl's tab completion, smoke scripts) need no extra
+    round-trip before their first ``type_variable``.
+    """
+    report = failures if failures is not None else FailureReport()
+    return {
+        "schema": TOOL_SCHEMA,
+        "session": {
+            "id": session.session_id,
+            "binary": session.binary.name,
+            "n_functions": len(session.binary.functions),
+            "n_variables": len(session.rows),
+            "n_windows": len(session.windows),
+            "nbytes": session.nbytes,
+            "ttl_s": ttl_s,
+            "generation": session.ids_generation,
+            "variables": sorted(session.rows),
+        },
+        "model": dict(model or {}),
+        "failures": report.to_dict(),
+    }
+
+
+def tool_response(session_id: str, tool: str, result: dict) -> dict:
+    """The ``/v1/session/<id>/call`` response envelope."""
+    return {
+        "schema": TOOL_SCHEMA,
+        "session": session_id,
+        "tool": tool,
+        "result": result,
+    }
 
 
 def error_body(kind: str, message: str, **extra) -> dict:

@@ -11,6 +11,16 @@ their single-daemon meaning; the router adds:
   worker with the fewest in-flight forwards; a worker that dies mid
   request is skipped and the request retried on a sibling, so a crash
   costs a retry, not a 500.
+* **sticky session dispatch** — interactive analysis sessions
+  (:mod:`repro.analysis`) live in exactly one worker's memory, so
+  ``/v1/session/<id>/*`` routes by the id's slot hash
+  (:func:`repro.analysis.store.session_slot`); workers mint only ids
+  that hash back to themselves, so no shared session table exists.
+  ``/v1/session/open`` goes least-loaded with failover like infer.  A
+  dead or respawned slot answers 410
+  (:class:`~repro.core.errors.SessionGoneError`) — *retriable by
+  re-opening*, which ``repro repl`` and
+  :class:`~repro.serve.client.SessionHandle` callers do automatically.
 * **admission control at the front** — the bounded pending count, 503 +
   ``Retry-After`` and deadline handling happen here, before any bytes
   reach a worker, exactly like the single daemon's queue gate.
@@ -46,6 +56,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 import repro
+from repro.analysis.store import session_slot
 from repro.core import observability
 from repro.core.artifacts import ModelBundle
 from repro.core.config import CatiConfig
@@ -55,6 +66,7 @@ from repro.core.errors import (
     RequestError,
     ServeError,
     ServerClosedError,
+    SessionGoneError,
     check_on_error,
 )
 from repro.serve import protocol
@@ -159,6 +171,8 @@ class _RouterHandler(BaseHTTPRequestHandler):
         try:
             if self.path == "/v1/infer":
                 self._handle_infer()
+            elif self.path.startswith("/v1/session/"):
+                self._handle_session()
             elif self.path == "/v1/reload":
                 self._handle_reload()
             else:
@@ -174,6 +188,20 @@ class _RouterHandler(BaseHTTPRequestHandler):
         router.admit()
         try:
             status, body, headers = router.dispatch_infer(raw)
+        finally:
+            router.release()
+        observability.inc("router.requests")
+        observability.observe("router.request.seconds",
+                              time.monotonic() - started)
+        self._send_raw(status, body, headers)
+
+    def _handle_session(self) -> None:
+        router = self.router
+        started = time.monotonic()
+        raw = self._read_raw_body()
+        router.admit()
+        try:
+            status, body, headers = router.dispatch_session(self.path, raw)
         finally:
             router.release()
         observability.inc("router.requests")
@@ -244,6 +272,9 @@ class RouterDaemon:
             "default_on_error": default_on_error,
             "verbose": verbose,
             "mmap": mmap,
+            # Sticky sessions: each worker mints session ids hashing to
+            # its own slot, so dispatch_session routes without state.
+            "slot_count": workers,
         }
         self._dispatch_lock = threading.Lock()
         self._pending = 0
@@ -368,6 +399,10 @@ class RouterDaemon:
         retried on the next-best sibling — each slot is tried at most
         once.  Only when no worker can answer does the client see a 503.
         """
+        return self._dispatch_failover("/v1/infer", raw_body)
+
+    def _dispatch_failover(self, path: str, raw_body: bytes):
+        """Least-loaded forward with one attempt per slot."""
         last_error: Exception | None = None
         for _attempt in range(len(self._slots)):
             handle = self._pick_worker()
@@ -375,7 +410,7 @@ class RouterDaemon:
                 break
             try:
                 status, data, headers = self._forward(
-                    handle, "POST", "/v1/infer", raw_body)
+                    handle, "POST", path, raw_body)
                 return status, data, headers
             except (OSError, http.client.HTTPException) as error:
                 last_error = error
@@ -387,6 +422,45 @@ class RouterDaemon:
             "no live worker could answer the request"
             + (f" (last error: {last_error})" if last_error else ""),
             status=503, stage="serve")
+
+    def dispatch_session(self, path: str, raw_body: bytes):
+        """Route one ``/v1/session/*`` request — sticky by session id.
+
+        ``/v1/session/open`` dispatches least-loaded with failover (any
+        worker can open; it mints an id hashing back to itself, so the
+        stickiness is self-consistent).  Everything else routes to the
+        id's slot — and when that slot is down, respawning, or drops
+        the connection mid-call, the router itself answers 410
+        (:class:`SessionGoneError`): the state died with the worker and
+        only the client can rebuild it by re-opening.  A freshly
+        respawned worker answers its own 410s (empty store) without
+        router involvement.
+        """
+        if path == "/v1/session/open":
+            return self._dispatch_failover(path, raw_body)
+        parts = path.rstrip("/").split("/")
+        session_id = parts[3] if len(parts) > 3 else ""
+        slot = self._slots[session_slot(session_id, len(self._slots))]
+        handle = slot.handle
+        if handle is None or not handle.ready or not handle.is_alive():
+            observability.inc("router.sessions.gone")
+            raise SessionGoneError(
+                f"worker {slot.index} holding session {session_id!r} is "
+                "down (crash or respawn in progress); re-open the session",
+                stage="serve")
+        with self._dispatch_lock:
+            handle.in_flight += 1
+        try:
+            return self._forward(handle, "POST", path, raw_body)
+        except (OSError, http.client.HTTPException) as error:
+            observability.inc("router.forward.errors")
+            observability.inc("router.sessions.gone")
+            raise SessionGoneError(
+                f"worker {slot.index} dropped session {session_id!r} "
+                f"mid-call ({error}); re-open the session",
+                stage="serve") from error
+        finally:
+            self._finish(handle)
 
     # -- reload (generation fence) -------------------------------------------------
 
@@ -519,6 +593,8 @@ class RouterDaemon:
         workers = []
         live = 0
         total_restarts = 0
+        sessions_total = {"sessions": 0, "bytes": 0, "opened": 0,
+                          "closed": 0, "evicted_ttl": 0, "evicted_lru": 0}
         for slot in self._slots:
             handle = slot.handle
             total_restarts += slot.restarts
@@ -544,6 +620,11 @@ class RouterDaemon:
                     entry["generation"] = health["model"]["generation"]
                     entry["mmap"] = health["model"].get("mmap")
                     entry["queue"] = health.get("queue")
+                    block = health.get("sessions")
+                    if block:
+                        entry["sessions"] = block
+                        for key in sessions_total:
+                            sessions_total[key] += int(block.get(key, 0))
             workers.append(entry)
         if self.draining:
             status = "draining"
@@ -560,6 +641,7 @@ class RouterDaemon:
             "role": "router",
             "model": self._model_block(),
             "queue": {"depth": self._pending, "limit": self.queue_limit},
+            "sessions": sessions_total,
             "latency": {
                 "p50_s": latency.quantile(0.5),
                 "p99_s": latency.quantile(0.99),

@@ -15,11 +15,21 @@ Endpoints:
   response schema, 400 on malformed requests, 503 + ``Retry-After`` on
   overload or drain, 504 past the deadline, 422 when the pipeline
   itself rejects the job under ``on_error="raise"``.
+* ``POST /v1/session/open`` — parse a binary/path/demo job once into a
+  stateful analysis session (:mod:`repro.analysis`); the response
+  carries the session id, the extracted variable ids and the TTL.
+* ``POST /v1/session/<id>/call`` — one ``cati-tool-call/1`` tool
+  dispatch against an open session; 410 (:class:`~repro.core.errors
+  .SessionGoneError`) when the id no longer resolves — expired,
+  evicted, or lost to a restart — which clients fix by re-opening.
+* ``POST /v1/session/<id>/close`` — drop the session explicitly.
 * ``POST /v1/reload`` — verify + swap a model bundle; 409 when the
   bundle is rejected (corrupt, schema drift, structural config
-  mismatch) — the old model keeps serving.
+  mismatch) — the old model keeps serving.  Open sessions survive: the
+  scheduler re-encodes their windows under the new engine generation.
 * ``GET /healthz``    — status, ``repro.__version__``, uptime, model
-  generation/provenance, queue depth, request-latency quantiles.
+  generation/provenance, queue depth, request-latency quantiles, and
+  the session store's occupancy/eviction block.
 * ``GET /metricsz``   — the full observability snapshot.
 
 Shutdown: SIGTERM/SIGINT set the draining flag and call
@@ -41,6 +51,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 import repro
+from repro.analysis import SessionStore, build_session, call_tool, mint_session_id
 from repro.core import observability
 from repro.core.config import CatiConfig
 from repro.core.errors import (
@@ -148,6 +159,10 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/v1/infer":
                 self._handle_infer()
+            elif self.path == "/v1/session/open":
+                self._handle_session_open()
+            elif self.path.startswith("/v1/session/"):
+                self._handle_session_action()
             elif self.path == "/v1/reload":
                 self._handle_reload()
             else:
@@ -199,6 +214,51 @@ class _Handler(BaseHTTPRequestHandler):
                               time.monotonic() - started)
         self._send_json(200, body)
 
+    def _handle_session_open(self) -> None:
+        daemon = self.daemon
+        started = time.monotonic()
+        request = self._read_body()
+        on_error = str(request.get("on_error", daemon.default_on_error))
+        check_on_error(on_error)
+        failures = FailureReport()
+        session = daemon.open_session(request, on_error=on_error,
+                                      failures=failures)
+        observability.observe("sessions.open.seconds",
+                              time.monotonic() - started)
+        self._send_json(200, protocol.session_open_response(
+            session, ttl_s=daemon.sessions.ttl_s,
+            model=daemon.model_host.model_info(), failures=failures))
+
+    def _handle_session_action(self) -> None:
+        daemon = self.daemon
+        started = time.monotonic()
+        parts = self.path.rstrip("/").split("/")
+        # /v1/session/<id>/<action> → ["", "v1", "session", id, action]
+        if len(parts) != 5 or parts[4] not in ("call", "close"):
+            self._send_json(404, protocol.error_body(
+                "NotFound", f"no route {self.path}"))
+            return
+        session_id, action = parts[3], parts[4]
+        request = self._read_body()
+        if action == "close":
+            removed = daemon.sessions.remove(session_id)
+            self._send_json(200, {"schema": protocol.TOOL_SCHEMA,
+                                  "session": session_id, "closed": removed})
+            return
+        tool = request.get("tool")
+        if not isinstance(tool, str):
+            raise RequestError("'tool' must name the tool to call",
+                               stage="serve")
+        session = daemon.sessions.get(session_id)  # SessionGoneError → 410
+        with observability.span("sessions.call"):
+            result = call_tool(daemon, session, tool,
+                               request.get("args") or {})
+        observability.inc("sessions.calls")
+        observability.inc(f"sessions.tool.{tool}")
+        observability.observe("sessions.call.seconds",
+                              time.monotonic() - started)
+        self._send_json(200, protocol.tool_response(session_id, tool, result))
+
     def _handle_reload(self) -> None:
         request = self._read_body()
         model_dir = request.get("model_dir")
@@ -231,6 +291,8 @@ class ServeDaemon:
         mmap: bool = False,
         log_label: str = "serve",
         initial_generation: int = 1,
+        slot_index: int = 0,
+        slot_count: int = 1,
     ) -> None:
         check_on_error(default_on_error)
         self.started_at = time.time()
@@ -244,6 +306,15 @@ class ServeDaemon:
                                     initial_generation=initial_generation)
         self.scheduler = MicroBatchScheduler(self.model_host,
                                              queue_limit=queue_limit)
+        #: Session stickiness under the pre-fork router: this daemon
+        #: mints only session ids that hash back to its own slot
+        #: (single daemon = slot 0 of 1, where every id matches).
+        self._slot_index = slot_index
+        self._slot_count = max(1, slot_count)
+        session_config = self.model_host.config
+        self.sessions = SessionStore(
+            ttl_s=session_config.session_ttl_s,
+            max_bytes=session_config.session_max_bytes)
         self.httpd = _Server((host, port), _Handler)
         self.httpd.daemon_ref = self
         self.draining = False
@@ -289,16 +360,7 @@ class ServeDaemon:
                     f"'variable_ids' must be a list aligned with {kind!r}",
                     stage="serve")
             return windows, [str(v) for v in variable_ids], None
-        if kind == "demo":
-            stripped, extents = self._compile_demo(request["demo"])
-        else:  # binary
-            stripped = protocol.binary_from_wire(request["binary"])
-            extents = protocol.extents_from_wire(request.get("extents") or [])
-            if len(extents) != len(stripped.functions):
-                raise RequestError(
-                    f"'extents' has {len(extents)} function entries, "
-                    f"binary has {len(stripped.functions)} functions",
-                    stage="serve")
+        stripped, extents = self._binary_job(request, kind)
         from repro.vuc.dataset import extract_unlabeled_vucs
 
         config = self.model_host.config
@@ -310,6 +372,49 @@ class ServeDaemon:
         return ([tokens for _variable_id, tokens in pairs],
                 [variable_id for variable_id, _tokens in pairs],
                 stripped.name)
+
+    def _binary_job(self, request: dict, kind: str):
+        """The whole-binary job forms → ``(stripped, extents)``."""
+        if kind == "demo":
+            return self._compile_demo(request["demo"])
+        stripped = protocol.binary_from_wire(request["binary"])
+        extents = protocol.extents_from_wire(request.get("extents") or [])
+        if len(extents) != len(stripped.functions):
+            raise RequestError(
+                f"'extents' has {len(extents)} function entries, "
+                f"binary has {len(stripped.functions)} functions",
+                stage="serve")
+        return stripped, extents
+
+    def open_session(self, request: dict, *, on_error: str,
+                     failures: FailureReport):
+        """Build + register one analysis session from an open request.
+
+        Sessions need a whole binary — the listing backs ``disassemble``
+        and ``annotate_disassembly`` — so the pre-extracted window job
+        kinds are rejected up front.
+        """
+        kind = protocol.job_kind(request)
+        if kind == "path":
+            request = self._load_job_file(request["path"])
+            kind = protocol.job_kind(request)
+            if kind == "path":
+                raise RequestError("job files must not nest 'path' jobs",
+                                   stage="serve")
+        if kind not in protocol.SESSION_JOB_KINDS:
+            raise RequestError(
+                f"sessions need one of {protocol.SESSION_JOB_KINDS} "
+                f"(a whole binary), got a {kind!r} job", stage="serve")
+        stripped, extents = self._binary_job(request, kind)
+        cati, engine, generation = self.model_host.acquire()
+        with observability.span("sessions.open"):
+            session = build_session(
+                mint_session_id(self._slot_index, self._slot_count),
+                stripped, extents, encoder=engine.encoder,
+                config=cati.config, generation=generation,
+                on_error=on_error, failures=failures)
+        self.sessions.put(session)
+        return session
 
     @staticmethod
     def _load_job_file(path: object) -> dict:
@@ -358,6 +463,7 @@ class ServeDaemon:
                 "depth": self.scheduler.queue_depth,
                 "limit": self.scheduler.queue_limit,
             },
+            "sessions": self.sessions.stats(),
             "latency": {
                 "p50_s": latency.quantile(0.5),
                 "p99_s": latency.quantile(0.99),

@@ -66,6 +66,11 @@ def worker_main(worker_id: int, model_dir: str, config_dict: dict | None,
             # Respawned workers join at the router's current fence
             # generation so /healthz stays coherent across restarts.
             initial_generation=int(options.get("generation", 1)),
+            # Session stickiness: this worker mints only session ids
+            # that slot-hash back to itself, so the router can route
+            # /v1/session/<id>/* by pure arithmetic.
+            slot_index=worker_id,
+            slot_count=int(options.get("slot_count", 1)),
         )
     except BaseException as error:  # noqa: BLE001 — must report, then die
         try:
